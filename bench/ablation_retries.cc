@@ -1,0 +1,60 @@
+// Ablation for DESIGN.md §6 item 3: the refinement-phase retry machinery
+// (StayActive re-sends + re-broadcast acknowledgments) under message loss.
+// Disabling retries is approximated by a resend interval larger than the
+// whole refinement window.
+#include <iostream>
+
+#include "api/experiment.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+namespace {
+
+using namespace snapq;
+
+double MeanReps(double loss, bool retries) {
+  return MeanOverSeeds(bench::kRepetitions, bench::kBaseSeed,
+                       [&](uint64_t seed) {
+                         NetworkConfig nc;
+                         nc.loss_probability = loss;
+                         if (!retries) {
+                           nc.snapshot.stay_active_resend = 1000;  // never
+                         }
+                         nc.seed = seed;
+                         SensorNetwork network(nc);
+                         Rng data_rng = Rng(seed).SplitNamed("data");
+                         RandomWalkConfig walk;
+                         walk.num_nodes = nc.num_nodes;
+                         walk.num_classes = 1;
+                         walk.horizon = 101;
+                         auto ds = Dataset::Create(
+                             GenerateRandomWalk(walk, data_rng).series);
+                         SNAPQ_CHECK(ds.ok());
+                         SNAPQ_CHECK(
+                             network.AttachDataset(std::move(*ds)).ok());
+                         network.ScheduleTrainingBroadcasts(0, 10);
+                         network.RunUntil(100);
+                         return static_cast<double>(
+                             network.RunElection(100).num_active);
+                       })
+      .mean();
+}
+
+}  // namespace
+
+int main() {
+  using namespace snapq;
+  bench::PrintHeader(
+      "Ablation: refinement retries under message loss (DESIGN.md §6, "
+      "item 3)",
+      "Fig 7 setup (K=1); StayActive retry + re-acknowledgment on vs off");
+
+  TablePrinter table({"P_loss", "with retries", "without retries"});
+  for (double loss : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    table.AddRow({TablePrinter::Num(loss, 1),
+                  TablePrinter::Num(MeanReps(loss, true), 1),
+                  TablePrinter::Num(MeanReps(loss, false), 1)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension study (§5's severe-energy mode): passive nodes sleep entirely
+// — they do not even route. Reports the extra participation savings and
+// the coverage cost of the disconnections it causes, across transmission
+// ranges (shorter range = longer routes = more routing work by passive
+// nodes to save, but also more disconnection risk).
+#include <cmath>
+#include <iostream>
+
+#include "api/experiment.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "query/executor.h"
+
+namespace {
+
+using namespace snapq;
+
+struct SleepOutcome {
+  double savings = 0.0;   // participation savings vs regular execution
+  double coverage = 0.0;  // average coverage of the snapshot queries
+};
+
+SleepOutcome Measure(double range, bool sleep) {
+  RunningStats savings, coverage;
+  for (int r = 0; r < bench::kRepetitions; ++r) {
+    SensitivityConfig config;
+    config.num_classes = 1;
+    config.transmission_range = range;
+    config.seed = bench::kBaseSeed + static_cast<uint64_t>(r);
+    SensitivityOutcome outcome = RunSensitivityTrial(config);
+    SensorNetwork& net = *outcome.network;
+    Rng rng(config.seed ^ 0x517EEBULL);
+    uint64_t regular_total = 0;
+    uint64_t snapshot_total = 0;
+    for (int q = 0; q < 200; ++q) {
+      ExecutionOptions options;
+      options.sink = static_cast<NodeId>(rng.UniformInt(0, 99));
+      options.passive_nodes_sleep = sleep;
+      const Point center{rng.NextDouble(), rng.NextDouble()};
+      const Rect region = Rect::CenteredSquare(center, std::sqrt(0.1));
+      const QueryResult regular = net.executor().ExecuteRegion(
+          region, false, AggregateFunction::kSum, options);
+      const QueryResult snap = net.executor().ExecuteRegion(
+          region, true, AggregateFunction::kSum, options);
+      regular_total += regular.participants;
+      snapshot_total += snap.participants;
+      if (snap.matching_nodes > 0) coverage.Add(snap.coverage);
+    }
+    if (regular_total > 0) {
+      savings.Add(1.0 - static_cast<double>(snapshot_total) /
+                            static_cast<double>(regular_total));
+    }
+  }
+  return SleepOutcome{savings.mean(), coverage.mean()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace snapq;
+  bench::PrintHeader(
+      "Extension: passive nodes sleeping through queries (§5)",
+      "K=1, W^2=0.1, 200 queries; snapshot execution with passive nodes "
+      "routing (default) vs sleeping");
+
+  TablePrinter table({"range", "savings (routing)", "savings (sleeping)",
+                      "coverage (routing)", "coverage (sleeping)"});
+  for (double range : {0.3, 0.5, 0.7}) {
+    const SleepOutcome awake = Measure(range, false);
+    const SleepOutcome asleep = Measure(range, true);
+    table.AddRow({TablePrinter::Num(range, 1),
+                  TablePrinter::Num(100.0 * awake.savings, 0) + "%",
+                  TablePrinter::Num(100.0 * asleep.savings, 0) + "%",
+                  TablePrinter::Num(100.0 * awake.coverage, 0) + "%",
+                  TablePrinter::Num(100.0 * asleep.coverage, 0) + "%"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

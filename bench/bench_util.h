@@ -1,0 +1,25 @@
+// Shared helpers for the experiment drivers in bench/. Each driver
+// regenerates one table or figure of the paper and prints the same
+// rows/series the paper reports (averaged over the paper's 10 repetitions).
+#ifndef SNAPQ_BENCH_BENCH_UTIL_H_
+#define SNAPQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace snapq::bench {
+
+/// Number of repetitions per data point (§6.1: "We repeated each
+/// experiment ten times and present the average values").
+inline constexpr int kRepetitions = 10;
+inline constexpr uint64_t kBaseSeed = 1;
+
+inline void PrintHeader(const char* experiment, const char* setup) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("%s\n", setup);
+  std::printf("(averages over %d seeded repetitions)\n\n", kRepetitions);
+}
+
+}  // namespace snapq::bench
+
+#endif  // SNAPQ_BENCH_BENCH_UTIL_H_

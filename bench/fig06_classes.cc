@@ -1,0 +1,36 @@
+// Figure 6: number of representatives vs the number of random-walk
+// classes K. Setup (§6.1): N = 100 nodes in the unit square, transmission
+// range sqrt(2), P_loss = 0, cache 2048 bytes, T = 1, sse metric; 10 time
+// units of training broadcasts, silence until t = 100, then discovery.
+//
+// Paper shape: K = 1 elects a single representative; past K ~ 15 the
+// count plateaus well below N (paper: 17-25).
+#include <iostream>
+
+#include "api/experiment.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace snapq;
+  bench::PrintHeader(
+      "Figure 6: representatives vs number of classes K",
+      "N=100, range=sqrt(2), P_loss=0, cache=2048B, T=1, sse");
+
+  TablePrinter table({"K", "representatives (n1)", "min", "max"});
+  for (size_t k : {1u, 2u, 5u, 10u, 15u, 20u, 30u, 50u, 75u, 100u}) {
+    const RunningStats reps = MeanOverSeeds(
+        bench::kRepetitions, bench::kBaseSeed, [&](uint64_t seed) {
+          SensitivityConfig config;
+          config.num_classes = k;
+          config.seed = seed;
+          return static_cast<double>(
+              RunSensitivityTrial(config).stats.num_active);
+        });
+    table.AddRow({std::to_string(k), TablePrinter::Num(reps.mean(), 1),
+                  TablePrinter::Num(reps.min(), 0),
+                  TablePrinter::Num(reps.max(), 0)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

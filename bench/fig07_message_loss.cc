@@ -1,0 +1,39 @@
+// Figure 7: number of representatives vs message-loss probability P_loss,
+// at K = 1 (otherwise the Fig 6 setup). Loss hits both model training and
+// every protocol message of the discovery phase.
+//
+// Paper shape: a handful of representatives up to moderate loss (4 at 30%
+// in the paper), growing as loss climbs, collapsing toward N when most
+// invitations are lost (~95%).
+#include <iostream>
+
+#include "api/experiment.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace snapq;
+  bench::PrintHeader(
+      "Figure 7: representatives vs message loss (K=1)",
+      "N=100, range=sqrt(2), cache=2048B, T=1, sse, K=1");
+
+  TablePrinter table({"P_loss", "representatives (n1)", "min", "max"});
+  for (double loss : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+                      0.95}) {
+    const RunningStats reps = MeanOverSeeds(
+        bench::kRepetitions, bench::kBaseSeed, [&](uint64_t seed) {
+          SensitivityConfig config;
+          config.num_classes = 1;
+          config.loss_probability = loss;
+          config.seed = seed;
+          return static_cast<double>(
+              RunSensitivityTrial(config).stats.num_active);
+        });
+    table.AddRow({TablePrinter::Num(loss, 2),
+                  TablePrinter::Num(reps.mean(), 1),
+                  TablePrinter::Num(reps.min(), 0),
+                  TablePrinter::Num(reps.max(), 0)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 8: number of representatives vs per-node cache size, K = 10,
+// comparing the model-aware cache manager of §4 against the round-robin
+// (FIFO/LRU-equivalent) baseline.
+//
+// Paper shape: below ~500 bytes the two coincide (one pair per line);
+// around 1.1 KB the model-aware manager needs less than half the
+// representatives; past ~2.5 KB they converge again (2-3 pairs per line
+// suffice for this data).
+#include <iostream>
+
+#include "api/experiment.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace snapq;
+  bench::PrintHeader(
+      "Figure 8: representatives vs cache size (K=10)",
+      "N=100, range=sqrt(2), P_loss=0, T=1, sse, K=10; model-aware vs "
+      "round-robin replacement");
+
+  auto mean_reps = [](size_t cache_bytes, CachePolicy policy) {
+    return MeanOverSeeds(bench::kRepetitions, bench::kBaseSeed,
+                         [&](uint64_t seed) {
+                           SensitivityConfig config;
+                           config.num_classes = 10;
+                           config.cache_bytes = cache_bytes;
+                           config.cache_policy = policy;
+                           config.seed = seed;
+                           return static_cast<double>(
+                               RunSensitivityTrial(config).stats.num_active);
+                         })
+        .mean();
+  };
+
+  TablePrinter table({"cache (bytes)", "model-aware", "round-robin"});
+  for (size_t bytes : {200u, 400u, 600u, 800u, 1100u, 1400u, 1700u, 2048u,
+                       2500u, 3000u, 4096u}) {
+    table.AddRow({std::to_string(bytes),
+                  TablePrinter::Num(mean_reps(bytes, CachePolicy::kModelAware), 1),
+                  TablePrinter::Num(mean_reps(bytes, CachePolicy::kRoundRobin), 1)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: number of representatives vs transmission range, for several
+// K. Ranges below 0.2 often disconnect a 100-node network (§6.1), so the
+// sweep starts there.
+//
+// Paper shape: representatives fall as range grows and flatten past ~0.7
+// (sqrt(0.5): a centrally-placed node hears the whole unit square).
+#include <iostream>
+
+#include "api/experiment.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace snapq;
+  bench::PrintHeader(
+      "Figure 9: representatives vs transmission range",
+      "N=100, P_loss=0, cache=2048B, T=1, sse; one line per K");
+
+  const std::vector<size_t> ks = {1, 5, 10, 20};
+  std::vector<std::string> header = {"range"};
+  for (size_t k : ks) header.push_back("K=" + std::to_string(k));
+  TablePrinter table(std::move(header));
+
+  for (double range : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 1.0, 1.2, 1.4}) {
+    std::vector<std::string> row = {TablePrinter::Num(range, 1)};
+    for (size_t k : ks) {
+      const RunningStats reps = MeanOverSeeds(
+          bench::kRepetitions, bench::kBaseSeed, [&](uint64_t seed) {
+            SensitivityConfig config;
+            config.num_classes = k;
+            config.transmission_range = range;
+            config.seed = seed;
+            return static_cast<double>(
+                RunSensitivityTrial(config).stats.num_active);
+          });
+      row.push_back(TablePrinter::Num(reps.mean(), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 11: number of representatives vs the error threshold T on the
+// weather workload (§6.3): 100 non-overlapping windows of 100 one-minute
+// wind-speed values (synthetic substitute calibrated to the paper's
+// mean ~5.8, variance ~2.8), first 10 values for training, discovery after
+// the 100th, cache 2048 bytes, range sqrt(2).
+//
+// Paper shape: ~14% of the network at T = 0.1 falling quickly to ~1.5% at
+// T = 10.
+#include <iostream>
+
+#include "api/experiment.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace snapq;
+  bench::PrintHeader(
+      "Figure 11: representatives vs error threshold T (weather data)",
+      "N=100, range=sqrt(2), P_loss=0, cache=2048B, sse; synthetic wind "
+      "substitute for the UW station data");
+
+  TablePrinter table({"T", "representatives (n1)", "% of N"});
+  for (double t : {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const RunningStats reps = MeanOverSeeds(
+        bench::kRepetitions, bench::kBaseSeed, [&](uint64_t seed) {
+          SensitivityConfig config;
+          config.workload = WorkloadKind::kWeather;
+          config.threshold = t;
+          config.seed = seed;
+          return static_cast<double>(
+              RunSensitivityTrial(config).stats.num_active);
+        });
+    table.AddRow({TablePrinter::Num(t, 1), TablePrinter::Num(reps.mean(), 1),
+                  TablePrinter::Num(reps.mean(), 1) + "%"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

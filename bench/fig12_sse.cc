@@ -1,0 +1,34 @@
+// Figure 12: the average sse of the representatives' estimates, for the
+// Figure 11 runs. The point of the figure: the *measured* error is in
+// practice significantly smaller than the threshold T used during
+// discovery.
+#include <iostream>
+
+#include "api/experiment.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace snapq;
+  bench::PrintHeader(
+      "Figure 12: average sse of representative estimates (weather data)",
+      "same runs as Figure 11; sse measured at discovery time over all "
+      "represented nodes");
+
+  TablePrinter table({"T", "avg sse", "sse / T"});
+  for (double t : {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const RunningStats sse = MeanOverSeeds(
+        bench::kRepetitions, bench::kBaseSeed, [&](uint64_t seed) {
+          SensitivityConfig config;
+          config.workload = WorkloadKind::kWeather;
+          config.threshold = t;
+          config.seed = seed;
+          const SensitivityOutcome outcome = RunSensitivityTrial(config);
+          return AverageRepresentationSse(*outcome.network);
+        });
+    table.AddRow({TablePrinter::Num(t, 1), TablePrinter::Num(sse.mean(), 4),
+                  TablePrinter::Num(sse.mean() / t, 3)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 13: spurious representatives (stale "I still represent N_j"
+// beliefs caused by lost Rule-2 recalls) and total representatives vs
+// message loss, on the weather workload with T = 0.1 and transmission
+// range 0.2 (§6.3).
+//
+// Paper shape: spurious representatives stay few, and their count drops
+// again at extreme loss rates because most invitations are lost and fewer
+// Rule-2 situations arise.
+#include <iostream>
+
+#include "api/experiment.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace snapq;
+  bench::PrintHeader(
+      "Figure 13: spurious representatives vs message loss (weather data)",
+      "N=100, T=0.1, sse, range=0.2, cache=2048B");
+
+  TablePrinter table({"P_loss", "total representatives", "spurious"});
+  for (double loss :
+       {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    RunningStats total, spurious;
+    for (int r = 0; r < bench::kRepetitions; ++r) {
+      SensitivityConfig config;
+      config.workload = WorkloadKind::kWeather;
+      config.threshold = 0.1;
+      config.transmission_range = 0.2;
+      config.loss_probability = loss;
+      config.seed = bench::kBaseSeed + static_cast<uint64_t>(r);
+      const SensitivityOutcome outcome = RunSensitivityTrial(config);
+      total.Add(static_cast<double>(outcome.stats.num_active));
+      spurious.Add(static_cast<double>(outcome.stats.num_spurious));
+    }
+    table.AddRow({TablePrinter::Num(loss, 2),
+                  TablePrinter::Num(total.mean(), 1),
+                  TablePrinter::Num(spurious.mean(), 1)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 14: snapshot size over time while the maintenance protocol
+// updates the network snapshot every 100 time units (weather data, 5,000
+// values per node, 5% snooping). One line per transmission range.
+//
+// Paper shape: the size fluctuates mildly around a range-dependent mean —
+// larger for the short range (paper: ~70 at range 0.2, ~25 at 0.7; a
+// shorter range means fewer reachable candidates per node).
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "longrun_common.h"
+
+int main() {
+  using namespace snapq;
+  bench::PrintHeader(
+      "Figure 14: snapshot size over time (weather data)",
+      "N=100, T=0.1, sse, update every 100 units, snoop=5%; 5,000 time "
+      "units");
+
+  // round start -> range -> stats over repetitions
+  std::map<Time, std::map<double, RunningStats>> by_round;
+  std::map<double, RunningStats> overall;
+  for (double range : {0.2, 0.7}) {
+    for (int r = 0; r < bench::kLongRepetitions; ++r) {
+      const auto rounds = bench::RunLongMaintenance(
+          range, bench::kBaseSeed + static_cast<uint64_t>(r));
+      for (const MaintenanceRoundStats& s : rounds) {
+        by_round[s.round_start][range].Add(
+            static_cast<double>(s.snapshot_size));
+        overall[range].Add(static_cast<double>(s.snapshot_size));
+      }
+    }
+  }
+
+  TablePrinter table({"time", "n1 (range=0.2)", "n1 (range=0.7)"});
+  int printed = 0;
+  for (const auto& [t, per_range] : by_round) {
+    if (printed++ % 4 != 0) continue;  // thin the series for readability
+    std::vector<std::string> row = {std::to_string(t)};
+    for (double range : {0.2, 0.7}) {
+      const auto it = per_range.find(range);
+      row.push_back(it == per_range.end()
+                        ? std::string("-")
+                        : TablePrinter::Num(it->second.mean(), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf("\naverage snapshot size: range 0.2 -> %.1f, range 0.7 -> %.1f\n",
+              overall[0.2].mean(), overall[0.7].mean());
+  return 0;
+}

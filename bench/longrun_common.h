@@ -1,0 +1,80 @@
+// Shared driver for Figures 14 and 15 (§6.3): a long-running network over
+// 5,000-value weather series per node. The snapshot is updated by the
+// maintenance protocol every 100 time units; between updates random
+// spatial queries run and nodes snoop 5% of their neighbors' (unicast)
+// query responses to fine-tune their models.
+#ifndef SNAPQ_BENCH_LONGRUN_COMMON_H_
+#define SNAPQ_BENCH_LONGRUN_COMMON_H_
+
+#include <cmath>
+#include <vector>
+
+#include "api/network.h"
+#include "data/weather.h"
+
+namespace snapq::bench {
+
+constexpr Time kLongHorizon = 5000;
+constexpr Time kUpdateInterval = 100;
+constexpr Time kLongDiscovery = 20;
+constexpr int kLongRepetitions = 5;
+
+/// Runs the §6.3 long experiment at the given transmission range and
+/// returns the per-update maintenance stats (snapshot size, messages per
+/// node, spurious count).
+inline std::vector<MaintenanceRoundStats> RunLongMaintenance(
+    double transmission_range, uint64_t seed) {
+  NetworkConfig config;
+  config.num_nodes = 100;
+  config.transmission_range = transmission_range;
+  config.snoop_probability = 0.05;
+  config.snapshot.threshold = 0.1;
+  config.seed = seed;
+  SensorNetwork net(config);
+
+  Rng data_rng = Rng(seed).SplitNamed("weather-long");
+  Result<Dataset> dataset = Dataset::Create(GenerateWeatherWindows(
+      WeatherConfig{}, 100, static_cast<size_t>(kLongHorizon) + 1,
+      data_rng));
+  SNAPQ_CHECK(dataset.ok());
+  SNAPQ_CHECK(net.AttachDataset(std::move(*dataset)).ok());
+
+  // Train, then discover the initial snapshot.
+  net.ScheduleTrainingBroadcasts(0, 10);
+  net.RunUntil(kLongDiscovery);
+  net.RunElection(kLongDiscovery);
+
+  // Query traffic between updates: every tick ~10 random nodes answer a
+  // drill-through query by unicasting their reading toward the sink;
+  // neighbors snoop these messages with probability 5%.
+  Rng query_rng = Rng(seed).SplitNamed("queries-long");
+  const double w = std::sqrt(0.1);
+  for (Time t = net.now() + 1; t < kLongHorizon; ++t) {
+    net.sim().ScheduleAt(t, [&net, &query_rng, w] {
+      const Point center{query_rng.NextDouble(), query_rng.NextDouble()};
+      const Rect region = Rect::CenteredSquare(center, w);
+      const NodeId sink =
+          static_cast<NodeId>(query_rng.UniformInt(0, 99));
+      for (NodeId i = 0; i < net.num_nodes(); ++i) {
+        if (i == sink || !region.Contains(net.position(i))) continue;
+        Message msg;
+        msg.type = MessageType::kData;
+        msg.from = i;
+        msg.to = sink;
+        msg.value = net.agent(i).measurement();
+        net.sim().Send(msg);
+      }
+    });
+  }
+
+  std::vector<MaintenanceRoundStats> rounds;
+  net.ScheduleMaintenance(
+      net.now() + kUpdateInterval, kLongHorizon, kUpdateInterval,
+      [&rounds](const MaintenanceRoundStats& s) { rounds.push_back(s); });
+  net.RunAll();
+  return rounds;
+}
+
+}  // namespace snapq::bench
+
+#endif  // SNAPQ_BENCH_LONGRUN_COMMON_H_

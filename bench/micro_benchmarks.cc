@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark) for the hot paths a sensor-node
+// implementation would care about: model updates, cache admission,
+// candidacy checks, plus whole-subsystem operations (election, routing
+// tree, query execution, parsing).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "api/experiment.h"
+#include "model/cache_manager.h"
+#include "net/topology.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/routing_tree.h"
+
+namespace snapq {
+namespace {
+
+void BM_RegressionAddFit(benchmark::State& state) {
+  Rng rng(1);
+  RegressionStats stats;
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.5;
+    stats.Add(x, 2.0 * x + rng.NextDouble());
+    benchmark::DoNotOptimize(stats.Fit());
+  }
+}
+BENCHMARK(BM_RegressionAddFit);
+
+void BM_CacheObserve(benchmark::State& state) {
+  const bool model_aware = state.range(0) == 0;
+  CacheConfig config;
+  config.capacity_bytes = 2048;
+  config.policy =
+      model_aware ? CachePolicy::kModelAware : CachePolicy::kRoundRobin;
+  CacheManager cache(config);
+  Rng rng(2);
+  Time t = 0;
+  for (auto _ : state) {
+    const NodeId j = static_cast<NodeId>(rng.UniformInt(0, 98));
+    benchmark::DoNotOptimize(
+        cache.Observe(j, rng.Gaussian(0, 5), rng.Gaussian(0, 5), ++t));
+  }
+}
+BENCHMARK(BM_CacheObserve)->Arg(0)->Arg(1)->ArgNames({"policy"});
+
+void BM_CanRepresent(benchmark::State& state) {
+  ModelStore store(0, CacheConfig{});
+  store.SetOwnValue(1.0, 0);
+  store.Observe(5, 10.0, 0);
+  store.SetOwnValue(2.0, 1);
+  store.Observe(5, 20.0, 1);
+  const ErrorMetric metric = ErrorMetric::SumSquared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.CanRepresent(5, 30.5, metric, 1.0));
+  }
+}
+BENCHMARK(BM_CanRepresent);
+
+void BM_GlobalElection100Nodes(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    SensitivityConfig config;
+    config.num_classes = 10;
+    config.seed = 7;
+    auto net = BuildSensitivityNetwork(config);
+    net->RunUntil(config.discovery_time);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(net->RunElection(config.discovery_time));
+  }
+}
+BENCHMARK(BM_GlobalElection100Nodes)->Unit(benchmark::kMillisecond);
+
+void BM_RoutingTreeBuild(benchmark::State& state) {
+  Rng rng(3);
+  const auto pts =
+      PlaceUniform(static_cast<size_t>(state.range(0)), Rect::UnitSquare(),
+                   rng);
+  const LinkModel links(
+      pts, std::vector<double>(static_cast<size_t>(state.range(0)), 0.3),
+      0.0);
+  const std::vector<bool> alive(static_cast<size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoutingTree::Build(links, alive, 0));
+  }
+}
+BENCHMARK(BM_RoutingTreeBuild)->Arg(100)->Arg(400)->ArgNames({"nodes"});
+
+void BM_SnapshotQuery(benchmark::State& state) {
+  SensitivityConfig config;
+  config.num_classes = 10;
+  config.seed = 9;
+  SensitivityOutcome outcome = RunSensitivityTrial(config);
+  SensorNetwork& net = *outcome.network;
+  Rng rng(4);
+  for (auto _ : state) {
+    ExecutionOptions options;
+    options.sink = static_cast<NodeId>(rng.UniformInt(0, 99));
+    const Point center{rng.NextDouble(), rng.NextDouble()};
+    benchmark::DoNotOptimize(net.executor().ExecuteRegion(
+        Rect::CenteredSquare(center, 0.32), /*use_snapshot=*/true,
+        AggregateFunction::kSum, options));
+  }
+}
+BENCHMARK(BM_SnapshotQuery);
+
+void BM_ParseQuery(benchmark::State& state) {
+  const std::string sql =
+      "SELECT loc, avg(value) FROM sensors WHERE loc IN "
+      "SOUTH_EAST_QUADRANT SAMPLE INTERVAL 1s FOR 5min USE SNAPSHOT "
+      "ERROR 0.5";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseQuery(sql));
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+}  // namespace
+}  // namespace snapq
+
+BENCHMARK_MAIN();

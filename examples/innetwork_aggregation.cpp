@@ -1,0 +1,56 @@
+// Message-level in-network aggregation (TAG): runs the same aggregate
+// query as real radio traffic — flooding tree formation, level-scheduled
+// convergecast — under increasing message loss, regular vs snapshot, and
+// shows how the snapshot's smaller data-carrier set protects the answer.
+//
+//   $ ./build/examples/innetwork_aggregation
+#include <cmath>
+#include <cstdio>
+
+#include "api/experiment.h"
+#include "query/innetwork.h"
+
+using namespace snapq;
+
+int main() {
+  std::printf("in-network SUM over a multi-hop 100-node network\n\n");
+  std::printf("%-8s %-12s %-22s %-22s\n", "P_loss", "truth", "regular (err)",
+              "snapshot (err)");
+  for (double loss : {0.0, 0.1, 0.2}) {
+    SensitivityConfig config;
+    config.num_classes = 1;
+    config.transmission_range = 0.35;  // several hops across the square
+    config.loss_probability = loss;
+    config.seed = 5;
+    SensitivityOutcome outcome = RunSensitivityTrial(config);
+    SensorNetwork& net = *outcome.network;
+
+    double truth = 0.0;
+    for (NodeId i = 0; i < net.num_nodes(); ++i) {
+      truth += net.agent(i).measurement();
+    }
+
+    InNetworkAggregator aggregator(&net.sim(), &net.agents());
+    const InNetworkResult regular = aggregator.Execute(
+        Rect::UnitSquare(), AggregateFunction::kSum, 0, false);
+    const InNetworkResult snap = aggregator.Execute(
+        Rect::UnitSquare(), AggregateFunction::kSum, 0, true);
+
+    auto err = [truth](const InNetworkResult& r) {
+      return 100.0 * std::abs(r.aggregate.value_or(0.0) - truth) /
+             std::abs(truth);
+    };
+    std::printf("%-8.2f %-12.1f %-10.1f (%4.1f%%)    %-10.1f (%4.1f%%)\n",
+                loss, truth, regular.aggregate.value_or(0.0), err(regular),
+                snap.aggregate.value_or(0.0), err(snap));
+    std::printf("         messages: regular %llu req + %llu replies, "
+                "snapshot %llu req + %llu replies\n",
+                static_cast<unsigned long long>(regular.request_messages),
+                static_cast<unsigned long long>(regular.reply_messages),
+                static_cast<unsigned long long>(snap.request_messages),
+                static_cast<unsigned long long>(snap.reply_messages));
+  }
+  std::printf("\nsnapshot replies come from far fewer data carriers, so "
+              "fewer readings are exposed to loss.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// snapq_shell: an interactive shell over a simulated deployment. Loads a
+// CSV dataset (one column per node; see Dataset::ReadCsv) or generates the
+// paper's synthetic workload, trains models, elects a snapshot and then
+// reads queries from stdin.
+//
+//   $ ./build/examples/snapq_shell [data.csv]
+//   snapq> SELECT avg(value) FROM sensors WHERE loc IN NORTH_HALF USE SNAPSHOT
+//   snapq> \snapshot
+//   snapq> \quit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "api/network.h"
+#include "data/random_walk.h"
+
+using namespace snapq;
+
+namespace {
+
+void PrintResult(const QueryResult& r) {
+  if (r.aggregate.has_value()) {
+    std::printf("%.4f\n", *r.aggregate);
+  } else {
+    std::printf("%-5s %-5s %10s  %s\n", "loc", "by", "value", "");
+    for (const QueryRow& row : r.rows) {
+      std::printf("%-5u %-5u %10.4f  %s\n", row.loc, row.reporter,
+                  row.value, row.estimated ? "(estimated)" : "");
+    }
+  }
+  std::printf("-- %zu participants, %zu responders, coverage %.0f%%\n",
+              r.participants, r.responders, 100.0 * r.coverage);
+}
+
+void PrintSnapshot(SensorNetwork& net) {
+  const SnapshotView view = net.Snapshot();
+  std::printf("%zu representatives, %zu passive, %zu spurious\n",
+              view.CountActive(), view.CountPassive(), view.CountSpurious());
+  for (NodeId i = 0; i < net.num_nodes(); ++i) {
+    if (view.node(i).mode != NodeMode::kActive) continue;
+    std::printf("  rep %u at (%.2f, %.2f) represents %zu nodes\n", i,
+                net.position(i).x, net.position(i).y,
+                view.node(i).represents.size());
+  }
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  SELECT ...            run a query (append USE SNAPSHOT to use the\n"
+      "                        representatives; see README for the dialect)\n"
+      "  \\snapshot             show the current representative set\n"
+      "  \\elect                re-run representative discovery\n"
+      "  \\regions              list named regions\n"
+      "  \\help                 this text\n"
+      "  \\quit                 exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Data: CSV if given, else the paper's K=10 random walk.
+  Result<Dataset> data = [&]() -> Result<Dataset> {
+    if (argc > 1) return Dataset::ReadCsv(argv[1]);
+    Rng rng(7);
+    RandomWalkConfig walk;
+    walk.num_nodes = 100;
+    walk.num_classes = 10;
+    walk.horizon = 101;
+    return Dataset::Create(GenerateRandomWalk(walk, rng).series);
+  }();
+  if (!data.ok()) {
+    std::fprintf(stderr, "failed to load data: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+
+  NetworkConfig config;
+  config.num_nodes = data->num_nodes();
+  config.snapshot.threshold = 1.0;
+  config.seed = 42;
+  SensorNetwork net(config);
+  const Time horizon = static_cast<Time>(data->horizon());
+  if (Status s = net.AttachDataset(std::move(*data)); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const Time train = std::min<Time>(10, horizon);
+  net.ScheduleTrainingBroadcasts(0, train);
+  net.RunUntil(horizon - 1);
+  const ElectionStats stats = net.RunElection(horizon - 1);
+  std::printf("loaded %zu nodes, %lld time units; snapshot has %zu "
+              "representatives (T=%.1f)\n",
+              net.num_nodes(), static_cast<long long>(horizon),
+              stats.num_active, config.snapshot.threshold);
+  PrintHelp();
+
+  std::string line;
+  std::printf("snapq> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\help") {
+      PrintHelp();
+    } else if (line == "\\snapshot") {
+      PrintSnapshot(net);
+    } else if (line == "\\elect") {
+      const ElectionStats s = net.RunElection(net.now());
+      std::printf("re-elected: %zu representatives (avg %.1f msgs/node)\n",
+                  s.num_active, s.avg_messages_per_node);
+    } else if (line == "\\regions") {
+      for (const std::string& name : net.executor().catalog().RegionNames()) {
+        std::printf("  %s\n", name.c_str());
+      }
+    } else if (!line.empty()) {
+      const Result<QueryResult> r = net.Query(line);
+      if (r.ok()) {
+        PrintResult(*r);
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    }
+    std::printf("snapq> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "api/experiment.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace snapq {
+
+std::unique_ptr<SensorNetwork> BuildSensitivityNetwork(
+    const SensitivityConfig& config) {
+  NetworkConfig net_config;
+  net_config.num_nodes = config.num_nodes;
+  net_config.transmission_range = config.transmission_range;
+  net_config.loss_probability = config.loss_probability;
+  net_config.snapshot.threshold = config.threshold;
+  net_config.snapshot.cache.capacity_bytes = config.cache_bytes;
+  net_config.snapshot.cache.policy = config.cache_policy;
+  net_config.snapshot.cache.penalty = config.cache_penalty;
+  net_config.seed = config.seed;
+
+  auto network = std::make_unique<SensorNetwork>(net_config);
+
+  Rng data_rng = Rng(config.seed).SplitNamed("data");
+  std::vector<TimeSeries> series;
+  switch (config.workload) {
+    case WorkloadKind::kRandomWalk: {
+      RandomWalkConfig walk;
+      walk.num_nodes = config.num_nodes;
+      walk.num_classes = config.num_classes;
+      walk.horizon = static_cast<size_t>(config.discovery_time) + 1;
+      series = GenerateRandomWalk(walk, data_rng).series;
+      break;
+    }
+    case WorkloadKind::kWeather: {
+      WeatherConfig weather;
+      series = GenerateWeatherWindows(
+          weather, config.num_nodes,
+          static_cast<size_t>(config.discovery_time) + 1, data_rng);
+      break;
+    }
+  }
+  Result<Dataset> dataset = Dataset::Create(std::move(series));
+  SNAPQ_CHECK(dataset.ok());
+  const Status attached = network->AttachDataset(std::move(*dataset));
+  SNAPQ_CHECK(attached.ok());
+  network->ScheduleTrainingBroadcasts(0, config.train_ticks);
+  return network;
+}
+
+SensitivityOutcome RunSensitivityTrial(const SensitivityConfig& config) {
+  SensitivityOutcome outcome;
+  outcome.network = BuildSensitivityNetwork(config);
+  // Training + silence: run up to the discovery instant, then elect.
+  outcome.network->RunUntil(config.discovery_time);
+  outcome.stats = outcome.network->RunElection(config.discovery_time);
+  return outcome;
+}
+
+double AverageRepresentationSse(const SensorNetwork& network) {
+  RunningStats errors;
+  const size_t n = network.num_nodes();
+  for (NodeId j = 0; j < n; ++j) {
+    const SnapshotAgent& node = network.agent(j);
+    if (node.mode() != NodeMode::kPassive) continue;
+    const NodeId rep = node.representative();
+    if (rep == j || rep == kInvalidNode) continue;
+    const std::optional<double> estimate =
+        network.agent(rep).EstimateFor(j);
+    if (!estimate.has_value()) continue;
+    const double err = node.measurement() - *estimate;
+    errors.Add(err * err);
+  }
+  return errors.mean();
+}
+
+RunningStats MeanOverSeeds(size_t repeats, uint64_t base_seed,
+                           const std::function<double(uint64_t)>& fn) {
+  RunningStats stats;
+  for (size_t r = 0; r < repeats; ++r) {
+    stats.Add(fn(base_seed + r));
+  }
+  return stats;
+}
+
+}  // namespace snapq

@@ -1,0 +1,73 @@
+// The paper's standard experimental procedure (§6.1/§6.3), factored out so
+// every bench driver runs exactly the same pipeline:
+//
+//   1. place N nodes uniformly in the unit square;
+//   2. generate data — a K-class random walk (§6.1) or weather windows
+//      (§6.3) — and feed it for `discovery_time` ticks;
+//   3. during the first `train_ticks` ticks run a select-all query so every
+//      node broadcasts its value and neighbors build models;
+//   4. stay silent, then run representative discovery at `discovery_time`;
+//   5. repeat over 10 seeds and average.
+#ifndef SNAPQ_API_EXPERIMENT_H_
+#define SNAPQ_API_EXPERIMENT_H_
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "api/network.h"
+#include "common/stats.h"
+#include "data/random_walk.h"
+#include "data/weather.h"
+
+namespace snapq {
+
+/// Workload selector.
+enum class WorkloadKind {
+  kRandomWalk,  ///< §6.1 synthetic K-class random walk
+  kWeather,     ///< §6.3 wind-speed windows (synthetic substitute)
+};
+
+/// Parameters of one trial; defaults are the paper's first experiment.
+struct SensitivityConfig {
+  size_t num_nodes = 100;
+  size_t num_classes = 10;  ///< K (random-walk workload only)
+  double threshold = 1.0;   ///< T
+  size_t cache_bytes = 2048;
+  double transmission_range = std::sqrt(2.0);
+  double loss_probability = 0.0;
+  CachePolicy cache_policy = CachePolicy::kModelAware;
+  PenaltyCurrency cache_penalty = PenaltyCurrency::kTotalBenefit;
+  Time train_ticks = 10;
+  Time discovery_time = 100;
+  WorkloadKind workload = WorkloadKind::kRandomWalk;
+  uint64_t seed = 1;
+};
+
+/// A finished trial: the election stats plus the still-live network (for
+/// follow-up queries, sse evaluation etc.).
+struct SensitivityOutcome {
+  ElectionStats stats;
+  std::unique_ptr<SensorNetwork> network;
+};
+
+/// Builds the network + dataset for `config` without running anything.
+/// The dataset is attached and training broadcasts are scheduled.
+std::unique_ptr<SensorNetwork> BuildSensitivityNetwork(
+    const SensitivityConfig& config);
+
+/// Runs the full §6.1 pipeline: build, train, silence, discover.
+SensitivityOutcome RunSensitivityTrial(const SensitivityConfig& config);
+
+/// Average sse of the representatives' estimates over all currently
+/// represented nodes (Fig 12's metric). Zero when nothing is represented.
+double AverageRepresentationSse(const SensorNetwork& network);
+
+/// Runs `fn(seed)` for seeds base_seed .. base_seed+repeats-1 and returns
+/// summary stats of the returned values (the paper averages 10 runs).
+RunningStats MeanOverSeeds(size_t repeats, uint64_t base_seed,
+                           const std::function<double(uint64_t)>& fn);
+
+}  // namespace snapq
+
+#endif  // SNAPQ_API_EXPERIMENT_H_

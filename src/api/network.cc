@@ -1,0 +1,108 @@
+#include "api/network.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "net/topology.h"
+
+namespace snapq {
+
+SensorNetwork::SensorNetwork(const NetworkConfig& config) : config_(config) {
+  SNAPQ_CHECK_GT(config.num_nodes, 0u);
+  SNAPQ_CHECK_GT(config.transmission_range, 0.0);
+
+  Rng root(config.seed);
+  std::vector<Point> positions = config.positions;
+  if (positions.empty()) {
+    Rng placement = root.SplitNamed("placement");
+    positions = PlaceUniform(config.num_nodes, config.area, placement);
+  }
+  SNAPQ_CHECK_EQ(positions.size(), config.num_nodes);
+
+  SimConfig sim_config;
+  sim_config.loss_probability = config.loss_probability;
+  sim_config.snoop_probability = config.snoop_probability;
+  sim_config.energy = config.energy;
+  sim_config.seed = root.SplitNamed("simulator").NextUint64();
+
+  std::vector<double> ranges(config.num_nodes, config.transmission_range);
+  sim_ = std::make_unique<Simulator>(std::move(positions), std::move(ranges),
+                                     sim_config);
+
+  Rng agent_seeds = root.SplitNamed("agents");
+  agents_.reserve(config.num_nodes);
+  for (NodeId i = 0; i < config.num_nodes; ++i) {
+    agents_.push_back(std::make_unique<SnapshotAgent>(
+        i, sim_.get(), config.snapshot, agent_seeds.NextUint64()));
+    agents_.back()->Install();
+  }
+
+  executor_ = std::make_unique<QueryExecutor>(
+      sim_.get(), &agents_, Catalog::WithStandardRegions(config.area));
+  continuous_ =
+      std::make_unique<ContinuousQueryRunner>(sim_.get(), executor_.get());
+}
+
+Status SensorNetwork::AttachDataset(Dataset data) {
+  if (data.num_nodes() != agents_.size()) {
+    return Status::InvalidArgument(
+        "dataset node count does not match the network");
+  }
+  dataset_ = std::move(data);
+  const Dataset& ds = *dataset_;
+  // Data events for tick t are scheduled now, ahead of any protocol event
+  // later scheduled for t, so the FIFO tie-break delivers fresh readings
+  // before the protocol acts on them.
+  for (Time t = sim_->now(); t < static_cast<Time>(ds.horizon()); ++t) {
+    sim_->ScheduleAt(t, [this, t] {
+      for (NodeId i = 0; i < agents_.size(); ++i) {
+        agents_[i]->SetMeasurement(
+            dataset_->Value(i, static_cast<size_t>(t)));
+      }
+    });
+  }
+  return Status::Ok();
+}
+
+void SensorNetwork::SetMeasurements(const std::vector<double>& values) {
+  SNAPQ_CHECK_EQ(values.size(), agents_.size());
+  for (NodeId i = 0; i < agents_.size(); ++i) {
+    agents_[i]->SetMeasurement(values[i]);
+  }
+}
+
+void SensorNetwork::ScheduleTrainingBroadcasts(Time from, Time to) {
+  for (Time t = from; t < to; ++t) {
+    sim_->ScheduleAt(t, [this] {
+      for (auto& agent : agents_) {
+        if (sim_->alive(agent->id())) agent->BroadcastValue();
+      }
+    });
+  }
+}
+
+ElectionStats SensorNetwork::RunElection(Time t0) {
+  return RunGlobalElection(*sim_, agents_, t0, config_.snapshot);
+}
+
+void SensorNetwork::ScheduleMaintenance(
+    Time first, Time horizon, Time interval,
+    MaintenanceDriver::RoundCallback callback) {
+  maintenance_ =
+      std::make_unique<MaintenanceDriver>(sim_.get(), &agents_, interval);
+  maintenance_->ScheduleRounds(first, horizon, std::move(callback));
+}
+
+Result<QueryResult> SensorNetwork::Query(const std::string& sql,
+                                         const ExecutionOptions& options) {
+  return executor_->ExecuteSql(sql, options);
+}
+
+Result<int64_t> SensorNetwork::RunContinuousQuery(
+    const std::string& sql, Time start,
+    ContinuousQueryRunner::EpochCallback callback,
+    const ExecutionOptions& options) {
+  return continuous_->ScheduleSql(sql, start, options, std::move(callback));
+}
+
+}  // namespace snapq

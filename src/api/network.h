@@ -1,0 +1,142 @@
+// SensorNetwork: the library's high-level facade. It wires together the
+// simulator, per-node protocol agents, the dataset feed, the election /
+// maintenance drivers and the query executor, exposing the workflow a
+// deployment would follow:
+//
+//   SensorNetwork net(config);
+//   net.AttachDataset(data);              // or SetMeasurements per tick
+//   net.ScheduleTrainingBroadcasts(0, 10);
+//   net.RunUntil(100);
+//   net.RunElection(100);                 // discover representatives
+//   auto result = net.Query("SELECT avg(value) FROM sensors "
+//                           "WHERE loc IN NORTH_HALF USE SNAPSHOT");
+#ifndef SNAPQ_API_NETWORK_H_
+#define SNAPQ_API_NETWORK_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "net/energy.h"
+#include "query/catalog.h"
+#include "query/continuous.h"
+#include "query/executor.h"
+#include "sim/simulator.h"
+#include "snapshot/agent.h"
+#include "snapshot/config.h"
+#include "snapshot/election.h"
+#include "snapshot/maintenance.h"
+
+namespace snapq {
+
+/// Deployment-level configuration.
+struct NetworkConfig {
+  size_t num_nodes = 100;
+  Rect area = Rect::UnitSquare();
+  /// Per-node transmission range (uniform). The paper's default sqrt(2)
+  /// lets every node hear the whole unit square.
+  double transmission_range = 1.4142135623730951;
+  double loss_probability = 0.0;
+  double snoop_probability = 0.0;
+  EnergyModel energy = EnergyModel::Unlimited();
+  SnapshotConfig snapshot;
+  uint64_t seed = 1;
+  /// Explicit placement; when empty, nodes are placed uniformly at random
+  /// in `area` (the paper's setup).
+  std::vector<Point> positions;
+};
+
+/// A fully wired simulated deployment.
+class SensorNetwork {
+ public:
+  explicit SensorNetwork(const NetworkConfig& config);
+
+  SensorNetwork(const SensorNetwork&) = delete;
+  SensorNetwork& operator=(const SensorNetwork&) = delete;
+
+  size_t num_nodes() const { return agents_.size(); }
+
+  // -- Data feed ------------------------------------------------------------
+
+  /// Pre-schedules measurement updates for every tick of `data`'s horizon:
+  /// at tick t each node i reads data.Value(i, t). Data events are
+  /// scheduled before any protocol event of the same tick, so readings are
+  /// always fresh. Must be called before running the simulator.
+  Status AttachDataset(Dataset data);
+
+  /// Directly sets every node's current reading (values[i] -> node i).
+  void SetMeasurements(const std::vector<double>& values);
+
+  /// Schedules each live node to broadcast its value once per tick in
+  /// [from, to) — the paper's model-training phase ("a single query
+  /// selecting the values from all nodes" for the first 10 time units).
+  void ScheduleTrainingBroadcasts(Time from, Time to);
+
+  // -- Simulation control -----------------------------------------------------
+
+  void RunUntil(Time t) { sim_->RunUntil(t); }
+  void RunAll() { sim_->RunAll(); }
+  Time now() const { return sim_->now(); }
+
+  // -- Snapshot lifecycle -----------------------------------------------------
+
+  /// Network-wide representative discovery starting at t0 (>= now()).
+  ElectionStats RunElection(Time t0);
+
+  /// Maintenance rounds every `interval` ticks in [first, horizon); see
+  /// MaintenanceDriver.
+  void ScheduleMaintenance(Time first, Time horizon, Time interval,
+                           MaintenanceDriver::RoundCallback callback = {});
+
+  /// Current representation state.
+  SnapshotView Snapshot() const { return CaptureSnapshot(agents_); }
+  ElectionStats SnapshotStats() { return SummarizeSnapshot(*sim_, agents_); }
+
+  // -- Queries ----------------------------------------------------------------
+
+  /// Parses and runs one round of `sql` (sink defaults to node 0).
+  Result<QueryResult> Query(const std::string& sql,
+                            const ExecutionOptions& options = {});
+
+  /// Schedules a continuous query (SAMPLE INTERVAL ... FOR ...): one
+  /// execution round per sampling epoch starting at `start` >= now().
+  /// Returns the number of epochs scheduled.
+  Result<int64_t> RunContinuousQuery(
+      const std::string& sql, Time start,
+      ContinuousQueryRunner::EpochCallback callback,
+      const ExecutionOptions& options = {});
+
+  QueryExecutor& executor() { return *executor_; }
+
+  // -- Internals (exposed for experiments and tests) --------------------------
+
+  Simulator& sim() { return *sim_; }
+  const Simulator& sim() const { return *sim_; }
+  SnapshotAgent& agent(NodeId id) { return *agents_[id]; }
+  const SnapshotAgent& agent(NodeId id) const { return *agents_[id]; }
+  std::vector<std::unique_ptr<SnapshotAgent>>& agents() { return agents_; }
+  const NetworkConfig& config() const { return config_; }
+  const Point& position(NodeId id) const { return sim_->links().position(id); }
+  /// The attached dataset, or nullptr.
+  const Dataset* dataset() const {
+    return dataset_.has_value() ? &*dataset_ : nullptr;
+  }
+
+ private:
+  NetworkConfig config_;
+  std::unique_ptr<Simulator> sim_;
+  std::vector<std::unique_ptr<SnapshotAgent>> agents_;
+  std::unique_ptr<QueryExecutor> executor_;
+  std::unique_ptr<ContinuousQueryRunner> continuous_;
+  std::unique_ptr<MaintenanceDriver> maintenance_;
+  std::optional<Dataset> dataset_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_API_NETWORK_H_

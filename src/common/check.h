@@ -1,0 +1,44 @@
+// Invariant-checking macros. snapq follows a no-exceptions policy on hot
+// paths; programming errors abort with a diagnostic instead.
+#ifndef SNAPQ_COMMON_CHECK_H_
+#define SNAPQ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snapq::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "SNAPQ_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace snapq::internal
+
+// Always-on invariant check (enabled in release builds too; these guard
+// protocol invariants whose violation would silently corrupt experiments).
+#define SNAPQ_CHECK(expr)                                        \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::snapq::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                            \
+  } while (0)
+
+#define SNAPQ_CHECK_GE(a, b) SNAPQ_CHECK((a) >= (b))
+#define SNAPQ_CHECK_GT(a, b) SNAPQ_CHECK((a) > (b))
+#define SNAPQ_CHECK_LE(a, b) SNAPQ_CHECK((a) <= (b))
+#define SNAPQ_CHECK_LT(a, b) SNAPQ_CHECK((a) < (b))
+#define SNAPQ_CHECK_EQ(a, b) SNAPQ_CHECK((a) == (b))
+#define SNAPQ_CHECK_NE(a, b) SNAPQ_CHECK((a) != (b))
+
+// Debug-only check for tight loops.
+#ifdef NDEBUG
+#define SNAPQ_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define SNAPQ_DCHECK(expr) SNAPQ_CHECK(expr)
+#endif
+
+#endif  // SNAPQ_COMMON_CHECK_H_

@@ -1,0 +1,30 @@
+#include "common/geometry.h"
+
+#include <cstdio>
+
+namespace snapq {
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+Rect Rect::CenteredSquare(const Point& center, double w) {
+  const double half = w / 2.0;
+  return Rect{center.x - half, center.y - half, center.x + half,
+              center.y + half};
+}
+
+std::string Rect::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%.4f,%.4f]x[%.4f,%.4f]", min_x, max_x,
+                min_y, max_y);
+  return buf;
+}
+
+}  // namespace snapq

@@ -1,0 +1,64 @@
+// Minimal 2-D geometry used for node placement, transmission ranges and
+// spatial query predicates. The paper deploys nodes in the unit square
+// [0,1) x [0,1).
+#ifndef SNAPQ_COMMON_GEOMETRY_H_
+#define SNAPQ_COMMON_GEOMETRY_H_
+
+#include <cmath>
+#include <string>
+
+namespace snapq {
+
+/// A point in the plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point&) const = default;
+};
+
+/// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance (no sqrt; preferred in hot loops).
+double DistanceSquared(const Point& a, const Point& b);
+
+/// An axis-aligned rectangle [min_x, max_x] x [min_y, max_y]; closed on all
+/// sides. Degenerate (point/line) rectangles are allowed.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  bool operator==(const Rect&) const = default;
+
+  /// Rectangle of side `w` centered at `center` (the paper's spatial filter
+  /// "loc in [x-W/2, x+W/2] x [y-W/2, y+W/2]").
+  static Rect CenteredSquare(const Point& center, double w);
+
+  /// The unit square used for all paper experiments.
+  static Rect UnitSquare() { return Rect{0.0, 0.0, 1.0, 1.0}; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const Rect& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  double Area() const { return Width() * Height(); }
+
+  /// Valid iff min <= max on both axes.
+  bool IsValid() const { return min_x <= max_x && min_y <= max_y; }
+
+  std::string ToString() const;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_COMMON_GEOMETRY_H_

@@ -1,0 +1,66 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace snapq {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t s = seed;
+  // Expand the seed into a full seed sequence for mt19937_64.
+  std::seed_seq seq{SplitMix64(s), SplitMix64(s), SplitMix64(s),
+                    SplitMix64(s), SplitMix64(s), SplitMix64(s)};
+  engine_.seed(seq);
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  SNAPQ_DCHECK(lo < hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SNAPQ_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+Rng Rng::SplitNamed(std::string_view label) const {
+  // FNV-1a over the label, mixed with this stream's seed. Deterministic and
+  // independent of how many draws the parent has made.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  uint64_t s = seed_ ^ h;
+  return Rng(SplitMix64(s));
+}
+
+uint64_t Rng::NextUint64() { return engine_(); }
+
+}  // namespace snapq

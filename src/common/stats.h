@@ -1,0 +1,64 @@
+// Streaming statistics accumulators used by the experiment harness (the
+// paper reports averages over 10 repetitions) and by the regression models'
+// tests.
+#ifndef SNAPQ_COMMON_STATS_H_
+#define SNAPQ_COMMON_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace snapq {
+
+/// Welford-style running mean/variance plus min/max. Numerically stable for
+/// long streams.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance (divides by n). Zero when fewer than 2 samples.
+  double variance() const;
+  /// Sample variance (divides by n-1). Zero when fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Buffered sample set supporting percentiles; used for experiment
+/// summaries where the distribution shape matters (e.g. message counts).
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  /// Linear-interpolated percentile, p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+  double Min() const;
+  double Max() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_COMMON_STATS_H_

@@ -1,0 +1,137 @@
+// Lightweight Status / Result<T> error-handling types, modeled after the
+// conventions used by production database codebases (no exceptions on
+// fallible paths; errors are values).
+#ifndef SNAPQ_COMMON_STATUS_H_
+#define SNAPQ_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace snapq {
+
+// Canonical error space. Kept deliberately small; the code is the machine
+// readable part, the message is for humans.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kParseError,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (empty
+/// message); carries a code + message on failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// a failed result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, mirrors
+  // absl::StatusOr ergonomics.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {
+    SNAPQ_CHECK(!std::get<Status>(repr_).ok());  // OK carries no value.
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    SNAPQ_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    SNAPQ_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    SNAPQ_CHECK(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace snapq
+
+/// Propagates a non-OK status to the caller.
+#define SNAPQ_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::snapq::Status _snapq_status = (expr);  \
+    if (!_snapq_status.ok()) {               \
+      return _snapq_status;                  \
+    }                                        \
+  } while (0)
+
+#endif  // SNAPQ_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Small string helpers shared by the query parser and CSV I/O.
+#ifndef SNAPQ_COMMON_STRING_UTIL_H_
+#define SNAPQ_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace snapq {
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on `delim`, keeping empty fields. "a,,b" -> {"a", "", "b"}.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// ASCII case-insensitive equality (query keywords are case-insensitive).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII letters.
+std::string ToUpper(std::string_view s);
+
+/// Parses a double; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses a non-negative integer; rejects trailing garbage and overflow.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace snapq
+
+#endif  // SNAPQ_COMMON_STRING_UTIL_H_

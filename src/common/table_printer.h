@@ -1,0 +1,41 @@
+// Fixed-width ASCII table printer used by the experiment drivers to emit the
+// paper's tables/series in a uniform, diff-friendly format.
+#ifndef SNAPQ_COMMON_TABLE_PRINTER_H_
+#define SNAPQ_COMMON_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace snapq {
+
+/// Collects rows of string cells and renders them with aligned columns.
+///
+/// Usage:
+///   TablePrinter t({"K", "representatives"});
+///   t.AddRow({"1", "1.0"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a data row. Rows shorter than the header are padded with empty
+  /// cells; longer rows widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,97 @@
+#include "data/dataset.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace snapq {
+
+Result<Dataset> Dataset::Create(std::vector<TimeSeries> series) {
+  if (series.empty()) {
+    return Status::InvalidArgument("dataset requires at least one series");
+  }
+  const size_t len = series.front().size();
+  for (size_t i = 1; i < series.size(); ++i) {
+    if (series[i].size() != len) {
+      return Status::InvalidArgument(StrFormat(
+          "series %zu has length %zu, expected %zu", i, series[i].size(),
+          len));
+    }
+  }
+  return Dataset(std::move(series));
+}
+
+Status Dataset::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  for (size_t i = 0; i < series_.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "node" << i;
+  }
+  out << "\n";
+  for (size_t t = 0; t < horizon(); ++t) {
+    for (size_t i = 0; i < series_.size(); ++i) {
+      if (i != 0) out << ",";
+      out << series_[i].at(t);
+    }
+    out << "\n";
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Dataset> Dataset::ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::vector<TimeSeries> series;
+  std::string line;
+  size_t line_no = 0;
+  bool first_data_row = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    const auto cells = Split(stripped, ',');
+    // Header detection: if any cell of the first row is non-numeric, skip it.
+    if (line_no == 1) {
+      bool numeric = true;
+      for (const auto& c : cells) {
+        if (!ParseDouble(c).ok()) {
+          numeric = false;
+          break;
+        }
+      }
+      if (!numeric) continue;
+    }
+    if (first_data_row) {
+      series.resize(cells.size());
+      first_data_row = false;
+    }
+    if (cells.size() != series.size()) {
+      return Status::ParseError(
+          StrFormat("%s:%zu: expected %zu columns, found %zu", path.c_str(),
+                    line_no, series.size(), cells.size()));
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      Result<double> v = ParseDouble(cells[i]);
+      if (!v.ok()) {
+        return Status::ParseError(StrFormat("%s:%zu: column %zu: %s",
+                                            path.c_str(), line_no, i,
+                                            v.status().message().c_str()));
+      }
+      series[i].Append(*v);
+    }
+  }
+  if (series.empty()) {
+    return Status::ParseError("no data rows in " + path);
+  }
+  return Dataset::Create(std::move(series));
+}
+
+}  // namespace snapq

@@ -1,0 +1,56 @@
+// Dataset: the mapping from node id to measurement series that feeds a
+// simulation, plus CSV import/export so real traces (e.g. actual weather
+// station data) can be substituted for the synthetic generators.
+#ifndef SNAPQ_DATA_DATASET_H_
+#define SNAPQ_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/timeseries.h"
+
+namespace snapq {
+
+/// A fixed-horizon dataset: `num_nodes` series of equal length.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Builds from per-node series. All series must have the same length.
+  static Result<Dataset> Create(std::vector<TimeSeries> series);
+
+  size_t num_nodes() const { return series_.size(); }
+  size_t horizon() const {
+    return series_.empty() ? 0 : series_.front().size();
+  }
+
+  /// Measurement of node `node` at time `t`.
+  double Value(size_t node, size_t t) const {
+    SNAPQ_DCHECK(node < series_.size());
+    return series_[node].at(t);
+  }
+
+  const TimeSeries& Series(size_t node) const {
+    SNAPQ_DCHECK(node < series_.size());
+    return series_[node];
+  }
+
+  /// Writes as CSV: one row per time unit, one column per node, with a
+  /// header "node0,node1,...".
+  Status WriteCsv(const std::string& path) const;
+
+  /// Reads the CSV format produced by WriteCsv (header optional: a first
+  /// row that fails numeric parsing is treated as a header).
+  static Result<Dataset> ReadCsv(const std::string& path);
+
+ private:
+  explicit Dataset(std::vector<TimeSeries> series)
+      : series_(std::move(series)) {}
+  std::vector<TimeSeries> series_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_DATA_DATASET_H_

@@ -1,0 +1,69 @@
+#include "data/random_walk.h"
+
+#include "common/check.h"
+
+namespace snapq {
+
+RandomWalkData GenerateRandomWalk(const RandomWalkConfig& config, Rng& rng) {
+  SNAPQ_CHECK_GT(config.num_nodes, 0u);
+  SNAPQ_CHECK_GT(config.num_classes, 0u);
+  SNAPQ_CHECK_LE(config.num_classes, config.num_nodes);
+
+  RandomWalkData data;
+  data.node_class.resize(config.num_nodes);
+  data.move_prob.resize(config.num_classes);
+  data.step_size.resize(config.num_nodes);
+  data.series.resize(config.num_nodes);
+
+  for (size_t k = 0; k < config.num_classes; ++k) {
+    data.move_prob[k] =
+        rng.UniformDouble(config.min_move_prob, config.max_move_prob);
+  }
+
+  // Random partition: first make sure every class is non-empty (one node per
+  // class), then assign the rest uniformly. This matches "randomly
+  // partitioned the nodes into K classes" while guaranteeing exactly K
+  // behaviour groups exist.
+  std::vector<size_t> assignment(config.num_nodes);
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    assignment[i] = i < config.num_classes
+                        ? i
+                        : static_cast<size_t>(rng.UniformInt(
+                              0, static_cast<int64_t>(config.num_classes) - 1));
+  }
+  // Shuffle so class membership is not position-correlated.
+  for (size_t i = config.num_nodes; i > 1; --i) {
+    const size_t j =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(assignment[i - 1], assignment[j]);
+  }
+  data.node_class = assignment;
+
+  std::vector<double> current(config.num_nodes);
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    // Step size in (min_step, max_step]: draw from [min,max) and mirror.
+    data.step_size[i] = config.max_step -
+                        rng.UniformDouble(0.0, config.max_step - config.min_step);
+    current[i] = rng.UniformDouble(config.initial_min, config.initial_max);
+    data.series[i].Append(current[i]);
+  }
+
+  // Per time unit, each class draws one "move?" coin and one direction coin;
+  // members apply the shared direction scaled by their own step size. See
+  // header for why the direction must be shared.
+  for (size_t t = 1; t < config.horizon; ++t) {
+    std::vector<double> direction(config.num_classes, 0.0);
+    for (size_t k = 0; k < config.num_classes; ++k) {
+      if (rng.Bernoulli(data.move_prob[k])) {
+        direction[k] = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+      }
+    }
+    for (size_t i = 0; i < config.num_nodes; ++i) {
+      current[i] += direction[data.node_class[i]] * data.step_size[i];
+      data.series[i].Append(current[i]);
+    }
+  }
+  return data;
+}
+
+}  // namespace snapq

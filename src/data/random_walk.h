@@ -1,0 +1,62 @@
+// The synthetic workload of the paper's sensitivity analysis (§6.1):
+//
+//   "For each node, we generated values following a random walk pattern,
+//    each with a randomly assigned step size in the range (0..1]. The
+//    initial value of each node was chosen uniformly in range [0..1000).
+//    We then randomly partitioned the nodes into K classes. Nodes belonging
+//    to the same class i were making a random step (upwards or downwards)
+//    with the same probability P_move[i]. These probabilities were chosen
+//    uniformly in range [0.2..1]."
+//
+// Nodes in the same class move in lock-step *direction decisions* (they
+// share the class coin flips), which is what creates the cross-node linear
+// correlation the models exploit: two same-class walks differ only by their
+// per-node step size (a scale) and initial value (an offset).
+#ifndef SNAPQ_DATA_RANDOM_WALK_H_
+#define SNAPQ_DATA_RANDOM_WALK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/timeseries.h"
+
+namespace snapq {
+
+/// Parameters for the random-walk generator. Defaults mirror §6.1.
+struct RandomWalkConfig {
+  size_t num_nodes = 100;
+  size_t num_classes = 10;   ///< K
+  size_t horizon = 100;      ///< number of time units generated
+  double min_move_prob = 0.2;
+  double max_move_prob = 1.0;
+  double min_step = 0.0;     ///< step sizes drawn from (min_step, max_step]
+  double max_step = 1.0;
+  double initial_min = 0.0;
+  double initial_max = 1000.0;
+};
+
+/// Output of the generator: one series per node plus the class assignment
+/// (handy for tests that verify within-class correlation).
+struct RandomWalkData {
+  std::vector<TimeSeries> series;    ///< series[i] = node i's measurements
+  std::vector<size_t> node_class;    ///< node -> class id in [0, K)
+  std::vector<double> move_prob;     ///< class -> P_move
+  std::vector<double> step_size;     ///< node -> step size
+};
+
+/// Generates the §6.1 workload. All randomness comes from `rng`.
+///
+/// Each time unit, class i draws one Bernoulli(P_move[i]) "do we move" coin
+/// and one direction coin; every node of the class that moves applies the
+/// shared direction scaled by its own step size. This follows the paper's
+/// description ("nodes belonging to the same class were making a random
+/// step ... with the same probability") in the strong-correlation reading:
+/// at K=1 a single representative must be able to cover all 100 nodes
+/// (Figure 6), which requires shared direction decisions, not merely shared
+/// probabilities.
+RandomWalkData GenerateRandomWalk(const RandomWalkConfig& config, Rng& rng);
+
+}  // namespace snapq
+
+#endif  // SNAPQ_DATA_RANDOM_WALK_H_

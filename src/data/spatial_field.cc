@@ -1,0 +1,113 @@
+#include "data/spatial_field.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace snapq {
+
+std::vector<TimeSeries> GenerateSpatialField(
+    const SpatialFieldConfig& config, const std::vector<Point>& positions,
+    Rng& rng) {
+  SNAPQ_CHECK_GT(config.num_drivers, 0u);
+  SNAPQ_CHECK_GT(config.correlation_length, 0.0);
+  const size_t n = positions.size();
+
+  // Driver centers spread over the bounding box of the deployment.
+  Rect bounds{positions.empty() ? 0.0 : positions[0].x,
+              positions.empty() ? 0.0 : positions[0].y,
+              positions.empty() ? 0.0 : positions[0].x,
+              positions.empty() ? 0.0 : positions[0].y};
+  for (const Point& p : positions) {
+    bounds.min_x = std::min(bounds.min_x, p.x);
+    bounds.min_y = std::min(bounds.min_y, p.y);
+    bounds.max_x = std::max(bounds.max_x, p.x);
+    bounds.max_y = std::max(bounds.max_y, p.y);
+  }
+  std::vector<Point> centers(config.num_drivers);
+  for (Point& c : centers) {
+    c.x = rng.UniformDouble(bounds.min_x, bounds.max_x + 1e-9);
+    c.y = rng.UniformDouble(bounds.min_y, bounds.max_y + 1e-9);
+  }
+
+  // Per-node driver weights.
+  const double two_l2 =
+      2.0 * config.correlation_length * config.correlation_length;
+  std::vector<std::vector<double>> weights(n);
+  std::vector<double> offsets(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i].resize(config.num_drivers);
+    double total = 0.0;
+    for (size_t k = 0; k < config.num_drivers; ++k) {
+      weights[i][k] =
+          std::exp(-DistanceSquared(positions[i], centers[k]) / two_l2);
+      total += weights[i][k];
+    }
+    if (config.normalize_weights) {
+      if (total > 1e-300) {
+        for (double& w : weights[i]) w /= total;
+      } else {
+        // All drivers numerically out of reach: follow the nearest one.
+        size_t nearest = 0;
+        for (size_t k = 1; k < config.num_drivers; ++k) {
+          if (DistanceSquared(positions[i], centers[k]) <
+              DistanceSquared(positions[i], centers[nearest])) {
+            nearest = k;
+          }
+        }
+        for (double& w : weights[i]) w = 0.0;
+        weights[i][nearest] = 1.0;
+      }
+    }
+    offsets[i] = rng.UniformDouble(0.0, config.offset_max);
+  }
+
+  // Drivers evolve as random walks; nodes project them.
+  std::vector<double> drivers(config.num_drivers, 0.0);
+  std::vector<TimeSeries> out(n);
+  for (size_t t = 0; t < config.horizon; ++t) {
+    if (t > 0) {
+      for (double& d : drivers) {
+        if (rng.Bernoulli(config.driver_move_probability)) {
+          d += rng.Gaussian(0.0, config.driver_sigma);
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      double v = offsets[i];
+      for (size_t k = 0; k < config.num_drivers; ++k) {
+        v += weights[i][k] * drivers[k];
+      }
+      if (config.observation_noise > 0.0) {
+        v += rng.Gaussian(0.0, config.observation_noise);
+      }
+      out[i].Append(v);
+    }
+  }
+  return out;
+}
+
+double SeriesCorrelation(const TimeSeries& a, const TimeSeries& b) {
+  SNAPQ_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  double sa = 0.0, sb = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    sa += a.at(t);
+    sb += b.at(t);
+  }
+  const double ma = sa / static_cast<double>(n);
+  const double mb = sb / static_cast<double>(n);
+  double cab = 0.0, caa = 0.0, cbb = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    const double da = a.at(t) - ma;
+    const double db = b.at(t) - mb;
+    cab += da * db;
+    caa += da * da;
+    cbb += db * db;
+  }
+  if (caa <= 0.0 || cbb <= 0.0) return 0.0;
+  return cab / std::sqrt(caa * cbb);
+}
+
+}  // namespace snapq

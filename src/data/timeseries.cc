@@ -1,0 +1,17 @@
+#include "data/timeseries.h"
+
+namespace snapq {
+
+RunningStats TimeSeries::Summarize() const {
+  RunningStats stats;
+  for (double v : values_) stats.Add(v);
+  return stats;
+}
+
+TimeSeries TimeSeries::Slice(size_t begin, size_t len) const {
+  SNAPQ_CHECK(begin + len <= values_.size());
+  return TimeSeries(std::vector<double>(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                                        values_.begin() + static_cast<std::ptrdiff_t>(begin + len)));
+}
+
+}  // namespace snapq

@@ -1,0 +1,46 @@
+// A measurement time series: the value stream one sensor node reports.
+#ifndef SNAPQ_DATA_TIMESERIES_H_
+#define SNAPQ_DATA_TIMESERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace snapq {
+
+/// Dense series of measurements sampled at consecutive integer time units
+/// (the paper's granularity). Index t holds the node's reading at time t.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double at(size_t t) const {
+    SNAPQ_DCHECK(t < values_.size());
+    return values_[t];
+  }
+  double operator[](size_t t) const { return at(t); }
+
+  void Append(double v) { values_.push_back(v); }
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// Summary statistics over the whole series.
+  RunningStats Summarize() const;
+
+  /// Sub-series [begin, begin+len). Requires the range to be in bounds.
+  TimeSeries Slice(size_t begin, size_t len) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_DATA_TIMESERIES_H_

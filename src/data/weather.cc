@@ -1,0 +1,65 @@
+#include "data/weather.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace snapq {
+
+TimeSeries GenerateStationSeries(const WeatherConfig& config, size_t length,
+                                 Rng& rng) {
+  TimeSeries out;
+  double x = config.mean;
+  double gust = 0.0;
+  bool windy = false;
+  for (size_t t = 0; t < length; ++t) {
+    if (rng.Bernoulli(windy ? config.windy_to_calm_probability
+                            : config.calm_to_windy_probability)) {
+      windy = !windy;
+    }
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(t % config.diurnal_period) /
+                         static_cast<double>(config.diurnal_period);
+    const double local_mean =
+        config.mean + config.diurnal_amplitude * std::sin(phase);
+    const double sigma =
+        config.noise_sigma *
+        (windy ? config.windy_sigma_factor : config.calm_sigma_factor);
+    x += config.reversion * (local_mean - x) + rng.Gaussian(0.0, sigma);
+    if (windy && rng.Bernoulli(config.gust_probability)) {
+      gust += config.gust_magnitude * rng.UniformDouble(0.5, 1.5);
+    }
+    gust *= config.gust_decay;
+    // Wind speed is non-negative.
+    out.Append(std::max(0.0, x + gust));
+  }
+  return out;
+}
+
+std::vector<TimeSeries> GenerateWeatherWindows(const WeatherConfig& config,
+                                               size_t num_nodes,
+                                               size_t window, Rng& rng) {
+  SNAPQ_CHECK_GT(num_nodes, 0u);
+  SNAPQ_CHECK_GT(window, 0u);
+  const TimeSeries station =
+      GenerateStationSeries(config, num_nodes * window, rng);
+
+  // Random assignment of the non-overlapping windows to nodes.
+  std::vector<size_t> order(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) order[i] = i;
+  for (size_t i = num_nodes; i > 1; --i) {
+    const size_t j =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  std::vector<TimeSeries> out(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    out[i] = station.Slice(order[i] * window, window);
+  }
+  return out;
+}
+
+}  // namespace snapq

@@ -1,0 +1,18 @@
+#include "model/cache_line.h"
+
+namespace snapq {
+
+void CacheLine::PushNewest(const ObservationPair& p) {
+  pairs_.push_back(p);
+  stats_.Add(p.x, p.y);
+}
+
+ObservationPair CacheLine::PopOldest() {
+  SNAPQ_CHECK(!pairs_.empty());
+  ObservationPair p = pairs_.front();
+  pairs_.pop_front();
+  stats_.Remove(p.x, p.y);
+  return p;
+}
+
+}  // namespace snapq

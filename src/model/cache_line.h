@@ -1,0 +1,63 @@
+// A cache line: the history node N_i keeps about neighbor N_j, as a list of
+// simultaneously-collected pairs (x_i(t_k), x_j(t_k)), oldest first (§4).
+// Victims are always the oldest pair, which both shifts the cache toward
+// newer observations and keeps updates linear-time.
+#ifndef SNAPQ_MODEL_CACHE_LINE_H_
+#define SNAPQ_MODEL_CACHE_LINE_H_
+
+#include <deque>
+
+#include "common/check.h"
+#include "model/linear_model.h"
+#include "net/node_id.h"
+
+namespace snapq {
+
+/// One (x_i, x_j) observation.
+struct ObservationPair {
+  double x = 0.0;  ///< the caching node's own measurement x_i(t)
+  double y = 0.0;  ///< the neighbor's measurement x_j(t)
+  Time time = 0;
+
+  bool operator==(const ObservationPair&) const = default;
+};
+
+/// Ordered pair history with incrementally-maintained regression
+/// statistics.
+class CacheLine {
+ public:
+  CacheLine() = default;
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  const ObservationPair& oldest() const {
+    SNAPQ_DCHECK(!pairs_.empty());
+    return pairs_.front();
+  }
+  const ObservationPair& newest() const {
+    SNAPQ_DCHECK(!pairs_.empty());
+    return pairs_.back();
+  }
+  const std::deque<ObservationPair>& pairs() const { return pairs_; }
+
+  /// Appends a new (most recent) observation.
+  void PushNewest(const ObservationPair& p);
+
+  /// Removes and returns the oldest observation.
+  ObservationPair PopOldest();
+
+  /// The line's sufficient statistics (kept in sync incrementally).
+  const RegressionStats& stats() const { return stats_; }
+
+  /// Convenience: the sse-optimal model for this line's pairs.
+  LinearModel FitModel() const { return stats_.Fit(); }
+
+ private:
+  std::deque<ObservationPair> pairs_;
+  RegressionStats stats_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_MODEL_CACHE_LINE_H_

@@ -1,0 +1,281 @@
+#include "model/cache_manager.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace snapq {
+namespace {
+
+/// Sufficient statistics of a hypothetical line without materializing it.
+RegressionStats StatsPlus(const RegressionStats& base, double x, double y) {
+  RegressionStats s = base;
+  s.Add(x, y);
+  return s;
+}
+
+RegressionStats StatsMinusOldestPlus(const CacheLine& line, double x,
+                                     double y) {
+  RegressionStats s = line.stats();
+  if (!line.empty()) {
+    const ObservationPair& oldest = line.oldest();
+    s.Remove(oldest.x, oldest.y);
+  }
+  s.Add(x, y);
+  return s;
+}
+
+}  // namespace
+
+const char* CacheActionName(CacheManager::Action action) {
+  switch (action) {
+    case CacheManager::Action::kInsertedFree:
+      return "inserted-free";
+    case CacheManager::Action::kInsertedNewcomer:
+      return "inserted-newcomer";
+    case CacheManager::Action::kTimeShifted:
+      return "time-shifted";
+    case CacheManager::Action::kAugmented:
+      return "augmented";
+    case CacheManager::Action::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+CacheManager::CacheManager(const CacheConfig& config) : config_(config) {}
+
+CacheManager::Action CacheManager::Observe(NodeId j, double x, double y,
+                                           Time t) {
+  if (config_.capacity_pairs() == 0) return Action::kRejected;
+  switch (config_.policy) {
+    case CachePolicy::kModelAware:
+      return ObserveModelAware(j, x, y, t);
+    case CachePolicy::kRoundRobin:
+      return ObserveRoundRobin(j, x, y, t);
+  }
+  return Action::kRejected;
+}
+
+CacheManager::Action CacheManager::ObserveModelAware(NodeId j, double x,
+                                                     double y, Time t) {
+  const ObservationPair incoming{x, y, t};
+  Entry& entry = lines_[j];  // creates an empty line if absent
+
+  // Free capacity: always store.
+  if (used_pairs_ < config_.capacity_pairs()) {
+    entry.line.PushNewest(incoming);
+    entry.penalty.reset();
+    ++used_pairs_;
+    return Action::kInsertedFree;
+  }
+
+  // Newcomer (no history for j): the benefit heuristic would assign the
+  // unbounded gain x_j(t)^2, so §4 prescribes a round-robin victim instead,
+  // protecting established models of small-amplitude neighbors.
+  if (entry.line.empty()) {
+    auto victim = PickRoundRobinVictim(j);
+    if (victim == lines_.end()) {
+      // No other line exists to evict from; reject.
+      lines_.erase(j);
+      return Action::kRejected;
+    }
+    EvictOldest(victim);
+    Entry& fresh = lines_[j];  // the erase above may have invalidated refs
+    fresh.line.PushNewest(incoming);
+    fresh.penalty.reset();
+    ++used_pairs_;
+    return Action::kInsertedNewcomer;
+  }
+
+  // Full cache, existing line: weigh reject / time-shift / augment. All
+  // candidate models are evaluated on c_aug (every known observation of j,
+  // including the incoming pair).
+  const RegressionStats aug = StatsPlus(entry.line.stats(), x, y);
+  const RegressionStats shift = StatsMinusOldestPlus(entry.line, x, y);
+
+  const LinearModel model_current = entry.line.stats().Fit();
+  const LinearModel model_shift = shift.Fit();
+  const LinearModel model_aug = aug.Fit();
+
+  // All three candidates are evaluated on c_aug, so total and per-pair
+  // average benefits order identically; the currency only matters for the
+  // comparison against the cross-line eviction penalty below, where it
+  // follows config_.penalty (totals by default, §4's literal averages for
+  // the ablation study).
+  const bool average =
+      config_.penalty == PenaltyCurrency::kAverageBenefit;
+  const double benefit_current =
+      average ? aug.Benefit(model_current) : aug.BenefitSum(model_current);
+  const double benefit_shift =
+      average ? aug.Benefit(model_shift) : aug.BenefitSum(model_shift);
+  const double benefit_aug =
+      average ? aug.Benefit(model_aug) : aug.BenefitSum(model_aug);
+
+  // Test 1: the current model already explains all observations best.
+  if (benefit_current >= benefit_shift && benefit_current >= benefit_aug) {
+    return Action::kRejected;
+  }
+  // Test 2: shifting beats augmenting.
+  if (benefit_shift >= benefit_aug) {
+    entry.line.PopOldest();
+    entry.line.PushNewest(incoming);
+    entry.penalty.reset();
+    return Action::kTimeShifted;
+  }
+
+  // Augmenting reduces the error most; look for the cheapest victim in
+  // another line.
+  const double gain_augment = benefit_aug - benefit_shift;
+  auto victim = lines_.end();
+  double best_penalty = std::numeric_limits<double>::infinity();
+  for (auto it = lines_.begin(); it != lines_.end(); ++it) {
+    if (it->first == j || it->second.line.empty()) continue;
+    const double penalty = PenaltyEvict(it->second);
+    if (penalty < gain_augment && penalty < best_penalty) {
+      best_penalty = penalty;
+      victim = it;
+    }
+  }
+  if (victim != lines_.end()) {
+    EvictOldest(victim);
+    Entry& target = lines_[j];
+    target.line.PushNewest(incoming);
+    target.penalty.reset();
+    ++used_pairs_;
+    return Action::kAugmented;
+  }
+
+  // No affordable victim: fall back to time-shifting when it still beats
+  // keeping the cache untouched.
+  if (benefit_shift > benefit_current) {
+    entry.line.PopOldest();
+    entry.line.PushNewest(incoming);
+    entry.penalty.reset();
+    return Action::kTimeShifted;
+  }
+  return Action::kRejected;
+}
+
+CacheManager::Action CacheManager::ObserveRoundRobin(NodeId j, double x,
+                                                     double y, Time t) {
+  const ObservationPair incoming{x, y, t};
+  Action action = Action::kInsertedFree;
+  if (used_pairs_ >= config_.capacity_pairs()) {
+    // Evict the globally oldest pair (FIFO; with this write-dominated access
+    // pattern FIFO == LRU == round-robin, §6.1).
+    SNAPQ_CHECK(!fifo_order_.empty());
+    const NodeId owner = fifo_order_.front();
+    fifo_order_.pop_front();
+    auto it = lines_.find(owner);
+    SNAPQ_CHECK(it != lines_.end());
+    EvictOldest(it);
+    action = owner == j ? Action::kTimeShifted : Action::kAugmented;
+  }
+  Entry& entry = lines_[j];
+  entry.line.PushNewest(incoming);
+  entry.penalty.reset();
+  ++used_pairs_;
+  fifo_order_.push_back(j);
+  return action;
+}
+
+double CacheManager::PenaltyEvict(const Entry& entry) const {
+  if (entry.penalty.has_value()) return *entry.penalty;
+  const CacheLine& line = entry.line;
+  SNAPQ_DCHECK(!line.empty());
+  // §4 defines the penalty as benefit(c') - benefit(c' minus its oldest
+  // pair). We compute both benefits as totals rather than the paper's
+  // per-pair averages: averaging across the two different lengths makes
+  // the penalty negative whenever the surviving pairs merely have larger
+  // magnitude (e.g. any rising series), which lets every augment request
+  // strip healthy lines down to a single pair. With totals the penalty is
+  // exactly the squared-error evidence the oldest pair contributes — large
+  // for load-bearing history, and negative only when the oldest pair is an
+  // outlier that actively distorts the fit (evicting it is then correct).
+  const bool average =
+      config_.penalty == PenaltyCurrency::kAverageBenefit;
+  const double benefit_full =
+      average ? line.stats().Benefit(line.stats().Fit())
+              : line.stats().BenefitSum(line.stats().Fit());
+  RegressionStats without = line.stats();
+  const ObservationPair& oldest = line.oldest();
+  without.Remove(oldest.x, oldest.y);
+  // benefit of an empty line is zero (no model, no values).
+  const double benefit_without =
+      without.n() == 0
+          ? 0.0
+          : (average ? without.Benefit(without.Fit())
+                     : without.BenefitSum(without.Fit()));
+  const double penalty = benefit_full - benefit_without;
+  entry.penalty = penalty;
+  return penalty;
+}
+
+void CacheManager::EvictOldest(std::map<NodeId, Entry>::iterator it) {
+  SNAPQ_CHECK(it != lines_.end());
+  SNAPQ_CHECK(!it->second.line.empty());
+  it->second.line.PopOldest();
+  it->second.penalty.reset();
+  SNAPQ_CHECK_GT(used_pairs_, 0u);
+  --used_pairs_;
+  if (it->second.line.empty()) {
+    lines_.erase(it);
+  }
+}
+
+std::map<NodeId, CacheManager::Entry>::iterator
+CacheManager::PickRoundRobinVictim(NodeId j) {
+  // First non-empty line with key >= cursor (wrapping), skipping j.
+  auto usable = [&](std::map<NodeId, Entry>::iterator it) {
+    return it->first != j && !it->second.line.empty();
+  };
+  auto it = lines_.lower_bound(rr_cursor_);
+  for (size_t scanned = 0; scanned <= lines_.size(); ++scanned) {
+    if (it == lines_.end()) it = lines_.begin();
+    if (it == lines_.end()) return lines_.end();  // map is empty
+    if (usable(it)) {
+      rr_cursor_ = it->first + 1;
+      return it;
+    }
+    ++it;
+  }
+  return lines_.end();
+}
+
+const CacheLine* CacheManager::Line(NodeId j) const {
+  const auto it = lines_.find(j);
+  return it == lines_.end() ? nullptr : &it->second.line;
+}
+
+std::optional<LinearModel> CacheManager::ModelFor(NodeId j) const {
+  const CacheLine* line = Line(j);
+  if (line == nullptr || line->empty()) return std::nullopt;
+  return line->FitModel();
+}
+
+std::optional<double> CacheManager::Estimate(NodeId j, double own_x) const {
+  const std::optional<LinearModel> model = ModelFor(j);
+  if (!model.has_value()) return std::nullopt;
+  return model->Estimate(own_x);
+}
+
+std::vector<NodeId> CacheManager::CachedNeighbors() const {
+  std::vector<NodeId> out;
+  out.reserve(lines_.size());
+  for (const auto& [id, entry] : lines_) {
+    if (!entry.line.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+double CacheManager::TotalBenefit() const {
+  double total = 0.0;
+  for (const auto& [id, entry] : lines_) {
+    if (entry.line.empty()) continue;
+    total += entry.line.stats().Benefit(entry.line.stats().Fit());
+  }
+  return total;
+}
+
+}  // namespace snapq

@@ -1,0 +1,48 @@
+#include "model/error_metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace snapq {
+
+const char* ErrorMetricKindName(ErrorMetricKind kind) {
+  switch (kind) {
+    case ErrorMetricKind::kSumSquared:
+      return "sse";
+    case ErrorMetricKind::kAbsolute:
+      return "absolute";
+    case ErrorMetricKind::kRelative:
+      return "relative";
+  }
+  return "unknown";
+}
+
+ErrorMetric::ErrorMetric(ErrorMetricKind kind, double sanity_bound)
+    : kind_(kind), sanity_bound_(sanity_bound) {
+  SNAPQ_CHECK_GT(sanity_bound_, 0.0);
+}
+
+double ErrorMetric::Distance(double actual, double estimate) const {
+  const double diff = actual - estimate;
+  switch (kind_) {
+    case ErrorMetricKind::kSumSquared:
+      return diff * diff;
+    case ErrorMetricKind::kAbsolute:
+      return std::abs(diff);
+    case ErrorMetricKind::kRelative:
+      return std::abs(diff) / std::max(sanity_bound_, std::abs(actual));
+  }
+  return 0.0;
+}
+
+std::string ErrorMetric::ToString() const {
+  if (kind_ == ErrorMetricKind::kRelative) {
+    return StrFormat("relative(s=%g)", sanity_bound_);
+  }
+  return ErrorMetricKindName(kind_);
+}
+
+}  // namespace snapq

@@ -1,0 +1,58 @@
+// Error metrics d(x, x̂) from §3. A node N_i can represent N_j when
+// d(x_j, x̂_j) <= T for the application-chosen metric d and threshold T.
+#ifndef SNAPQ_MODEL_ERROR_METRIC_H_
+#define SNAPQ_MODEL_ERROR_METRIC_H_
+
+#include <string>
+
+namespace snapq {
+
+enum class ErrorMetricKind {
+  /// (x - x̂)^2 — the metric used throughout the paper's experiments.
+  kSumSquared,
+  /// |x - x̂|
+  kAbsolute,
+  /// |x - x̂| / max(s, |x|), with sanity bound s > 0 for x == 0.
+  kRelative,
+};
+
+const char* ErrorMetricKindName(ErrorMetricKind kind);
+
+/// A configured error metric. Cheap value type.
+class ErrorMetric {
+ public:
+  /// `sanity_bound` is only used by the relative metric; must be > 0.
+  explicit ErrorMetric(ErrorMetricKind kind, double sanity_bound = 1e-6);
+
+  static ErrorMetric SumSquared() {
+    return ErrorMetric(ErrorMetricKind::kSumSquared);
+  }
+  static ErrorMetric Absolute() {
+    return ErrorMetric(ErrorMetricKind::kAbsolute);
+  }
+  static ErrorMetric Relative(double sanity_bound = 1e-6) {
+    return ErrorMetric(ErrorMetricKind::kRelative, sanity_bound);
+  }
+
+  /// d(actual, estimate). Non-negative; zero iff estimate == actual (up to
+  /// the relative metric's scaling).
+  double Distance(double actual, double estimate) const;
+
+  /// True iff the estimate is within threshold: d(actual, estimate) <= t.
+  bool Within(double actual, double estimate, double t) const {
+    return Distance(actual, estimate) <= t;
+  }
+
+  ErrorMetricKind kind() const { return kind_; }
+  double sanity_bound() const { return sanity_bound_; }
+
+  std::string ToString() const;
+
+ private:
+  ErrorMetricKind kind_;
+  double sanity_bound_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_MODEL_ERROR_METRIC_H_

@@ -1,0 +1,70 @@
+#include "model/linear_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace snapq {
+
+void RegressionStats::Add(double x, double y) {
+  ++n_;
+  sx_ += x;
+  sy_ += y;
+  sxx_ += x * x;
+  sxy_ += x * y;
+  syy_ += y * y;
+}
+
+void RegressionStats::Remove(double x, double y) {
+  SNAPQ_CHECK_GT(n_, 0u);
+  --n_;
+  sx_ -= x;
+  sy_ -= y;
+  sxx_ -= x * x;
+  sxy_ -= x * y;
+  syy_ -= y * y;
+  if (n_ == 0) {
+    // Reset accumulated floating-point drift at the natural sync point.
+    sx_ = sy_ = sxx_ = sxy_ = syy_ = 0.0;
+  }
+}
+
+LinearModel RegressionStats::Fit() const {
+  if (n_ == 0) return LinearModel{0.0, 0.0};
+  const double dn = static_cast<double>(n_);
+  const double mean_y = sy_ / dn;
+  if (n_ == 1) return LinearModel{0.0, mean_y};
+  const double denom = dn * sxx_ - sx_ * sx_;
+  // Numerical guard for (near-)constant predictors: denom is n * sum of
+  // squared deviations of x; compare against the scale of the data.
+  const double scale = dn * sxx_ + sx_ * sx_;
+  if (denom <= 1e-12 * std::max(1.0, scale)) {
+    return LinearModel{0.0, mean_y};
+  }
+  const double a = (dn * sxy_ - sx_ * sy_) / denom;
+  const double b = (sy_ - a * sx_) / dn;
+  return LinearModel{a, b};
+}
+
+double RegressionStats::SseSum(const LinearModel& m) const {
+  // sum (y - a x - b)^2
+  //   = syy + a^2 sxx + n b^2 - 2 a sxy - 2 b sy + 2 a b sx
+  const double dn = static_cast<double>(n_);
+  const double v = syy_ + m.a * m.a * sxx_ + dn * m.b * m.b -
+                   2.0 * m.a * sxy_ - 2.0 * m.b * sy_ +
+                   2.0 * m.a * m.b * sx_;
+  // Guard tiny negative values from cancellation.
+  return v < 0.0 ? 0.0 : v;
+}
+
+double RegressionStats::AverageSse(const LinearModel& m) const {
+  if (n_ == 0) return 0.0;
+  return SseSum(m) / static_cast<double>(n_);
+}
+
+double RegressionStats::AverageNoAnswerSse() const {
+  if (n_ == 0) return 0.0;
+  return syy_ / static_cast<double>(n_);
+}
+
+}  // namespace snapq

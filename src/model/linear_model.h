@@ -1,0 +1,86 @@
+// The correlation model of §4: node N_i predicts its neighbor N_j's
+// measurement as a linear projection of its own,
+//
+//     x̂_j(t) = a_{i,j} * x_i(t) + b_{i,j},
+//
+// with (a, b) chosen to minimize the sum-squared error over the cached
+// pairs (Lemma 1 = least-squares regression line). When the predictor is
+// constant (including the single-pair case) the optimal fit degenerates to
+// a = 0, b = mean(x_j).
+#ifndef SNAPQ_MODEL_LINEAR_MODEL_H_
+#define SNAPQ_MODEL_LINEAR_MODEL_H_
+
+#include <cstddef>
+
+namespace snapq {
+
+/// A fitted line x̂ = a*x + b.
+struct LinearModel {
+  double a = 0.0;
+  double b = 0.0;
+
+  double Estimate(double x) const { return a * x + b; }
+
+  bool operator==(const LinearModel&) const = default;
+};
+
+/// Sufficient statistics of a set of (x, y) pairs: everything Lemma 1 and
+/// the §4 benefit computations need, in O(1) space. Supports incremental
+/// add/remove so cache-manager evaluations stay linear in the cache size.
+class RegressionStats {
+ public:
+  void Add(double x, double y);
+  /// Removes a pair previously added. The caller guarantees the pair is in
+  /// the set (sums simply subtract; used for sliding-window updates).
+  void Remove(double x, double y);
+
+  size_t n() const { return n_; }
+  double sum_x() const { return sx_; }
+  double sum_y() const { return sy_; }
+  double sum_xx() const { return sxx_; }
+  double sum_xy() const { return sxy_; }
+  double sum_yy() const { return syy_; }
+
+  /// Lemma 1: the sse-optimal (a*, b*). Falls back to a = 0, b = mean(y)
+  /// when x is (numerically) constant or n <= 1; returns the zero model for
+  /// an empty set.
+  LinearModel Fit() const;
+
+  /// Sum over the pairs of (y - a*x - b)^2, from the sufficient statistics.
+  double SseSum(const LinearModel& m) const;
+  /// Average sse over the pairs: the paper's sse(c, a, b). Zero when empty.
+  double AverageSse(const LinearModel& m) const;
+
+  /// Sum of y^2: the numerator of the paper's no_answer_sse(c).
+  double NoAnswerSseSum() const { return syy_; }
+  /// no_answer_sse(c): average of y^2. Zero when empty.
+  double AverageNoAnswerSse() const;
+
+  /// benefit(c, a, b) = no_answer_sse(c) - sse(c, a, b); the expected gain
+  /// of answering with the model over not answering at all (per-pair
+  /// average, as written in §4).
+  double Benefit(const LinearModel& m) const {
+    return AverageNoAnswerSse() - AverageSse(m);
+  }
+
+  /// Total (un-averaged) benefit: sum y^2 - sum (y - ax - b)^2. For
+  /// comparisons among same-length candidates this orders identically to
+  /// Benefit(); across lines of different lengths it measures the total
+  /// evidence a line carries, which is the well-behaved currency for the
+  /// cache manager's cross-line eviction penalty (see cache_manager.cc).
+  double BenefitSum(const LinearModel& m) const {
+    return NoAnswerSseSum() - SseSum(m);
+  }
+
+ private:
+  size_t n_ = 0;
+  double sx_ = 0.0;
+  double sy_ = 0.0;
+  double sxx_ = 0.0;
+  double sxy_ = 0.0;
+  double syy_ = 0.0;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_MODEL_LINEAR_MODEL_H_

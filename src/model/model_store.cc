@@ -1,0 +1,25 @@
+#include "model/model_store.h"
+
+namespace snapq {
+
+ModelStore::ModelStore(NodeId self, const CacheConfig& cache_config)
+    : self_(self), cache_(cache_config) {}
+
+void ModelStore::SetOwnValue(double x, Time t) {
+  own_value_ = x;
+  own_value_time_ = t;
+}
+
+CacheManager::Action ModelStore::Observe(NodeId j, double y, Time t) {
+  return cache_.Observe(j, own_value_, y, t);
+}
+
+bool ModelStore::CanRepresent(NodeId j, double actual_y,
+                              const ErrorMetric& metric,
+                              double threshold) const {
+  const std::optional<double> estimate = Estimate(j);
+  if (!estimate.has_value()) return false;
+  return metric.Within(actual_y, *estimate, threshold);
+}
+
+}  // namespace snapq

@@ -1,0 +1,53 @@
+// Per-node model state: the node's own current measurement plus the cache
+// of neighbor observations, with the §3 "can N_i represent N_j?" predicate.
+#ifndef SNAPQ_MODEL_MODEL_STORE_H_
+#define SNAPQ_MODEL_MODEL_STORE_H_
+
+#include <optional>
+
+#include "model/cache_manager.h"
+#include "model/error_metric.h"
+#include "net/node_id.h"
+
+namespace snapq {
+
+/// Everything node N_i knows about its data environment.
+class ModelStore {
+ public:
+  ModelStore(NodeId self, const CacheConfig& cache_config);
+
+  NodeId self() const { return self_; }
+
+  /// Updates this node's own current measurement (each time unit).
+  void SetOwnValue(double x, Time t);
+  double own_value() const { return own_value_; }
+  Time own_value_time() const { return own_value_time_; }
+
+  /// Records a neighbor observation: N_j's value `y` heard at time `t`,
+  /// paired with this node's own current measurement (the paper stores
+  /// simultaneously-collected pairs). Returns the cache action taken.
+  CacheManager::Action Observe(NodeId j, double y, Time t);
+
+  /// x̂_j given this node's current measurement; nullopt without a model.
+  std::optional<double> Estimate(NodeId j) const {
+    return cache_.Estimate(j, own_value_);
+  }
+
+  /// §3: N_i can represent N_j iff d(x_j, x̂_j) <= T. `actual_y` is N_j's
+  /// announced measurement (e.g. from an invitation). False without a model.
+  bool CanRepresent(NodeId j, double actual_y, const ErrorMetric& metric,
+                    double threshold) const;
+
+  CacheManager& cache() { return cache_; }
+  const CacheManager& cache() const { return cache_; }
+
+ private:
+  NodeId self_;
+  CacheManager cache_;
+  double own_value_ = 0.0;
+  Time own_value_time_ = 0;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_MODEL_MODEL_STORE_H_

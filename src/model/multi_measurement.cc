@@ -1,0 +1,67 @@
+#include "model/multi_measurement.h"
+
+#include "common/check.h"
+
+namespace snapq {
+
+MultiSensorStore::MultiSensorStore(NodeId self, size_t num_measurements,
+                                   const CacheConfig& cache_config)
+    : self_(self), cache_(cache_config) {
+  SNAPQ_CHECK_GT(num_measurements, 0u);
+  SNAPQ_CHECK_LE(num_measurements, 256u);
+  own_values_.assign(num_measurements, 0.0);
+  own_times_.assign(num_measurements, 0);
+}
+
+NodeId MultiSensorStore::PackKey(NodeId j, MeasurementId m) {
+  SNAPQ_DCHECK(j < (kBroadcastId >> 8));
+  return (j << 8) | m;
+}
+
+void MultiSensorStore::SetOwnValue(MeasurementId m, double value, Time t) {
+  SNAPQ_CHECK_LT(m, own_values_.size());
+  own_values_[m] = value;
+  own_times_[m] = t;
+}
+
+double MultiSensorStore::own_value(MeasurementId m) const {
+  SNAPQ_CHECK_LT(m, own_values_.size());
+  return own_values_[m];
+}
+
+CacheManager::Action MultiSensorStore::Observe(NodeId j, MeasurementId m,
+                                               double y, Time t) {
+  SNAPQ_CHECK_LT(m, own_values_.size());
+  return cache_.Observe(PackKey(j, m), own_values_[m], y, t);
+}
+
+std::optional<double> MultiSensorStore::Estimate(NodeId j,
+                                                 MeasurementId m) const {
+  SNAPQ_CHECK_LT(m, own_values_.size());
+  return cache_.Estimate(PackKey(j, m), own_values_[m]);
+}
+
+bool MultiSensorStore::CanRepresent(NodeId j, MeasurementId m,
+                                    double actual_y,
+                                    const ErrorMetric& metric,
+                                    double threshold) const {
+  const std::optional<double> estimate = Estimate(j, m);
+  if (!estimate.has_value()) return false;
+  return metric.Within(actual_y, *estimate, threshold);
+}
+
+bool MultiSensorStore::CanRepresentAll(
+    NodeId j, const std::vector<double>& actuals, const ErrorMetric& metric,
+    const std::vector<double>& thresholds) const {
+  SNAPQ_CHECK_EQ(actuals.size(), thresholds.size());
+  SNAPQ_CHECK_LE(actuals.size(), own_values_.size());
+  for (size_t m = 0; m < actuals.size(); ++m) {
+    if (!CanRepresent(j, static_cast<MeasurementId>(m), actuals[m], metric,
+                      thresholds[m])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace snapq

@@ -1,0 +1,15 @@
+#include "net/energy.h"
+
+namespace snapq {
+
+bool Battery::Consume(double amount) {
+  if (remaining_ <= 0.0) return false;
+  if (amount > remaining_) {
+    remaining_ = 0.0;
+    return false;
+  }
+  remaining_ -= amount;
+  return true;
+}
+
+}  // namespace snapq

@@ -1,0 +1,55 @@
+// Energy accounting. The paper's model (§6.2): each node starts with a
+// battery equal to the cost of 500 transmissions; running the cache
+// maintenance algorithm costs one tenth of a transmission; nodes with an
+// empty battery are dead (cannot send, receive or compute).
+#ifndef SNAPQ_NET_ENERGY_H_
+#define SNAPQ_NET_ENERGY_H_
+
+#include <limits>
+
+namespace snapq {
+
+/// Cost constants, in units of one transmission.
+struct EnergyModel {
+  double tx_cost = 1.0;
+  /// The paper does not charge for receiving; configurable for ablations.
+  double rx_cost = 0.0;
+  /// One execution of the cache-maintenance algorithm (§6.2: "one tenth of
+  /// the cost of transmitting a message", called an overestimate for Mica
+  /// motes where 1 bit tx ~= 1000 CPU ops).
+  double cache_op_cost = 0.1;
+  /// Initial battery, in transmissions (§6.2: 500).
+  double initial_battery = 500.0;
+
+  /// An effectively infinite battery, for experiments that ignore energy.
+  static EnergyModel Unlimited() {
+    EnergyModel m;
+    m.initial_battery = std::numeric_limits<double>::infinity();
+    return m;
+  }
+};
+
+/// Per-node battery with strict accounting: a drain either fits in the
+/// remaining charge (and is applied) or kills the node.
+class Battery {
+ public:
+  Battery() : remaining_(0.0) {}
+  explicit Battery(double capacity) : remaining_(capacity) {}
+
+  /// Attempts to consume `amount`. Returns true when the node had enough
+  /// charge; otherwise the node is drained to zero and declared dead.
+  bool Consume(double amount);
+
+  bool alive() const { return remaining_ > 0.0; }
+  double remaining() const { return remaining_; }
+
+  /// Immediately drains the battery (forced node failure).
+  void Kill() { remaining_ = 0.0; }
+
+ private:
+  double remaining_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_NET_ENERGY_H_

@@ -1,0 +1,107 @@
+#include "net/link_model.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace snapq {
+
+LinkModel::LinkModel(std::vector<Point> positions, std::vector<double> ranges,
+                     double loss_probability)
+    : positions_(std::move(positions)),
+      ranges_(std::move(ranges)),
+      loss_probability_(loss_probability) {
+  SNAPQ_CHECK_EQ(positions_.size(), ranges_.size());
+  SNAPQ_CHECK(loss_probability_ >= 0.0 && loss_probability_ <= 1.0);
+  const size_t n = positions_.size();
+  reachable_.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const double r2 = ranges_[i] * ranges_[i];
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (DistanceSquared(positions_[i], positions_[j]) <= r2) {
+        reachable_[i].push_back(j);
+      }
+    }
+  }
+}
+
+bool LinkModel::CanReach(NodeId from, NodeId to) const {
+  SNAPQ_DCHECK(from < num_nodes() && to < num_nodes());
+  if (from == to) return false;
+  const double r = ranges_[from];
+  return DistanceSquared(positions_[from], positions_[to]) <= r * r;
+}
+
+bool LinkModel::SampleLoss(NodeId from, NodeId to, Rng& rng) const {
+  double p = loss_probability_;
+  if (!link_loss_.empty()) {
+    const auto it = link_loss_.find(static_cast<uint64_t>(from) * num_nodes() +
+                                    to);
+    if (it != link_loss_.end()) p = it->second;
+  }
+  return rng.Bernoulli(p);
+}
+
+void LinkModel::SetLinkLoss(NodeId from, NodeId to, double loss_probability) {
+  SNAPQ_CHECK(loss_probability >= 0.0 && loss_probability <= 1.0);
+  link_loss_[static_cast<uint64_t>(from) * num_nodes() + to] =
+      loss_probability;
+}
+
+void LinkModel::SetPosition(NodeId id, const Point& position) {
+  SNAPQ_CHECK_LT(id, num_nodes());
+  positions_[id] = position;
+  const size_t n = num_nodes();
+  // Rebuild the mover's own row.
+  reachable_[id].clear();
+  const double r2 = ranges_[id] * ranges_[id];
+  for (NodeId j = 0; j < n; ++j) {
+    if (j != id && DistanceSquared(positions_[id], positions_[j]) <= r2) {
+      reachable_[id].push_back(j);
+    }
+  }
+  // Patch every other row's membership of the mover.
+  for (NodeId i = 0; i < n; ++i) {
+    if (i == id) continue;
+    auto& row = reachable_[i];
+    const bool now_reachable =
+        DistanceSquared(positions_[i], positions_[id]) <=
+        ranges_[i] * ranges_[i];
+    const auto it = std::find(row.begin(), row.end(), id);
+    const bool was_reachable = it != row.end();
+    if (now_reachable && !was_reachable) {
+      // Keep rows sorted by id (construction order) for determinism.
+      row.insert(std::lower_bound(row.begin(), row.end(), id), id);
+    } else if (!now_reachable && was_reachable) {
+      row.erase(it);
+    }
+  }
+}
+
+bool LinkModel::IsConnected() const {
+  const size_t n = num_nodes();
+  if (n == 0) return true;
+  // BFS over the undirected closure of reachability (i~j if either can
+  // reach the other).
+  std::vector<bool> seen(n, false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v = 0; v < n; ++v) {
+      if (!seen[v] && (CanReach(u, v) || CanReach(v, u))) {
+        seen[v] = true;
+        ++visited;
+        frontier.push(v);
+      }
+    }
+  }
+  return visited == n;
+}
+
+}  // namespace snapq

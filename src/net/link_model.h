@@ -1,0 +1,70 @@
+// Radio link model: who can hear whom, and which transmissions are lost.
+//
+// Reachability is range-based and potentially asymmetric (per-node
+// transmission ranges; the paper notes the neighbor relation "is, in
+// general, not symmetric"). Message loss is i.i.d. Bernoulli per (message,
+// receiver) with probability P_loss, optionally overridden per directed
+// link to model obstacles.
+#ifndef SNAPQ_NET_LINK_MODEL_H_
+#define SNAPQ_NET_LINK_MODEL_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "net/node_id.h"
+
+namespace snapq {
+
+/// Immutable placement + ranges; precomputes reachability lists.
+class LinkModel {
+ public:
+  /// `positions[i]` and `ranges[i]` describe node i. Loss probability
+  /// applies to every delivery unless overridden per link.
+  LinkModel(std::vector<Point> positions, std::vector<double> ranges,
+            double loss_probability);
+
+  size_t num_nodes() const { return positions_.size(); }
+  const Point& position(NodeId id) const { return positions_[id]; }
+  double range(NodeId id) const { return ranges_[id]; }
+  double loss_probability() const { return loss_probability_; }
+
+  /// Nodes within transmission range of `from` (excluding `from` itself):
+  /// the nodes that physically hear a broadcast by `from`, before loss.
+  const std::vector<NodeId>& Reachable(NodeId from) const {
+    return reachable_[from];
+  }
+
+  /// True iff `to` is within `from`'s transmission range.
+  bool CanReach(NodeId from, NodeId to) const;
+
+  /// Samples whether a transmission from->to is lost (true = lost).
+  bool SampleLoss(NodeId from, NodeId to, Rng& rng) const;
+
+  /// Overrides the loss probability of the directed link from->to (e.g. an
+  /// obstacle in the direct path, §3's spurious-representative scenario).
+  void SetLinkLoss(NodeId from, NodeId to, double loss_probability);
+
+  /// Moves node `id` to `position` and recomputes the affected
+  /// reachability (mobility is one of the network dynamics §3 calls out).
+  void SetPosition(NodeId id, const Point& position);
+
+  /// True if the undirected connectivity graph is connected (used by
+  /// experiments to reject degenerate placements, §6.1 notes ranges below
+  /// 0.2 often disconnect a 100-node network).
+  bool IsConnected() const;
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<double> ranges_;
+  double loss_probability_;
+  std::vector<std::vector<NodeId>> reachable_;
+  /// Directed link overrides, keyed by from * num_nodes + to.
+  std::unordered_map<uint64_t, double> link_loss_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_NET_LINK_MODEL_H_

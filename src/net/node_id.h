@@ -1,0 +1,24 @@
+// Node identity. The paper assumes unique node ids (e.g. MAC addresses) and
+// uses "largest id wins" tie-breaking during representative election.
+#ifndef SNAPQ_NET_NODE_ID_H_
+#define SNAPQ_NET_NODE_ID_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace snapq {
+
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Address used by broadcast messages.
+inline constexpr NodeId kBroadcastId = kInvalidNode - 1;
+
+/// Simulation time in integer time units (the paper's granularity).
+using Time = int64_t;
+
+}  // namespace snapq
+
+#endif  // SNAPQ_NET_NODE_ID_H_

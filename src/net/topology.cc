@@ -1,0 +1,66 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace snapq {
+
+std::vector<Point> PlaceUniform(size_t n, const Rect& area, Rng& rng) {
+  SNAPQ_CHECK(area.IsValid());
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Point{rng.UniformDouble(area.min_x, area.max_x),
+                        rng.UniformDouble(area.min_y, area.max_y)});
+  }
+  return out;
+}
+
+std::vector<Point> PlaceGrid(size_t n, const Rect& area,
+                             double jitter_fraction, Rng& rng) {
+  SNAPQ_CHECK(area.IsValid());
+  SNAPQ_CHECK_GE(jitter_fraction, 0.0);
+  std::vector<Point> out;
+  out.reserve(n);
+  if (n == 0) return out;
+  const size_t cols =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const size_t rows = (n + cols - 1) / cols;
+  const double cell_w = area.Width() / static_cast<double>(cols);
+  const double cell_h = area.Height() / static_cast<double>(rows);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = i / cols;
+    const size_t c = i % cols;
+    double x = area.min_x + (static_cast<double>(c) + 0.5) * cell_w;
+    double y = area.min_y + (static_cast<double>(r) + 0.5) * cell_h;
+    if (jitter_fraction > 0.0) {
+      x += rng.UniformDouble(-jitter_fraction, jitter_fraction) * cell_w;
+      y += rng.UniformDouble(-jitter_fraction, jitter_fraction) * cell_h;
+    }
+    out.push_back(Point{std::clamp(x, area.min_x, area.max_x),
+                        std::clamp(y, area.min_y, area.max_y)});
+  }
+  return out;
+}
+
+std::vector<Point> PlaceClustered(size_t n, size_t num_clusters,
+                                  double cluster_stddev, const Rect& area,
+                                  Rng& rng) {
+  SNAPQ_CHECK(area.IsValid());
+  SNAPQ_CHECK_GT(num_clusters, 0u);
+  std::vector<Point> centers = PlaceUniform(num_clusters, area, rng);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point& c = centers[i % num_clusters];
+    const double x = c.x + rng.Gaussian(0.0, cluster_stddev);
+    const double y = c.y + rng.Gaussian(0.0, cluster_stddev);
+    out.push_back(Point{std::clamp(x, area.min_x, area.max_x),
+                        std::clamp(y, area.min_y, area.max_y)});
+  }
+  return out;
+}
+
+}  // namespace snapq

@@ -1,0 +1,31 @@
+// Node placement generators for building simulated deployments.
+#ifndef SNAPQ_NET_TOPOLOGY_H_
+#define SNAPQ_NET_TOPOLOGY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace snapq {
+
+/// Uniform-random placement of `n` nodes in `area` (the paper's setup:
+/// 100 nodes in the unit square).
+std::vector<Point> PlaceUniform(size_t n, const Rect& area, Rng& rng);
+
+/// Regular grid placement (ceil(sqrt(n)) columns), jittered by
+/// `jitter_fraction` of the cell size. Useful for controlled tests.
+std::vector<Point> PlaceGrid(size_t n, const Rect& area,
+                             double jitter_fraction, Rng& rng);
+
+/// Clustered placement: `num_clusters` uniform cluster centers, nodes
+/// Gaussian-scattered around them. Models dense pockets of redundant nodes
+/// (the redundancy motivation of [2,7]).
+std::vector<Point> PlaceClustered(size_t n, size_t num_clusters,
+                                  double cluster_stddev, const Rect& area,
+                                  Rng& rng);
+
+}  // namespace snapq
+
+#endif  // SNAPQ_NET_TOPOLOGY_H_

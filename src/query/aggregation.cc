@@ -1,0 +1,58 @@
+#include "query/aggregation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace snapq {
+
+PartialAggregate::PartialAggregate(AggregateFunction function)
+    : function_(function) {
+  SNAPQ_CHECK(function != AggregateFunction::kNone);
+}
+
+void PartialAggregate::AddValue(double v) {
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+PartialAggregate PartialAggregate::FromWire(AggregateFunction function,
+                                            uint64_t count, double sum,
+                                            double min, double max) {
+  PartialAggregate p(function);
+  p.count_ = count;
+  p.sum_ = sum;
+  p.min_ = min;
+  p.max_ = max;
+  return p;
+}
+
+void PartialAggregate::Merge(const PartialAggregate& other) {
+  SNAPQ_CHECK(function_ == other.function_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double PartialAggregate::Finalize() const {
+  switch (function_) {
+    case AggregateFunction::kNone:
+      break;
+    case AggregateFunction::kSum:
+      return sum_;
+    case AggregateFunction::kAvg:
+      return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    case AggregateFunction::kMin:
+      return min_;
+    case AggregateFunction::kMax:
+      return max_;
+    case AggregateFunction::kCount:
+      return static_cast<double>(count_);
+  }
+  return 0.0;
+}
+
+}  // namespace snapq

@@ -1,0 +1,55 @@
+// TAG-style partial aggregates [11]: each routing-tree node merges its
+// children's partial states with its own readings and forwards a single
+// constant-size record, so message volume is one record per participating
+// node regardless of fan-in.
+#ifndef SNAPQ_QUERY_AGGREGATION_H_
+#define SNAPQ_QUERY_AGGREGATION_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "query/ast.h"
+
+namespace snapq {
+
+/// Merge-able partial state for SUM/AVG/MIN/MAX/COUNT.
+class PartialAggregate {
+ public:
+  explicit PartialAggregate(AggregateFunction function);
+
+  AggregateFunction function() const { return function_; }
+
+  /// Folds one reading into the state.
+  void AddValue(double v);
+
+  /// Merges a child's partial state (same function required).
+  void Merge(const PartialAggregate& other);
+
+  /// Reconstructs a partial state from its wire representation (the four
+  /// statistics a TAG record carries). Used by the message-level
+  /// aggregator when folding a child's reply.
+  static PartialAggregate FromWire(AggregateFunction function,
+                                   uint64_t count, double sum, double min,
+                                   double max);
+
+  /// Number of readings folded in so far.
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Final answer. COUNT returns the count; AVG of zero readings is 0;
+  /// MIN/MAX of zero readings return +/-infinity.
+  double Finalize() const;
+
+ private:
+  AggregateFunction function_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_AGGREGATION_H_

@@ -1,0 +1,70 @@
+#include "query/ast.h"
+
+#include "common/string_util.h"
+
+namespace snapq {
+
+const char* AggregateFunctionName(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kNone:
+      return "none";
+    case AggregateFunction::kSum:
+      return "sum";
+    case AggregateFunction::kAvg:
+      return "avg";
+    case AggregateFunction::kMin:
+      return "min";
+    case AggregateFunction::kMax:
+      return "max";
+    case AggregateFunction::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+bool QuerySpec::IsAggregate() const {
+  for (const SelectItem& item : select) {
+    if (item.aggregate != AggregateFunction::kNone) return true;
+  }
+  return false;
+}
+
+AggregateFunction QuerySpec::TheAggregate() const {
+  for (const SelectItem& item : select) {
+    if (item.aggregate != AggregateFunction::kNone) return item.aggregate;
+  }
+  return AggregateFunction::kNone;
+}
+
+std::string QuerySpec::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i != 0) out += ", ";
+    if (select[i].aggregate != AggregateFunction::kNone) {
+      out += AggregateFunctionName(select[i].aggregate);
+      out += "(" + select[i].column + ")";
+    } else {
+      out += select[i].column;
+    }
+  }
+  out += " FROM " + table;
+  if (region_name.has_value()) {
+    out += " WHERE loc IN " + *region_name;
+  } else if (region.has_value()) {
+    out += StrFormat(" WHERE loc IN RECT(%g, %g, %g, %g)", region->min_x,
+                     region->min_y, region->max_x, region->max_y);
+  }
+  if (sample_interval > 0.0) {
+    out += StrFormat(" SAMPLE INTERVAL %g", sample_interval);
+    if (duration > 0.0) out += StrFormat(" FOR %g", duration);
+  }
+  if (use_snapshot) {
+    out += " USE SNAPSHOT";
+    if (snapshot_threshold.has_value()) {
+      out += StrFormat(" ERROR %g", *snapshot_threshold);
+    }
+  }
+  return out;
+}
+
+}  // namespace snapq

@@ -1,0 +1,73 @@
+// Parsed representation of the paper's declarative query dialect (§3.1):
+//
+//   SELECT loc, temperature
+//   FROM sensors
+//   WHERE loc IN SOUTH_EAST_QUADRANT
+//   SAMPLE INTERVAL 1s FOR 5min
+//   USE SNAPSHOT
+//
+// plus aggregates (SELECT sum(temperature) ...), literal rectangles
+// (WHERE loc IN RECT(0.5, 0.0, 1.0, 0.5)) and an optional per-query error
+// threshold (USE SNAPSHOT ERROR 0.5, the §3.1 extension).
+#ifndef SNAPQ_QUERY_AST_H_
+#define SNAPQ_QUERY_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace snapq {
+
+/// Aggregate functions supported by in-network aggregation.
+enum class AggregateFunction {
+  kNone,  ///< drill-through: individual rows
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kCount,
+};
+
+const char* AggregateFunctionName(AggregateFunction f);
+
+/// One SELECT-list entry: a bare column or agg(column).
+struct SelectItem {
+  std::string column;
+  AggregateFunction aggregate = AggregateFunction::kNone;
+
+  bool operator==(const SelectItem&) const = default;
+};
+
+/// A parsed query.
+struct QuerySpec {
+  std::vector<SelectItem> select;
+  std::string table = "sensors";
+
+  /// WHERE loc IN <name>: resolved against the region catalog.
+  std::optional<std::string> region_name;
+  /// WHERE loc IN RECT(...): a literal region.
+  std::optional<Rect> region;
+
+  /// SAMPLE INTERVAL, in time units; 0 = single-shot.
+  double sample_interval = 0.0;
+  /// FOR duration, in time units; 0 = single-shot.
+  double duration = 0.0;
+
+  /// USE SNAPSHOT present?
+  bool use_snapshot = false;
+  /// USE SNAPSHOT ERROR t — per-query threshold (§3.1 extension).
+  std::optional<double> snapshot_threshold;
+
+  /// True when the SELECT list contains an aggregate.
+  bool IsAggregate() const;
+  /// The (single) aggregate of the query; kNone for drill-through.
+  AggregateFunction TheAggregate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_AST_H_

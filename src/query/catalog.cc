@@ -1,0 +1,62 @@
+#include "query/catalog.h"
+
+#include "common/string_util.h"
+
+namespace snapq {
+
+Catalog Catalog::WithStandardRegions(const Rect& area) {
+  Catalog catalog;
+  const double mx = (area.min_x + area.max_x) / 2.0;
+  const double my = (area.min_y + area.max_y) / 2.0;
+  catalog.RegisterRegion("EVERYWHERE", area);
+  catalog.RegisterRegion("NORTH_HALF",
+                         Rect{area.min_x, my, area.max_x, area.max_y});
+  catalog.RegisterRegion("SOUTH_HALF",
+                         Rect{area.min_x, area.min_y, area.max_x, my});
+  catalog.RegisterRegion("EAST_HALF",
+                         Rect{mx, area.min_y, area.max_x, area.max_y});
+  catalog.RegisterRegion("WEST_HALF",
+                         Rect{area.min_x, area.min_y, mx, area.max_y});
+  catalog.RegisterRegion("NORTH_EAST_QUADRANT",
+                         Rect{mx, my, area.max_x, area.max_y});
+  catalog.RegisterRegion("NORTH_WEST_QUADRANT",
+                         Rect{area.min_x, my, mx, area.max_y});
+  catalog.RegisterRegion("SOUTH_EAST_QUADRANT",
+                         Rect{mx, area.min_y, area.max_x, my});
+  catalog.RegisterRegion("SOUTH_WEST_QUADRANT",
+                         Rect{area.min_x, area.min_y, mx, my});
+  return catalog;
+}
+
+void Catalog::RegisterRegion(const std::string& name, const Rect& rect) {
+  regions_[ToUpper(name)] = rect;
+}
+
+Result<Rect> Catalog::LookupRegion(const std::string& name) const {
+  const auto it = regions_.find(ToUpper(name));
+  if (it == regions_.end()) {
+    return Status::NotFound("unknown region: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::RegionNames() const {
+  std::vector<std::string> names;
+  names.reserve(regions_.size());
+  for (const auto& [name, rect] : regions_) names.push_back(name);
+  return names;
+}
+
+void Catalog::RegisterMeasurementColumn(const std::string& name) {
+  measurement_cols_[ToUpper(name)] = true;
+}
+
+bool Catalog::IsValidColumn(const std::string& name) const {
+  if (EqualsIgnoreCase(name, "loc") || EqualsIgnoreCase(name, "value") ||
+      name == "*") {
+    return true;
+  }
+  return measurement_cols_.count(ToUpper(name)) > 0;
+}
+
+}  // namespace snapq

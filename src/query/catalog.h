@@ -1,0 +1,50 @@
+// The catalog: named spatial regions ("SOUTH_EAST_QUADRANT") and the
+// sensors-table schema the parser's output is validated against. Nodes are
+// location-aware (§3.1); regions resolve to rectangles over the deployment
+// area.
+#ifndef SNAPQ_QUERY_CATALOG_H_
+#define SNAPQ_QUERY_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace snapq {
+
+/// Region + schema registry. Lookups are case-insensitive.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// A catalog pre-populated with the quadrants/halves of `area` (e.g.
+  /// SOUTH_EAST_QUADRANT, NORTH_HALF, EVERYWHERE). Convention: north = +y,
+  /// east = +x.
+  static Catalog WithStandardRegions(const Rect& area);
+
+  /// Registers (or replaces) a named region.
+  void RegisterRegion(const std::string& name, const Rect& rect);
+
+  /// Resolves a region name; NotFound if absent.
+  Result<Rect> LookupRegion(const std::string& name) const;
+
+  /// Registered region names (uppercased), sorted.
+  std::vector<std::string> RegionNames() const;
+
+  /// Registers a measurement column name (e.g. "temperature"); "loc" and
+  /// "value" are always valid.
+  void RegisterMeasurementColumn(const std::string& name);
+
+  /// True when `name` is a queryable column.
+  bool IsValidColumn(const std::string& name) const;
+
+ private:
+  std::map<std::string, Rect> regions_;          // keys uppercased
+  std::map<std::string, bool> measurement_cols_;  // keys uppercased
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_CATALOG_H_

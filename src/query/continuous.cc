@@ -1,0 +1,72 @@
+#include "query/continuous.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "query/parser.h"
+#include "query/predicate.h"
+
+namespace snapq {
+
+ContinuousQueryRunner::ContinuousQueryRunner(Simulator* sim,
+                                             QueryExecutor* executor)
+    : sim_(sim), executor_(executor) {
+  SNAPQ_CHECK(sim != nullptr && executor != nullptr);
+}
+
+Result<int64_t> ContinuousQueryRunner::Schedule(
+    const QuerySpec& spec, Time start, const ExecutionOptions& options,
+    EpochCallback callback) {
+  if (start < sim_->now()) {
+    return Status::InvalidArgument("start time is in the past");
+  }
+  // Validate the query up front so scheduling errors surface immediately
+  // rather than mid-run.
+  SNAPQ_RETURN_IF_ERROR(ValidateColumns(spec, executor_->catalog()));
+  if (spec.region_name.has_value()) {
+    Result<Rect> region =
+        executor_->catalog().LookupRegion(*spec.region_name);
+    if (!region.ok()) return region.status();
+  }
+
+  // Epoch schedule: single-shot without SAMPLE INTERVAL; otherwise one
+  // round per interval across the duration (inclusive of the first round).
+  int64_t epochs = 1;
+  Time interval = 1;
+  if (spec.sample_interval > 0.0) {
+    interval = std::max<Time>(1, static_cast<Time>(
+                                     std::llround(spec.sample_interval)));
+    if (spec.duration > 0.0) {
+      epochs = std::max<int64_t>(
+          1, static_cast<int64_t>(spec.duration / spec.sample_interval));
+    }
+  }
+
+  // The spec is shared by all epochs.
+  auto shared_spec = std::make_shared<QuerySpec>(spec);
+  for (int64_t e = 0; e < epochs; ++e) {
+    const Time at = start + interval * e;
+    sim_->ScheduleAt(at, [this, shared_spec, options, callback, e, at] {
+      Result<QueryResult> result = executor_->Execute(*shared_spec, options);
+      if (!result.ok() || !callback) return;
+      EpochResult epoch_result;
+      epoch_result.epoch = e;
+      epoch_result.time = at;
+      epoch_result.result = std::move(*result);
+      callback(epoch_result);
+    });
+  }
+  return epochs;
+}
+
+Result<int64_t> ContinuousQueryRunner::ScheduleSql(
+    const std::string& sql, Time start, const ExecutionOptions& options,
+    EpochCallback callback) {
+  Result<QuerySpec> spec = ParseQuery(sql);
+  if (!spec.ok()) return spec.status();
+  return Schedule(*spec, start, options, std::move(callback));
+}
+
+}  // namespace snapq

@@ -1,0 +1,51 @@
+// Continuous queries: the paper's SAMPLE INTERVAL ... FOR ... clause
+// (§3.1). A continuous query runs one execution round per sampling epoch;
+// the monotonically increasing epoch id doubles as the global counter the
+// paper suggests for timestamping in the absence of synchronized clocks
+// (§3).
+#ifndef SNAPQ_QUERY_CONTINUOUS_H_
+#define SNAPQ_QUERY_CONTINUOUS_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "query/executor.h"
+
+namespace snapq {
+
+/// One sampling epoch's outcome.
+struct EpochResult {
+  int64_t epoch = 0;  ///< 0-based epoch id within this query
+  Time time = 0;      ///< simulation time the round executed at
+  QueryResult result;
+};
+
+/// Schedules and drives continuous queries against a QueryExecutor.
+class ContinuousQueryRunner {
+ public:
+  using EpochCallback = std::function<void(const EpochResult&)>;
+
+  ContinuousQueryRunner(Simulator* sim, QueryExecutor* executor);
+
+  /// Schedules `spec` starting at absolute time `start` (>= now()):
+  /// one round per sample interval for the query's duration (single-shot
+  /// when no SAMPLE INTERVAL is given). Intervals shorter than one time
+  /// unit are clamped to one. Returns the number of epochs scheduled.
+  Result<int64_t> Schedule(const QuerySpec& spec, Time start,
+                           const ExecutionOptions& options,
+                           EpochCallback callback);
+
+  /// Parses `sql` and schedules it.
+  Result<int64_t> ScheduleSql(const std::string& sql, Time start,
+                              const ExecutionOptions& options,
+                              EpochCallback callback);
+
+ private:
+  Simulator* const sim_;
+  QueryExecutor* const executor_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_CONTINUOUS_H_

@@ -1,0 +1,205 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+#include "query/aggregation.h"
+#include "query/parser.h"
+#include "query/predicate.h"
+
+namespace snapq {
+namespace {
+
+/// A deduplicable claim "reporter says node j's value is v".
+struct Claim {
+  NodeId reporter = kInvalidNode;
+  int64_t epoch = -1;
+  double value = 0.0;
+  bool estimated = false;
+};
+
+/// Later election epoch wins; self-reports carry +inf epoch; ties break
+/// toward the larger reporter id (deterministic).
+bool Supersedes(const Claim& a, const Claim& b) {
+  if (a.epoch != b.epoch) return a.epoch > b.epoch;
+  return a.reporter > b.reporter;
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(
+    Simulator* sim, std::vector<std::unique_ptr<SnapshotAgent>>* agents,
+    Catalog catalog)
+    : sim_(sim), agents_(agents), catalog_(std::move(catalog)) {
+  SNAPQ_CHECK(sim != nullptr && agents != nullptr);
+  SNAPQ_CHECK_EQ(sim->num_nodes(), agents->size());
+}
+
+Result<QueryResult> QueryExecutor::ExecuteSql(const std::string& sql,
+                                              const ExecutionOptions& options) {
+  Result<QuerySpec> spec = ParseQuery(sql);
+  if (!spec.ok()) return spec.status();
+  return Execute(*spec, options);
+}
+
+Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec,
+                                           const ExecutionOptions& options) {
+  SNAPQ_RETURN_IF_ERROR(ValidateColumns(spec, catalog_));
+  const Rect everywhere{-1e300, -1e300, 1e300, 1e300};
+  Result<Rect> region = ResolveRegion(spec, catalog_, everywhere);
+  if (!region.ok()) return region.status();
+  return ExecuteRegion(*region, spec.use_snapshot, spec.TheAggregate(),
+                       options);
+}
+
+std::vector<NodeId> QueryExecutor::CollectResponders(const Rect& region,
+                                                     bool use_snapshot) const {
+  std::vector<NodeId> responders;
+  const size_t n = agents_->size();
+  for (NodeId i = 0; i < n; ++i) {
+    if (!sim_->alive(i)) continue;
+    const SnapshotAgent& agent = *(*agents_)[i];
+    const bool in_region = region.Contains(sim_->links().position(i));
+    if (!use_snapshot) {
+      if (in_region) responders.push_back(i);
+      continue;
+    }
+    // Snapshot rule (§3.1): respond when (i) not represented and matching,
+    // or (ii) representing a matching node.
+    if (in_region && agent.mode() != NodeMode::kPassive) {
+      responders.push_back(i);
+      continue;
+    }
+    for (const auto& [j, e] : agent.represents()) {
+      if (region.Contains(sim_->links().position(j))) {
+        responders.push_back(i);
+        break;
+      }
+    }
+  }
+  return responders;
+}
+
+QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
+                                         bool use_snapshot,
+                                         AggregateFunction aggregate,
+                                         const ExecutionOptions& options) {
+  const size_t n = agents_->size();
+  SNAPQ_CHECK_LT(options.sink, n);
+  QueryResult result;
+
+  // Coverage denominator: every placed node matching the predicate (dead
+  // included — an infinite-battery network would have heard them all).
+  std::vector<bool> matching(n, false);
+  for (NodeId i = 0; i < n; ++i) {
+    if (region.Contains(sim_->links().position(i))) {
+      matching[i] = true;
+      ++result.matching_nodes;
+    }
+  }
+
+  std::vector<bool> alive(n, false);
+  for (NodeId i = 0; i < n; ++i) {
+    alive[i] = sim_->alive(i);
+    if (use_snapshot && options.passive_nodes_sleep && i != options.sink &&
+        (*agents_)[i]->mode() == NodeMode::kPassive) {
+      alive[i] = false;  // sleeping: neither responds nor routes
+    }
+  }
+
+  std::vector<bool> favor;
+  const std::vector<bool>* favor_ptr = nullptr;
+  if (options.favor_representatives) {
+    favor.assign(n, false);
+    for (NodeId i = 0; i < n; ++i) {
+      favor[i] = (*agents_)[i]->mode() == NodeMode::kActive;
+    }
+    favor_ptr = &favor;
+  }
+  const RoutingTree tree =
+      RoutingTree::Build(sim_->links(), alive, options.sink, favor_ptr);
+
+  const std::vector<NodeId> responders =
+      CollectResponders(region, use_snapshot);
+
+  // Participants: responders that can reach the sink, plus the routers on
+  // their paths (the paper counts routing nodes as participants).
+  std::vector<bool> participates(n, false);
+  std::vector<NodeId> reachable_responders;
+  for (NodeId r : responders) {
+    if (!tree.IsReachable(r)) continue;  // never hears the request
+    reachable_responders.push_back(r);
+    for (NodeId on_path : tree.PathToSink(r)) {
+      participates[on_path] = true;
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (participates[i]) ++result.participants;
+  }
+  result.responders = reachable_responders.size();
+
+  if (options.charge_energy) {
+    // One transmission per participant: its partial aggregate / row batch
+    // sent one hop up the tree. The sink hands the result to the base
+    // station without a radio transmission.
+    const double tx = sim_->config().energy.tx_cost;
+    for (NodeId i = 0; i < n; ++i) {
+      if (!participates[i] || i == options.sink) continue;
+      sim_->Drain(i, tx);
+      sim_->metrics().CountSent(MessageType::kQueryReply);
+    }
+  }
+
+  // Collect measurements, deduplicating multiple claims per node by latest
+  // election epoch (spurious-representative filtering, §3).
+  std::map<NodeId, Claim> claims;
+  constexpr int64_t kSelfEpoch = std::numeric_limits<int64_t>::max();
+  for (NodeId r : reachable_responders) {
+    const SnapshotAgent& agent = *(*agents_)[r];
+    if (matching[r] &&
+        (!use_snapshot || agent.mode() != NodeMode::kPassive)) {
+      const Claim self{r, kSelfEpoch, agent.measurement(), false};
+      auto [it, inserted] = claims.try_emplace(r, self);
+      if (!inserted && Supersedes(self, it->second)) it->second = self;
+    }
+    if (!use_snapshot) continue;
+    for (const auto& [j, e] : agent.represents()) {
+      if (!matching[j]) continue;
+      const std::optional<double> estimate = agent.EstimateFor(j);
+      if (!estimate.has_value()) continue;
+      const Claim claim{r, e, *estimate, true};
+      auto [it, inserted] = claims.try_emplace(j, claim);
+      if (!inserted && Supersedes(claim, it->second)) it->second = claim;
+    }
+  }
+
+  result.covered_nodes = claims.size();
+  result.coverage =
+      result.matching_nodes == 0
+          ? 1.0
+          : static_cast<double>(result.covered_nodes) /
+                static_cast<double>(result.matching_nodes);
+
+  // Answers.
+  if (aggregate != AggregateFunction::kNone) {
+    PartialAggregate agg(aggregate);
+    for (const auto& [j, claim] : claims) agg.AddValue(claim.value);
+    result.aggregate = agg.Finalize();
+    PartialAggregate truth(aggregate);
+    for (NodeId i = 0; i < n; ++i) {
+      if (matching[i]) truth.AddValue((*agents_)[i]->measurement());
+    }
+    result.true_aggregate = truth.Finalize();
+  } else {
+    result.rows.reserve(claims.size());
+    for (const auto& [j, claim] : claims) {
+      result.rows.push_back(
+          QueryRow{j, claim.reporter, claim.value, claim.estimated});
+    }
+  }
+  return result;
+}
+
+}  // namespace snapq

@@ -1,0 +1,114 @@
+// Query execution over the simulated network, with the §6.2 accounting:
+//
+//  * regular execution — every live node matching the spatial predicate
+//    responds; the aggregation tree routes partial results to the sink;
+//  * snapshot execution (USE SNAPSHOT) — a node responds iff it is not
+//    represented and matches the predicate, or it represents a node that
+//    matches; represented (PASSIVE) nodes stay idle, though they may still
+//    be asked to route;
+//  * participants = responders plus every node on a responder's routing
+//    path (routers included, as the paper counts them);
+//  * coverage = measurements available to the query / measurements an
+//    infinite-battery network would deliver (Fig 10's metric);
+//  * duplicate claims from spurious representatives are filtered by latest
+//    election epoch, "transparently from the application" (§3).
+#ifndef SNAPQ_QUERY_EXECUTOR_H_
+#define SNAPQ_QUERY_EXECUTOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/catalog.h"
+#include "query/routing_tree.h"
+#include "sim/simulator.h"
+#include "snapshot/agent.h"
+
+namespace snapq {
+
+/// One returned row (drill-through queries).
+struct QueryRow {
+  NodeId loc = kInvalidNode;   ///< the node whose measurement this is
+  NodeId reporter = kInvalidNode;  ///< who produced it (rep or the node)
+  double value = 0.0;
+  bool estimated = false;      ///< true when a representative's model answered
+};
+
+/// Result + cost accounting of one query round.
+struct QueryResult {
+  /// Nodes that transmitted for this query (responders + routers).
+  size_t participants = 0;
+  /// Nodes that produced data (themselves or on behalf of others).
+  size_t responders = 0;
+  /// Nodes matching the predicate, dead or alive (coverage denominator).
+  size_t matching_nodes = 0;
+  /// Measurements delivered (coverage numerator).
+  size_t covered_nodes = 0;
+  /// covered / matching, 1.0 for an empty region.
+  double coverage = 1.0;
+
+  /// Aggregate answer (aggregate queries only).
+  std::optional<double> aggregate;
+  /// Ground-truth aggregate over all matching nodes' true current values
+  /// (dead or alive) — for error reporting in experiments.
+  std::optional<double> true_aggregate;
+
+  /// Drill-through rows, ordered by loc.
+  std::vector<QueryRow> rows;
+};
+
+/// Per-execution knobs.
+struct ExecutionOptions {
+  NodeId sink = 0;
+  /// Charge one transmission per participant (the paper's Fig 10
+  /// accounting). Leave false for pure counting experiments.
+  bool charge_energy = false;
+  /// Bias routing-tree parent selection toward representatives (§3.1).
+  bool favor_representatives = false;
+  /// §5: under severe energy constraints passive nodes "ask their
+  /// representative to replace them on all user queries" — they sleep
+  /// entirely and do not even route. Snapshot queries then traverse
+  /// representatives (and undecided nodes) only; coverage may drop where
+  /// the active subgraph disconnects. Ignored for regular queries.
+  bool passive_nodes_sleep = false;
+};
+
+/// Executes queries against the agents' current state.
+class QueryExecutor {
+ public:
+  QueryExecutor(Simulator* sim,
+                std::vector<std::unique_ptr<SnapshotAgent>>* agents,
+                Catalog catalog);
+
+  /// Parses, validates, resolves and executes `sql` (single round).
+  Result<QueryResult> ExecuteSql(const std::string& sql,
+                                 const ExecutionOptions& options);
+
+  /// Executes a parsed query (single round).
+  Result<QueryResult> Execute(const QuerySpec& spec,
+                              const ExecutionOptions& options);
+
+  /// Core entry point: executes one round over `region`.
+  QueryResult ExecuteRegion(const Rect& region, bool use_snapshot,
+                            AggregateFunction aggregate,
+                            const ExecutionOptions& options);
+
+  const Catalog& catalog() const { return catalog_; }
+  Catalog& catalog() { return catalog_; }
+
+ private:
+  /// The nodes that respond to this query, per the snapshot rule.
+  std::vector<NodeId> CollectResponders(const Rect& region,
+                                        bool use_snapshot) const;
+
+  Simulator* const sim_;
+  std::vector<std::unique_ptr<SnapshotAgent>>* const agents_;
+  Catalog catalog_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_EXECUTOR_H_

@@ -1,0 +1,203 @@
+#include "query/innetwork.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace snapq {
+
+InNetworkAggregator::InNetworkAggregator(
+    Simulator* sim, std::vector<std::unique_ptr<SnapshotAgent>>* agents,
+    const InNetworkConfig& config)
+    : sim_(sim), agents_(agents), config_(config) {
+  SNAPQ_CHECK(sim != nullptr && agents != nullptr);
+  SNAPQ_CHECK_GT(config_.max_depth, 0);
+  for (auto& agent : *agents_) {
+    const NodeId self = agent->id();
+    agent->SetQueryHandler(
+        [this, self](const Message& msg) { OnQueryMessage(self, msg); });
+  }
+}
+
+InNetworkAggregator::~InNetworkAggregator() {
+  for (auto& agent : *agents_) {
+    agent->SetQueryHandler({});
+  }
+}
+
+InNetworkResult InNetworkAggregator::Execute(const Rect& region,
+                                             AggregateFunction function,
+                                             NodeId sink, bool use_snapshot) {
+  SNAPQ_CHECK(function != AggregateFunction::kNone);
+  SNAPQ_CHECK_LT(sink, agents_->size());
+  SNAPQ_CHECK(!active_);
+
+  ++query_id_;
+  region_ = region;
+  function_ = function;
+  use_snapshot_ = use_snapshot;
+  sink_ = sink;
+  start_ = sim_->now();
+  states_.clear();
+  states_.resize(agents_->size());
+  active_ = true;
+
+  const uint64_t requests_before =
+      sim_->metrics().sent(MessageType::kQueryRequest);
+  const uint64_t replies_before =
+      sim_->metrics().sent(MessageType::kQueryReply);
+
+  InNetworkResult result;
+  if (sim_->alive(sink)) {
+    // The sink roots the tree and floods the request.
+    NodeState& root = states_[sink];
+    root.saw_request = true;
+    root.depth = 0;
+    root.partial = std::make_unique<PartialAggregate>(function);
+    Message request;
+    request.type = MessageType::kQueryRequest;
+    request.from = sink;
+    request.to = kBroadcastId;
+    request.epoch = query_id_;
+    request.value = 0.0;  // sender depth
+    request.aux = static_cast<double>(function);
+    request.values = {region.min_x, region.min_y, region.max_x,
+                      region.max_y};
+    sim_->Send(request);
+    root.transmitted = true;
+  }
+
+  // Collection deadline: depth-d nodes reply at start + 2*max_depth - d;
+  // the sink finalizes one unit later.
+  const Time deadline = start_ + 2 * config_.max_depth + 1;
+  sim_->RunUntil(deadline);
+
+  NodeState& root = states_[sink];
+  if (sim_->alive(sink) && root.partial != nullptr) {
+    ContributeLocal(sink);
+    if (root.readings > 0) {
+      result.aggregate = root.partial->Finalize();
+      result.readings = root.readings;
+    }
+  }
+  for (NodeId i = 0; i < states_.size(); ++i) {
+    // Participants: nodes that carried data (the §6.2 accounting);
+    // request flooding is counted separately.
+    if (i == sink_) continue;
+    const NodeState& s = states_[i];
+    if (s.transmitted && s.readings > 0) ++result.participants;
+  }
+  if (result.aggregate.has_value()) {
+    // The sink carries data but transmits nothing upward.
+    ++result.participants;
+  }
+  result.request_messages =
+      sim_->metrics().sent(MessageType::kQueryRequest) - requests_before;
+  result.reply_messages =
+      sim_->metrics().sent(MessageType::kQueryReply) - replies_before;
+  active_ = false;
+  return result;
+}
+
+void InNetworkAggregator::OnQueryMessage(NodeId self, const Message& msg) {
+  if (!active_ || msg.epoch != query_id_) return;
+  switch (msg.type) {
+    case MessageType::kQueryRequest:
+      HandleRequest(self, msg);
+      return;
+    case MessageType::kQueryReply:
+      HandleReply(self, msg);
+      return;
+    default:
+      return;
+  }
+}
+
+void InNetworkAggregator::HandleRequest(NodeId self, const Message& msg) {
+  NodeState& state = states_[self];
+  if (state.saw_request) return;  // first-heard sender becomes the parent
+  state.saw_request = true;
+  state.parent = msg.from;
+  state.depth = static_cast<Time>(msg.value) + 1;
+  state.partial = std::make_unique<PartialAggregate>(function_);
+
+  // Re-flood (bounded by max_depth) so deeper nodes join the tree.
+  if (state.depth < config_.max_depth) {
+    Message forward = msg;
+    forward.from = self;
+    forward.value = static_cast<double>(state.depth);
+    sim_->Send(forward);
+    // Forwarding the request is radio traffic but not data-carrying
+    // participation; `transmitted` marks data senders only when readings
+    // accompany them (see Execute()).
+    state.transmitted = true;
+  }
+
+  // Reply slot: deeper nodes first, so parents fold children's partials.
+  const Time reply_at =
+      start_ + 2 * config_.max_depth - std::min(state.depth,
+                                                config_.max_depth);
+  sim_->ScheduleAt(reply_at, [this, self, id = query_id_] {
+    if (active_ && query_id_ == id) SendReply(self);
+  });
+}
+
+void InNetworkAggregator::HandleReply(NodeId self, const Message& msg) {
+  NodeState& state = states_[self];
+  if (!state.saw_request || state.partial == nullptr) return;
+  if (state.replied) return;  // a child's late reply: its data is lost
+  SNAPQ_CHECK_EQ(msg.values.size(), 3u);
+  const PartialAggregate child = PartialAggregate::FromWire(
+      function_, static_cast<uint64_t>(msg.aux), msg.values[0],
+      msg.values[1], msg.values[2]);
+  state.partial->Merge(child);
+  state.readings += child.count();
+}
+
+void InNetworkAggregator::ContributeLocal(NodeId self) {
+  NodeState& state = states_[self];
+  const SnapshotAgent& agent = *(*agents_)[self];
+  const bool in_region = region_.Contains(sim_->links().position(self));
+  if (!use_snapshot_) {
+    if (in_region) {
+      state.partial->AddValue(agent.measurement());
+      ++state.readings;
+    }
+    return;
+  }
+  // Snapshot rule (§3.1): self-report when unrepresented and matching...
+  if (in_region && agent.mode() != NodeMode::kPassive) {
+    state.partial->AddValue(agent.measurement());
+    ++state.readings;
+  }
+  // ...and estimates for represented matching nodes.
+  for (const auto& [member, epoch] : agent.represents()) {
+    if (!region_.Contains(sim_->links().position(member))) continue;
+    const std::optional<double> estimate = agent.EstimateFor(member);
+    if (estimate.has_value()) {
+      state.partial->AddValue(*estimate);
+      ++state.readings;
+    }
+  }
+}
+
+void InNetworkAggregator::SendReply(NodeId self) {
+  NodeState& state = states_[self];
+  if (state.replied || !state.saw_request || !sim_->alive(self)) return;
+  state.replied = true;
+  if (self == sink_) return;  // the sink finalizes locally
+  ContributeLocal(self);
+  if (state.readings == 0) return;  // nothing to report: stay silent
+  Message reply;
+  reply.type = MessageType::kQueryReply;
+  reply.from = self;
+  reply.to = state.parent;
+  reply.epoch = query_id_;
+  reply.aux = static_cast<double>(state.partial->count());
+  reply.values = {state.partial->sum(), state.partial->min(),
+                  state.partial->max()};
+  sim_->Send(reply);
+  state.transmitted = true;
+}
+
+}  // namespace snapq

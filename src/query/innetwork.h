@@ -1,0 +1,102 @@
+// Message-level in-network aggregation (TAG [11], the substrate of the
+// paper's §6.2): the sink floods a query request; each node adopts the
+// first sender it hears as its tree parent; partial aggregates travel back
+// up level by level, each node transmitting exactly one constant-size
+// record. Unlike QueryExecutor (which computes participation analytically
+// over the connectivity graph), this engine exchanges real simulator
+// messages, so message loss, dead routers and radio costs interact with
+// the aggregate exactly as they would on the air.
+#ifndef SNAPQ_QUERY_INNETWORK_H_
+#define SNAPQ_QUERY_INNETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "query/aggregation.h"
+#include "query/ast.h"
+#include "sim/simulator.h"
+#include "snapshot/agent.h"
+
+namespace snapq {
+
+/// Outcome of one message-level aggregation round.
+struct InNetworkResult {
+  /// The aggregate delivered at the sink; nullopt when no data arrived.
+  std::optional<double> aggregate;
+  /// Readings folded into the sink's answer (self-reports + estimates).
+  uint64_t readings = 0;
+  /// Nodes that transmitted at least one message for this query.
+  size_t participants = 0;
+  uint64_t request_messages = 0;
+  uint64_t reply_messages = 0;
+};
+
+/// Tunables of the dissemination/collection schedule.
+struct InNetworkConfig {
+  /// Upper bound on tree depth: a node at depth d replies at
+  /// start + max_depth + (max_depth - d), so deeper nodes report first
+  /// and parents can fold children's partials into their own record.
+  Time max_depth = 16;
+};
+
+/// Runs aggregate queries as real radio traffic. One instance per
+/// (simulator, agents) pair; queries run one at a time.
+class InNetworkAggregator {
+ public:
+  InNetworkAggregator(Simulator* sim,
+                      std::vector<std::unique_ptr<SnapshotAgent>>* agents,
+                      const InNetworkConfig& config = {});
+
+  ~InNetworkAggregator();
+
+  InNetworkAggregator(const InNetworkAggregator&) = delete;
+  InNetworkAggregator& operator=(const InNetworkAggregator&) = delete;
+
+  /// Executes one aggregation round over `region`, rooted at `sink`.
+  /// Advances the simulator to the round's deadline (2 * max_depth + 2
+  /// time units past now()). In snapshot mode only unrepresented matching
+  /// nodes and representatives of matching nodes contribute readings;
+  /// every tree node still routes.
+  InNetworkResult Execute(const Rect& region, AggregateFunction function,
+                          NodeId sink, bool use_snapshot);
+
+ private:
+  struct NodeState {
+    bool saw_request = false;
+    NodeId parent = kInvalidNode;
+    Time depth = 0;
+    bool replied = false;
+    std::unique_ptr<PartialAggregate> partial;
+    uint64_t readings = 0;
+    bool transmitted = false;
+  };
+
+  void OnQueryMessage(NodeId self, const Message& msg);
+  void HandleRequest(NodeId self, const Message& msg);
+  void HandleReply(NodeId self, const Message& msg);
+  /// Folds this node's own contribution (per the snapshot rule) into its
+  /// partial state.
+  void ContributeLocal(NodeId self);
+  void SendReply(NodeId self);
+
+  Simulator* const sim_;
+  std::vector<std::unique_ptr<SnapshotAgent>>* const agents_;
+  const InNetworkConfig config_;
+
+  // Per-query transient state.
+  int64_t query_id_ = 0;
+  Rect region_{};
+  AggregateFunction function_ = AggregateFunction::kSum;
+  bool use_snapshot_ = false;
+  NodeId sink_ = kInvalidNode;
+  Time start_ = 0;
+  std::vector<NodeState> states_;
+  bool active_ = false;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_INNETWORK_H_

@@ -1,0 +1,105 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace snapq {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (c == ',') {
+      tok.type = TokenType::kComma;
+      tok.text = ",";
+      ++i;
+    } else if (c == '(') {
+      tok.type = TokenType::kLeftParen;
+      tok.text = "(";
+      ++i;
+    } else if (c == ')') {
+      tok.type = TokenType::kRightParen;
+      tok.text = ")";
+      ++i;
+    } else if (c == '*') {
+      tok.type = TokenType::kStar;
+      tok.text = "*";
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+               ((c == '.' || c == '-' || c == '+') && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])) != 0)) {
+      // Number: [+-]? digits [. digits]? [eE exponent]?
+      size_t j = i;
+      if (input[j] == '+' || input[j] == '-') ++j;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) !=
+                           0 ||
+                       input[j] == '.')) {
+        ++j;
+      }
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k])) != 0) {
+          while (k < n &&
+                 std::isdigit(static_cast<unsigned char>(input[k])) != 0) {
+            ++k;
+          }
+          j = k;
+        }
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = std::string(input.substr(i, j - i));
+      Result<double> value = ParseDouble(tok.text);
+      if (!value.ok()) {
+        return Status::ParseError(
+            StrFormat("bad number '%s' at offset %zu", tok.text.c_str(), i));
+      }
+      tok.number = *value;
+      i = j;
+      // A duration suffix glued to the number (1s, 5min) becomes a separate
+      // identifier token.
+    } else if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(input.substr(i, j - i));
+      i = j;
+    } else {
+      return Status::ParseError(
+          StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace snapq

@@ -1,0 +1,41 @@
+// Tokenizer for the query dialect. Keywords are case-insensitive;
+// identifiers keep their original spelling. Numbers may carry a duration
+// unit suffix (1s, 5min) which the lexer splits into number + identifier.
+#ifndef SNAPQ_QUERY_LEXER_H_
+#define SNAPQ_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace snapq {
+
+enum class TokenType {
+  kIdentifier,
+  kNumber,
+  kComma,
+  kLeftParen,
+  kRightParen,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     ///< original spelling (identifiers/numbers)
+  double number = 0.0;  ///< value for kNumber
+  size_t offset = 0;    ///< byte offset in the input, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive keyword test.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes `input`. Fails with kParseError on unexpected characters.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_LEXER_H_

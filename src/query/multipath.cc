@@ -1,0 +1,141 @@
+#include "query/multipath.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace snapq {
+
+MultipathSketchAggregator::MultipathSketchAggregator(
+    Simulator* sim, std::vector<std::unique_ptr<SnapshotAgent>>* agents,
+    const MultipathConfig& config)
+    : sim_(sim), agents_(agents), config_(config) {
+  SNAPQ_CHECK(sim != nullptr && agents != nullptr);
+  SNAPQ_CHECK_GT(config_.max_depth, 0);
+  for (auto& agent : *agents_) {
+    const NodeId self = agent->id();
+    agent->SetQueryHandler(
+        [this, self](const Message& msg) { OnQueryMessage(self, msg); });
+  }
+}
+
+MultipathSketchAggregator::~MultipathSketchAggregator() {
+  for (auto& agent : *agents_) {
+    agent->SetQueryHandler({});
+  }
+}
+
+MultipathResult MultipathSketchAggregator::Execute(const Rect& region,
+                                                   NodeId sink) {
+  SNAPQ_CHECK_LT(sink, agents_->size());
+  SNAPQ_CHECK(!active_);
+  ++query_id_;
+  region_ = region;
+  sink_ = sink;
+  start_ = sim_->now();
+  states_.clear();
+  states_.resize(agents_->size());
+  active_ = true;
+
+  const uint64_t requests_before =
+      sim_->metrics().sent(MessageType::kQueryRequest);
+  const uint64_t replies_before =
+      sim_->metrics().sent(MessageType::kQueryReply);
+
+  MultipathResult result;
+  if (sim_->alive(sink)) {
+    NodeState& root = states_[sink];
+    root.saw_request = true;
+    root.depth = 0;
+    root.sketch = std::make_unique<SumSketch>(config_.num_bitmaps);
+    Message request;
+    request.type = MessageType::kQueryRequest;
+    request.from = sink;
+    request.to = kBroadcastId;
+    request.epoch = query_id_;
+    request.value = 0.0;  // sender depth
+    request.values = {region.min_x, region.min_y, region.max_x,
+                      region.max_y};
+    sim_->Send(request);
+    root.transmitted = true;
+  }
+
+  const Time deadline = start_ + 2 * config_.max_depth + 1;
+  sim_->RunUntil(deadline);
+
+  NodeState& root = states_[sink];
+  if (sim_->alive(sink) && root.sketch != nullptr) {
+    if (region_.Contains(sim_->links().position(sink))) {
+      root.sketch->AddValue(sink, (*agents_)[sink]->measurement());
+    }
+    result.estimate = root.sketch->EstimateSum();
+  }
+  for (const NodeState& s : states_) {
+    if (s.transmitted) ++result.participants;
+  }
+  result.request_messages =
+      sim_->metrics().sent(MessageType::kQueryRequest) - requests_before;
+  result.reply_messages =
+      sim_->metrics().sent(MessageType::kQueryReply) - replies_before;
+  active_ = false;
+  return result;
+}
+
+void MultipathSketchAggregator::OnQueryMessage(NodeId self,
+                                               const Message& msg) {
+  if (!active_ || msg.epoch != query_id_) return;
+  NodeState& state = states_[self];
+  switch (msg.type) {
+    case MessageType::kQueryRequest: {
+      if (state.saw_request) return;
+      state.saw_request = true;
+      state.depth = static_cast<Time>(msg.value) + 1;
+      state.sketch = std::make_unique<SumSketch>(config_.num_bitmaps);
+      if (state.depth < config_.max_depth) {
+        Message forward = msg;
+        forward.from = self;
+        forward.value = static_cast<double>(state.depth);
+        sim_->Send(forward);
+        state.transmitted = true;
+      }
+      // Ring slot: deeper rings report first; every node broadcasts once.
+      const Time reply_at =
+          start_ + 2 * config_.max_depth -
+          std::min(state.depth, config_.max_depth);
+      sim_->ScheduleAt(reply_at, [this, self, id = query_id_] {
+        if (active_ && query_id_ == id) BroadcastSketch(self);
+      });
+      return;
+    }
+    case MessageType::kQueryReply: {
+      // OR-merging is idempotent: fold in every sketch heard, whatever
+      // ring it came from — duplicates and echoes cannot double count.
+      if (state.sketch == nullptr) return;
+      state.sketch->Merge(SumSketch::FromWire(msg.ids));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void MultipathSketchAggregator::BroadcastSketch(NodeId self) {
+  NodeState& state = states_[self];
+  if (!state.saw_request || state.sketch == nullptr ||
+      !sim_->alive(self) || self == sink_) {
+    return;
+  }
+  if (region_.Contains(sim_->links().position(self))) {
+    state.sketch->AddValue(self, (*agents_)[self]->measurement());
+  }
+  Message reply;
+  reply.type = MessageType::kQueryReply;
+  reply.from = self;
+  reply.to = kBroadcastId;  // multipath: every neighbor may catch it
+  reply.epoch = query_id_;
+  reply.ids = state.sketch->sketch().bitmaps();
+  sim_->Send(reply);
+  state.transmitted = true;
+}
+
+}  // namespace snapq

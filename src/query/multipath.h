@@ -1,0 +1,84 @@
+// Multipath sketch aggregation — the [3] baseline end to end: the sink
+// floods a request that stamps every node with its hop distance (ring);
+// collection then proceeds ring by ring, each node broadcasting its
+// OR-merged sum-sketch once. Because merges are idempotent, every copy a
+// lower-ring neighbor catches is useful and duplicates cost nothing:
+// robustness to loss comes from path diversity instead of retransmission.
+//
+// The §2 trade-off this makes measurable: every node transmits every
+// epoch (N broadcasts per aggregate) and the answer carries the sketch's
+// approximation error, whereas a snapshot query touches only the
+// representatives and answers with model-accurate values.
+#ifndef SNAPQ_QUERY_MULTIPATH_H_
+#define SNAPQ_QUERY_MULTIPATH_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "query/sketch.h"
+#include "sim/simulator.h"
+#include "snapshot/agent.h"
+
+namespace snapq {
+
+struct MultipathResult {
+  /// The sketch estimate of SUM at the sink; nullopt when the sink is
+  /// dead.
+  std::optional<double> estimate;
+  /// Nodes that transmitted (everything that heard the request).
+  size_t participants = 0;
+  uint64_t request_messages = 0;
+  uint64_t reply_messages = 0;
+};
+
+struct MultipathConfig {
+  Time max_depth = 16;
+  size_t num_bitmaps = 32;
+};
+
+/// Runs SUM queries as ring-scheduled sketch broadcasts. Claims the
+/// agents' query handler while alive (mutually exclusive with
+/// InNetworkAggregator).
+class MultipathSketchAggregator {
+ public:
+  MultipathSketchAggregator(
+      Simulator* sim, std::vector<std::unique_ptr<SnapshotAgent>>* agents,
+      const MultipathConfig& config = {});
+  ~MultipathSketchAggregator();
+
+  MultipathSketchAggregator(const MultipathSketchAggregator&) = delete;
+  MultipathSketchAggregator& operator=(const MultipathSketchAggregator&) =
+      delete;
+
+  /// One SUM aggregation over `region` rooted at `sink`; advances the
+  /// simulator to the round's deadline.
+  MultipathResult Execute(const Rect& region, NodeId sink);
+
+ private:
+  struct NodeState {
+    bool saw_request = false;
+    Time depth = 0;
+    std::unique_ptr<SumSketch> sketch;
+    bool transmitted = false;
+  };
+
+  void OnQueryMessage(NodeId self, const Message& msg);
+  void BroadcastSketch(NodeId self);
+
+  Simulator* const sim_;
+  std::vector<std::unique_ptr<SnapshotAgent>>* const agents_;
+  const MultipathConfig config_;
+
+  int64_t query_id_ = 0;
+  Rect region_{};
+  NodeId sink_ = kInvalidNode;
+  Time start_ = 0;
+  std::vector<NodeState> states_;
+  bool active_ = false;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_MULTIPATH_H_

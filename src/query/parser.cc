@@ -1,0 +1,242 @@
+#include "query/parser.h"
+
+#include <optional>
+#include <vector>
+
+#include "common/string_util.h"
+#include "query/lexer.h"
+
+namespace snapq {
+namespace {
+
+/// Parser state: a cursor over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QuerySpec> Parse();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Error(std::string("expected keyword ") + std::string(kw));
+    }
+    return Status::Ok();
+  }
+  Status Expect(TokenType t, const char* what) {
+    if (!Peek().Is(t)) return Error(std::string("expected ") + what);
+    ++pos_;
+    return Status::Ok();
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("%s at offset %zu (near '%s')", msg.c_str(), Peek().offset,
+                  Peek().text.c_str()));
+  }
+
+  Result<SelectItem> ParseSelectItem();
+  Result<double> ParseDuration();
+  Status ParseWhere(QuerySpec* spec);
+  Status ParseSampling(QuerySpec* spec);
+  Status ParseSnapshot(QuerySpec* spec);
+  static std::optional<AggregateFunction> AggregateFromName(
+      const std::string& name);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+std::optional<AggregateFunction> Parser::AggregateFromName(
+    const std::string& name) {
+  if (EqualsIgnoreCase(name, "sum")) return AggregateFunction::kSum;
+  if (EqualsIgnoreCase(name, "avg")) return AggregateFunction::kAvg;
+  if (EqualsIgnoreCase(name, "min")) return AggregateFunction::kMin;
+  if (EqualsIgnoreCase(name, "max")) return AggregateFunction::kMax;
+  if (EqualsIgnoreCase(name, "count")) return AggregateFunction::kCount;
+  return std::nullopt;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  if (!Peek().Is(TokenType::kIdentifier)) {
+    return Error("expected column or aggregate");
+  }
+  const std::string name = Advance().text;
+  const std::optional<AggregateFunction> agg = AggregateFromName(name);
+  if (agg.has_value() && Peek().Is(TokenType::kLeftParen)) {
+    ++pos_;  // '('
+    SelectItem item;
+    item.aggregate = *agg;
+    if (Peek().Is(TokenType::kStar)) {
+      ++pos_;
+      item.column = "*";
+    } else if (Peek().Is(TokenType::kIdentifier)) {
+      item.column = Advance().text;
+    } else {
+      return Error("expected column inside aggregate");
+    }
+    SNAPQ_RETURN_IF_ERROR(Expect(TokenType::kRightParen, "')'"));
+    return item;
+  }
+  SelectItem item;
+  item.column = name;
+  return item;
+}
+
+Result<double> Parser::ParseDuration() {
+  if (!Peek().Is(TokenType::kNumber)) {
+    return Error("expected duration");
+  }
+  const double value = Advance().number;
+  double scale = 1.0;  // default: seconds == simulation time units
+  if (Peek().Is(TokenType::kIdentifier)) {
+    const std::string& unit = Peek().text;
+    if (EqualsIgnoreCase(unit, "ms")) {
+      scale = 1e-3;
+    } else if (EqualsIgnoreCase(unit, "s") || EqualsIgnoreCase(unit, "sec") ||
+               EqualsIgnoreCase(unit, "second") ||
+               EqualsIgnoreCase(unit, "seconds")) {
+      scale = 1.0;
+    } else if (EqualsIgnoreCase(unit, "min") ||
+               EqualsIgnoreCase(unit, "minute") ||
+               EqualsIgnoreCase(unit, "minutes")) {
+      scale = 60.0;
+    } else if (EqualsIgnoreCase(unit, "hour") ||
+               EqualsIgnoreCase(unit, "hours") ||
+               EqualsIgnoreCase(unit, "h")) {
+      scale = 3600.0;
+    } else {
+      // Not a unit: leave the identifier for the next production.
+      return value;
+    }
+    ++pos_;
+  }
+  return value * scale;
+}
+
+Status Parser::ParseWhere(QuerySpec* spec) {
+  if (!ConsumeKeyword("where")) return Status::Ok();
+  SNAPQ_RETURN_IF_ERROR(ExpectKeyword("loc"));
+  SNAPQ_RETURN_IF_ERROR(ExpectKeyword("in"));
+  if (Peek().IsKeyword("rect")) {
+    ++pos_;
+    SNAPQ_RETURN_IF_ERROR(Expect(TokenType::kLeftParen, "'('"));
+    double coords[4];
+    for (int i = 0; i < 4; ++i) {
+      if (i > 0) SNAPQ_RETURN_IF_ERROR(Expect(TokenType::kComma, "','"));
+      if (!Peek().Is(TokenType::kNumber)) return Error("expected coordinate");
+      coords[i] = Advance().number;
+    }
+    SNAPQ_RETURN_IF_ERROR(Expect(TokenType::kRightParen, "')'"));
+    const Rect r{coords[0], coords[1], coords[2], coords[3]};
+    if (!r.IsValid()) {
+      return Status::ParseError("RECT coordinates must satisfy min <= max");
+    }
+    spec->region = r;
+    return Status::Ok();
+  }
+  if (Peek().Is(TokenType::kIdentifier)) {
+    spec->region_name = Advance().text;
+    return Status::Ok();
+  }
+  return Error("expected region name or RECT(...)");
+}
+
+Status Parser::ParseSampling(QuerySpec* spec) {
+  if (!ConsumeKeyword("sample")) return Status::Ok();
+  SNAPQ_RETURN_IF_ERROR(ExpectKeyword("interval"));
+  Result<double> interval = ParseDuration();
+  if (!interval.ok()) return interval.status();
+  spec->sample_interval = *interval;
+  if (ConsumeKeyword("for")) {
+    Result<double> duration = ParseDuration();
+    if (!duration.ok()) return duration.status();
+    spec->duration = *duration;
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseSnapshot(QuerySpec* spec) {
+  if (!ConsumeKeyword("use")) return Status::Ok();
+  SNAPQ_RETURN_IF_ERROR(ExpectKeyword("snapshot"));
+  spec->use_snapshot = true;
+  if (ConsumeKeyword("error")) {
+    if (!Peek().Is(TokenType::kNumber)) {
+      return Error("expected threshold after ERROR");
+    }
+    const double t = Advance().number;
+    if (t <= 0.0) {
+      return Status::ParseError("snapshot error threshold must be positive");
+    }
+    spec->snapshot_threshold = t;
+  }
+  return Status::Ok();
+}
+
+Result<QuerySpec> Parser::Parse() {
+  QuerySpec spec;
+  SNAPQ_RETURN_IF_ERROR(ExpectKeyword("select"));
+  if (Peek().Is(TokenType::kStar)) {
+    ++pos_;
+    spec.select.push_back(SelectItem{"*", AggregateFunction::kNone});
+  } else {
+    while (true) {
+      Result<SelectItem> item = ParseSelectItem();
+      if (!item.ok()) return item.status();
+      spec.select.push_back(*item);
+      if (!Peek().Is(TokenType::kComma)) break;
+      ++pos_;
+    }
+  }
+  SNAPQ_RETURN_IF_ERROR(ExpectKeyword("from"));
+  if (!Peek().Is(TokenType::kIdentifier)) {
+    return Error("expected table name");
+  }
+  spec.table = Advance().text;
+
+  SNAPQ_RETURN_IF_ERROR(ParseWhere(&spec));
+  SNAPQ_RETURN_IF_ERROR(ParseSampling(&spec));
+  SNAPQ_RETURN_IF_ERROR(ParseSnapshot(&spec));
+
+  if (!Peek().Is(TokenType::kEnd)) {
+    return Error("unexpected trailing input");
+  }
+  // Semantic checks: at most one aggregate, and no mixing of aggregates
+  // with (non-loc) plain columns.
+  size_t num_aggs = 0;
+  for (const SelectItem& item : spec.select) {
+    if (item.aggregate != AggregateFunction::kNone) ++num_aggs;
+  }
+  if (num_aggs > 1) {
+    return Status::ParseError("at most one aggregate per query");
+  }
+  if (num_aggs == 1) {
+    for (const SelectItem& item : spec.select) {
+      if (item.aggregate == AggregateFunction::kNone &&
+          !EqualsIgnoreCase(item.column, "loc")) {
+        return Status::ParseError(
+            "cannot mix aggregates with plain columns (except loc)");
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<QuerySpec> ParseQuery(std::string_view input) {
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+}  // namespace snapq

@@ -1,0 +1,30 @@
+// Recursive-descent parser for the query dialect; see ast.h for the
+// grammar by example. Errors carry byte offsets.
+#ifndef SNAPQ_QUERY_PARSER_H_
+#define SNAPQ_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace snapq {
+
+/// Parses one query. Grammar (keywords case-insensitive):
+///
+///   query      := SELECT items FROM ident [where] [sampling] [snapshot]
+///   items      := '*' | item (',' item)*
+///   item       := ident | agg '(' (ident | '*') ')'
+///   agg        := SUM | AVG | MIN | MAX | COUNT
+///   where      := WHERE LOC IN (ident | rect)
+///   rect       := RECT '(' num ',' num ',' num ',' num ')'
+///   sampling   := SAMPLE INTERVAL duration [FOR duration]
+///   duration   := number [unit]            (unit: ms|s|sec|min|hour)
+///   snapshot   := USE SNAPSHOT [ERROR number]
+///
+/// Durations are converted to simulation time units (1 unit = 1 second).
+Result<QuerySpec> ParseQuery(std::string_view input);
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_PARSER_H_

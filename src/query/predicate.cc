@@ -1,0 +1,29 @@
+#include "query/predicate.h"
+
+namespace snapq {
+
+Result<Rect> ResolveRegion(const QuerySpec& spec, const Catalog& catalog,
+                           const Rect& default_region) {
+  if (spec.region.has_value()) return *spec.region;
+  if (spec.region_name.has_value()) {
+    return catalog.LookupRegion(*spec.region_name);
+  }
+  return default_region;
+}
+
+Status ValidateColumns(const QuerySpec& spec, const Catalog& catalog) {
+  for (const SelectItem& item : spec.select) {
+    // count(*) is the only aggregate over '*'.
+    if (item.column == "*" &&
+        item.aggregate != AggregateFunction::kNone &&
+        item.aggregate != AggregateFunction::kCount) {
+      return Status::InvalidArgument("only count(*) may aggregate '*'");
+    }
+    if (!catalog.IsValidColumn(item.column)) {
+      return Status::InvalidArgument("unknown column: " + item.column);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace snapq

@@ -1,0 +1,24 @@
+// Spatial predicate resolution: binds a parsed query's WHERE clause to a
+// concrete rectangle using the catalog, and validates the SELECT list.
+#ifndef SNAPQ_QUERY_PREDICATE_H_
+#define SNAPQ_QUERY_PREDICATE_H_
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/catalog.h"
+
+namespace snapq {
+
+/// Resolves the query's spatial filter. A query without a WHERE clause
+/// covers everything (the catalog's EVERYWHERE region when registered, else
+/// an unbounded default passed by the caller).
+Result<Rect> ResolveRegion(const QuerySpec& spec, const Catalog& catalog,
+                           const Rect& default_region);
+
+/// Validates the SELECT list against the catalog's schema.
+Status ValidateColumns(const QuerySpec& spec, const Catalog& catalog);
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_PREDICATE_H_

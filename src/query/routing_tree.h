@@ -1,0 +1,60 @@
+// Flooding-built aggregation tree, as in TAG [11] / the paper's §6.2: the
+// sink floods a tree-formation beacon; each node adopts the first
+// (lowest-hop) sender it hears as its parent. We build the BFS tree
+// deterministically over the live bidirectional-connectivity graph —
+// requests travel sink->leaves, replies and partial aggregates travel back
+// up the same edges, so links must work both ways.
+#ifndef SNAPQ_QUERY_ROUTING_TREE_H_
+#define SNAPQ_QUERY_ROUTING_TREE_H_
+
+#include <vector>
+
+#include "net/link_model.h"
+#include "net/node_id.h"
+
+namespace snapq {
+
+/// A rooted tree over the live nodes reachable from the sink.
+class RoutingTree {
+ public:
+  /// Builds the BFS tree rooted at `sink`. `alive[i]` gates node i's
+  /// participation; dead nodes neither route nor respond. Ties (equal-depth
+  /// parents) break toward the smallest parent id, matching the
+  /// deterministic first-heard order of a simultaneous flood.
+  ///
+  /// `favor`: optional bias (the paper's §3.1 note that routing can favor
+  /// representatives): among equal-depth parent candidates, nodes with
+  /// favor[i] == true win over unfavored ones.
+  static RoutingTree Build(const LinkModel& links,
+                           const std::vector<bool>& alive, NodeId sink,
+                           const std::vector<bool>* favor = nullptr);
+
+  NodeId sink() const { return sink_; }
+
+  /// Parent of `id`; kInvalidNode for the sink and unreachable nodes.
+  NodeId parent(NodeId id) const { return parent_[id]; }
+
+  /// Hop distance from the sink; negative when unreachable.
+  int depth(NodeId id) const { return depth_[id]; }
+
+  /// True when `id` has a path to the sink.
+  bool IsReachable(NodeId id) const { return depth_[id] >= 0; }
+
+  size_t num_nodes() const { return parent_.size(); }
+
+  /// Nodes on the path from `id` up to and including the sink; empty when
+  /// unreachable. The first element is `id` itself.
+  std::vector<NodeId> PathToSink(NodeId id) const;
+
+ private:
+  RoutingTree(NodeId sink, std::vector<NodeId> parent, std::vector<int> depth)
+      : sink_(sink), parent_(std::move(parent)), depth_(std::move(depth)) {}
+
+  NodeId sink_;
+  std::vector<NodeId> parent_;
+  std::vector<int> depth_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_ROUTING_TREE_H_

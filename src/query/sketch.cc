@@ -1,0 +1,77 @@
+#include "query/sketch.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace snapq {
+namespace {
+
+/// Flajolet-Martin magic constant (phi).
+constexpr double kPhi = 0.77351;
+
+/// Stateless 64-bit mix (SplitMix64 finalizer with a fixed salt) — the
+/// sketch hash must be identical on every node.
+uint64_t Hash(uint64_t key) {
+  uint64_t state = key ^ 0x5EED5EED5EED5EEDULL;
+  return SplitMix64(state);
+}
+
+}  // namespace
+
+FmSketch::FmSketch(size_t num_bitmaps) : bitmaps_(num_bitmaps, 0) {
+  SNAPQ_CHECK_GT(num_bitmaps, 0u);
+}
+
+void FmSketch::InsertItem(uint64_t key) {
+  const uint64_t h = Hash(key);
+  const size_t bitmap = static_cast<size_t>(h % bitmaps_.size());
+  // Geometric bit index: the number of trailing zeros of the remaining
+  // hash bits sets bit k with probability 2^-(k+1).
+  const uint64_t rest = h / bitmaps_.size();
+  const int k = std::min(31, std::countr_zero(rest | (1ULL << 32)));
+  bitmaps_[bitmap] |= 1u << k;
+}
+
+void FmSketch::Merge(const FmSketch& other) {
+  SNAPQ_CHECK_EQ(bitmaps_.size(), other.bitmaps_.size());
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    bitmaps_[i] |= other.bitmaps_[i];
+  }
+}
+
+double FmSketch::EstimateCount() const {
+  // Mean index of the lowest unset bit across bitmaps.
+  double total_r = 0.0;
+  for (uint32_t bits : bitmaps_) {
+    total_r += std::countr_one(bits);
+  }
+  const double m = static_cast<double>(bitmaps_.size());
+  return (m / kPhi) * std::pow(2.0, total_r / m);
+}
+
+FmSketch FmSketch::FromWire(const std::vector<uint32_t>& bitmaps) {
+  FmSketch s(bitmaps.size());
+  s.bitmaps_ = bitmaps;
+  return s;
+}
+
+SumSketch::SumSketch(size_t num_bitmaps) : sketch_(num_bitmaps) {}
+
+void SumSketch::AddValue(NodeId node, double value) {
+  SNAPQ_CHECK_GE(value, 0.0);
+  const uint64_t units = static_cast<uint64_t>(std::ceil(value));
+  for (uint64_t u = 0; u < units; ++u) {
+    sketch_.InsertItem((static_cast<uint64_t>(node) << 32) | u);
+  }
+}
+
+SumSketch SumSketch::FromWire(const std::vector<uint32_t>& bitmaps) {
+  SumSketch s(bitmaps.size());
+  s.sketch_ = FmSketch::FromWire(bitmaps);
+  return s;
+}
+
+}  // namespace snapq

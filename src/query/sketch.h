@@ -1,0 +1,78 @@
+// Counting sketches for loss-resilient in-network aggregation — the
+// comparator of the paper's §2 ([3], Considine, Li, Kollios, Byers:
+// "Approximate aggregation techniques for sensor databases", ICDE 2004).
+//
+// A Flajolet-Martin (PCSA) sketch counts distinct items with O(log n) bits
+// per bitmap; SUM is sketched by inserting ceil(v) distinct items per node
+// (exact for the integer part, documented bias below). Because sketches
+// are merged with bitwise OR, duplicates are free: every node can
+// broadcast its partial to *all* neighbors (multipath), so a lost edge
+// rarely loses data — at the price of approximation error and per-epoch
+// re-aggregation of the whole network (the trade-off §2 argues against).
+#ifndef SNAPQ_QUERY_SKETCH_H_
+#define SNAPQ_QUERY_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/node_id.h"
+
+namespace snapq {
+
+/// PCSA distinct-count sketch: `num_bitmaps` 32-bit bitmaps. An item is
+/// hashed to one bitmap and sets bit k with probability 2^-(k+1); the
+/// count estimate is (m / phi) * 2^(mean lowest-unset-bit index).
+class FmSketch {
+ public:
+  explicit FmSketch(size_t num_bitmaps = 32);
+
+  /// Inserts an item (idempotent: the same key never changes the estimate
+  /// twice).
+  void InsertItem(uint64_t key);
+
+  /// Bitwise-OR merge (idempotent, commutative, associative). Sketch
+  /// shapes must match.
+  void Merge(const FmSketch& other);
+
+  /// Estimated number of distinct items inserted.
+  double EstimateCount() const;
+
+  size_t num_bitmaps() const { return bitmaps_.size(); }
+  const std::vector<uint32_t>& bitmaps() const { return bitmaps_; }
+
+  /// Rebuilds a sketch from its wire form (e.g. a Message::ids payload).
+  static FmSketch FromWire(const std::vector<uint32_t>& bitmaps);
+
+  bool operator==(const FmSketch&) const = default;
+
+ private:
+  std::vector<uint32_t> bitmaps_;
+};
+
+/// SUM sketch over node readings: node i's value v contributes ceil(v)
+/// distinct items keyed (i, 0..ceil(v)-1). Values must be non-negative;
+/// fractional parts are rounded up (relative bias <= 1/value). The
+/// estimate carries the FM error (~1.3/sqrt(num_bitmaps) with 32 bitmaps
+/// => ~13% typical relative error).
+class SumSketch {
+ public:
+  explicit SumSketch(size_t num_bitmaps = 32);
+
+  /// Folds node `node`'s reading `value` (>= 0) into the sketch.
+  void AddValue(NodeId node, double value);
+
+  void Merge(const SumSketch& other) { sketch_.Merge(other.sketch_); }
+
+  double EstimateSum() const { return sketch_.EstimateCount(); }
+
+  const FmSketch& sketch() const { return sketch_; }
+  static SumSketch FromWire(const std::vector<uint32_t>& bitmaps);
+
+ private:
+  FmSketch sketch_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_SKETCH_H_

@@ -1,0 +1,27 @@
+#include "sim/metrics.h"
+
+#include "common/string_util.h"
+
+namespace snapq {
+
+void Metrics::Reset() { *this = Metrics(); }
+
+std::string Metrics::ToString() const {
+  std::string out = StrFormat(
+      "messages: sent=%llu delivered=%llu lost=%llu cache_ops=%llu\n",
+      static_cast<unsigned long long>(total_sent_),
+      static_cast<unsigned long long>(total_delivered_),
+      static_cast<unsigned long long>(total_lost_),
+      static_cast<unsigned long long>(cache_ops_));
+  for (size_t i = 0; i < kNumTypes; ++i) {
+    if (sent_[i] == 0 && delivered_[i] == 0 && lost_[i] == 0) continue;
+    out += StrFormat("  %-15s sent=%-8llu delivered=%-8llu lost=%llu\n",
+                     MessageTypeName(static_cast<MessageType>(i)),
+                     static_cast<unsigned long long>(sent_[i]),
+                     static_cast<unsigned long long>(delivered_[i]),
+                     static_cast<unsigned long long>(lost_[i]));
+  }
+  return out;
+}
+
+}  // namespace snapq

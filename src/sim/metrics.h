@@ -1,0 +1,61 @@
+// Simulation-wide counters: message traffic by type, energy, cache
+// activity. Experiments read these to report the paper's metrics (messages
+// per node, nodes participating in a query, etc.).
+#ifndef SNAPQ_SIM_METRICS_H_
+#define SNAPQ_SIM_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "net/message.h"
+
+namespace snapq {
+
+/// Plain counters; reset between experiment phases via snapshots/deltas.
+class Metrics {
+ public:
+  void CountSent(MessageType type) { ++sent_[Index(type)]; ++total_sent_; }
+  void CountDelivered(MessageType type) {
+    ++delivered_[Index(type)];
+    ++total_delivered_;
+  }
+  void CountLost(MessageType type) { ++lost_[Index(type)]; ++total_lost_; }
+  void CountSnooped(MessageType type) { ++snooped_[Index(type)]; }
+  void CountCacheOp() { ++cache_ops_; }
+
+  uint64_t sent(MessageType type) const { return sent_[Index(type)]; }
+  uint64_t delivered(MessageType type) const {
+    return delivered_[Index(type)];
+  }
+  uint64_t lost(MessageType type) const { return lost_[Index(type)]; }
+  uint64_t snooped(MessageType type) const { return snooped_[Index(type)]; }
+
+  uint64_t total_sent() const { return total_sent_; }
+  uint64_t total_delivered() const { return total_delivered_; }
+  uint64_t total_lost() const { return total_lost_; }
+  uint64_t cache_ops() const { return cache_ops_; }
+
+  void Reset();
+
+  /// Multi-line human-readable dump (used by traces and examples).
+  std::string ToString() const;
+
+ private:
+  static constexpr size_t kNumTypes =
+      static_cast<size_t>(MessageType::kQueryReply) + 1;
+  static size_t Index(MessageType t) { return static_cast<size_t>(t); }
+
+  std::array<uint64_t, kNumTypes> sent_{};
+  std::array<uint64_t, kNumTypes> delivered_{};
+  std::array<uint64_t, kNumTypes> lost_{};
+  std::array<uint64_t, kNumTypes> snooped_{};
+  uint64_t total_sent_ = 0;
+  uint64_t total_delivered_ = 0;
+  uint64_t total_lost_ = 0;
+  uint64_t cache_ops_ = 0;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_SIM_METRICS_H_

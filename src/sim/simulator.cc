@@ -1,0 +1,110 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace snapq {
+
+Simulator::Simulator(std::vector<Point> positions, std::vector<double> ranges,
+                     const SimConfig& config)
+    : links_(std::move(positions), std::move(ranges),
+             config.loss_probability),
+      config_(config),
+      rng_(config.seed) {
+  const size_t n = links_.num_nodes();
+  batteries_.assign(n, Battery(config_.energy.initial_battery));
+  handlers_.resize(n);
+  sent_by_.assign(n, 0);
+}
+
+void Simulator::SetHandler(NodeId id, MessageHandler handler) {
+  SNAPQ_CHECK_LT(id, handlers_.size());
+  handlers_[id] = std::move(handler);
+}
+
+void Simulator::ScheduleAt(Time t, std::function<void()> action) {
+  queue_.ScheduleAt(t, std::move(action));
+}
+
+void Simulator::ScheduleAfter(Time delta, std::function<void()> action) {
+  SNAPQ_CHECK_GE(delta, 0);
+  queue_.ScheduleAt(queue_.now() + delta, std::move(action));
+}
+
+bool Simulator::Send(const Message& msg) {
+  const NodeId from = msg.from;
+  SNAPQ_CHECK_LT(from, num_nodes());
+  if (!batteries_[from].alive()) return false;
+  // A node may die on its final transmission; the message still goes out.
+  batteries_[from].Consume(config_.energy.tx_cost);
+  metrics_.CountSent(msg.type);
+  ++sent_by_[from];
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEvent{TraceEvent::Kind::kSend, queue_.now(),
+                              msg.type, from, kInvalidNode, msg.epoch});
+  }
+
+  for (NodeId receiver : links_.Reachable(from)) {
+    const bool addressed =
+        msg.to == kBroadcastId || msg.to == receiver;
+    bool snooped = false;
+    if (!addressed) {
+      // Unaddressed neighbors overhear with the snoop probability.
+      if (config_.snoop_probability <= 0.0 ||
+          !rng_.Bernoulli(config_.snoop_probability)) {
+        continue;
+      }
+      snooped = true;
+    }
+    const double type_loss = type_loss_[static_cast<size_t>(msg.type)];
+    if (links_.SampleLoss(from, receiver, rng_) ||
+        (type_loss > 0.0 && rng_.Bernoulli(type_loss))) {
+      if (addressed) metrics_.CountLost(msg.type);
+      if (trace_ != nullptr) {
+        trace_->Record(TraceEvent{TraceEvent::Kind::kLoss, queue_.now(),
+                                  msg.type, from, receiver, msg.epoch});
+      }
+      continue;
+    }
+    // Copy the message into the delivery event; the sender may mutate or
+    // destroy its copy after Send returns.
+    Message copy = msg;
+    queue_.ScheduleAt(queue_.now(),
+                      [this, receiver, m = std::move(copy), snooped]() {
+                        Deliver(receiver, m, snooped);
+                      });
+  }
+  return true;
+}
+
+void Simulator::Deliver(NodeId to, const Message& msg, bool snooped) {
+  if (!batteries_[to].alive()) return;
+  batteries_[to].Consume(config_.energy.rx_cost);
+  if (snooped) {
+    metrics_.CountSnooped(msg.type);
+  } else {
+    metrics_.CountDelivered(msg.type);
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEvent{snooped ? TraceEvent::Kind::kSnoop
+                                      : TraceEvent::Kind::kDeliver,
+                              queue_.now(), msg.type, msg.from, to,
+                              msg.epoch});
+  }
+  if (handlers_[to]) {
+    handlers_[to](msg, snooped);
+  }
+}
+
+void Simulator::ChargeCacheOp(NodeId id) {
+  SNAPQ_CHECK_LT(id, num_nodes());
+  batteries_[id].Consume(config_.energy.cache_op_cost);
+  metrics_.CountCacheOp();
+}
+
+void Simulator::ResetPerNodeCounters() {
+  sent_by_.assign(sent_by_.size(), 0);
+}
+
+}  // namespace snapq

@@ -1,0 +1,139 @@
+// The network simulator: binds the link model, energy accounting, the event
+// queue and per-node message handlers. Protocol agents (election,
+// maintenance, queries) are built on top of this interface.
+//
+// Faithfulness notes:
+//  * every transmission is physically a broadcast; `Message::to` narrows the
+//    intended recipient, and other nodes in range may snoop unicasts with a
+//    configurable probability (§3: nodes build models by snooping);
+//  * loss is sampled independently per (message, receiver);
+//  * dead nodes (empty battery or forced kill) neither send nor receive;
+//  * sending charges the sender one tx cost; a send that exhausts the
+//    battery still goes out (the node dies transmitting).
+#ifndef SNAPQ_SIM_SIMULATOR_H_
+#define SNAPQ_SIM_SIMULATOR_H_
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/energy.h"
+#include "net/link_model.h"
+#include "net/message.h"
+#include "net/node_id.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+
+namespace snapq {
+
+/// Simulator-wide knobs.
+struct SimConfig {
+  /// Default per-delivery loss probability (the paper's P_loss).
+  double loss_probability = 0.0;
+  /// Probability that a node in range overhears a unicast not addressed to
+  /// it (§6.3 uses 5%).
+  double snoop_probability = 0.0;
+  /// Energy model; use EnergyModel::Unlimited() to ignore energy.
+  EnergyModel energy = EnergyModel::Unlimited();
+  /// Root seed for all randomness drawn by the simulator (loss, snooping).
+  uint64_t seed = 1;
+};
+
+/// Discrete-event sensor network simulator.
+class Simulator {
+ public:
+  /// Handler invoked on message delivery. `snooped` is true when the node
+  /// overheard a unicast addressed to someone else.
+  using MessageHandler = std::function<void(const Message&, bool snooped)>;
+
+  Simulator(std::vector<Point> positions, std::vector<double> ranges,
+            const SimConfig& config);
+
+  size_t num_nodes() const { return links_.num_nodes(); }
+  Time now() const { return queue_.now(); }
+
+  /// Installs the delivery callback for `id`. A node without a handler
+  /// silently drops deliveries (useful in unit tests).
+  void SetHandler(NodeId id, MessageHandler handler);
+
+  /// Schedules an action at absolute time t >= now().
+  void ScheduleAt(Time t, std::function<void()> action);
+  /// Schedules an action `delta` >= 0 time units from now.
+  void ScheduleAfter(Time delta, std::function<void()> action);
+
+  /// Transmits `msg` (msg.from must be a live node). Deliveries are
+  /// scheduled at now() (radio latency is negligible at the paper's
+  /// time-unit granularity) after loss sampling. Returns false if the
+  /// sender was dead and nothing was transmitted.
+  bool Send(const Message& msg);
+
+  /// Charges `id` one cache-maintenance CPU operation.
+  void ChargeCacheOp(NodeId id);
+
+  /// Drains `amount` energy units from `id` directly (used by layers that
+  /// account traffic in aggregate, e.g. the query executor's tree traffic).
+  void Drain(NodeId id, double amount) { batteries_[id].Consume(amount); }
+
+  bool alive(NodeId id) const { return batteries_[id].alive(); }
+  const Battery& battery(NodeId id) const { return batteries_[id]; }
+  /// Forced node failure (failure injection in tests/experiments).
+  void Kill(NodeId id) { batteries_[id].Kill(); }
+
+  /// Moves node `id` (mobility): subsequent transmissions use the new
+  /// position's reachability.
+  void MoveNode(NodeId id, const Point& position) {
+    links_.SetPosition(id, position);
+  }
+
+  /// Failure injection: additionally drops every delivery of `type` with
+  /// probability `p` (independent of the link loss). Lets tests sever one
+  /// protocol path — e.g. lose every Accept — and check the recovery rules.
+  void SetTypeLoss(MessageType type, double p) {
+    type_loss_[static_cast<size_t>(type)] = p;
+  }
+
+  const LinkModel& links() const { return links_; }
+  LinkModel& mutable_links() { return links_; }
+  const SimConfig& config() const { return config_; }
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Number of messages node `id` has transmitted (Fig 15 reports the
+  /// per-node average during maintenance).
+  uint64_t messages_sent_by(NodeId id) const { return sent_by_[id]; }
+  /// Resets the per-node sent counters (metrics object is left untouched).
+  void ResetPerNodeCounters();
+
+  Rng& rng() { return rng_; }
+
+  /// Attaches an event tracer (nullptr detaches). Not owned.
+  void SetTrace(TraceRecorder* trace) { trace_ = trace; }
+
+  // Event loop control.
+  bool RunNext() { return queue_.RunNext(); }
+  void RunUntil(Time t) { queue_.RunUntil(t); }
+  void RunAll() { queue_.RunAll(); }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  void Deliver(NodeId to, const Message& msg, bool snooped);
+
+  LinkModel links_;
+  SimConfig config_;
+  EventQueue queue_;
+  Metrics metrics_;
+  Rng rng_;
+  std::vector<Battery> batteries_;
+  std::vector<MessageHandler> handlers_;
+  std::vector<uint64_t> sent_by_;
+  std::array<double, static_cast<size_t>(MessageType::kQueryReply) + 1>
+      type_loss_{};
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_SIM_SIMULATOR_H_

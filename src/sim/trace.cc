@@ -1,0 +1,82 @@
+#include "sim/trace.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace snapq {
+
+const char* TraceEventKindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kSend:
+      return "send";
+    case TraceEvent::Kind::kDeliver:
+      return "deliver";
+    case TraceEvent::Kind::kSnoop:
+      return "snoop";
+    case TraceEvent::Kind::kLoss:
+      return "loss";
+  }
+  return "?";
+}
+
+std::string TraceEvent::ToString() const {
+  if (kind == Kind::kSend) {
+    return StrFormat("t=%-5lld %-7s %-14s from=%u epoch=%lld",
+                     static_cast<long long>(time), TraceEventKindName(kind),
+                     MessageTypeName(type), from,
+                     static_cast<long long>(epoch));
+  }
+  return StrFormat("t=%-5lld %-7s %-14s from=%u to=%u epoch=%lld",
+                   static_cast<long long>(time), TraceEventKindName(kind),
+                   MessageTypeName(type), from, node,
+                   static_cast<long long>(epoch));
+}
+
+TraceRecorder::TraceRecorder(size_t capacity) : buffer_(capacity) {
+  SNAPQ_CHECK_GT(capacity, 0u);
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  buffer_[next_] = event;
+  next_ = (next_ + 1) % buffer_.size();
+  if (count_ < buffer_.size()) ++count_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  const size_t start = (next_ + buffer_.size() - count_) % buffer_.size();
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::Filter(TraceEvent::Kind kind,
+                                              MessageType type) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : Events()) {
+    if (e.kind == kind && e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceRecorder::Dump(size_t limit) const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out;
+  const size_t begin = events.size() > limit ? events.size() - limit : 0;
+  for (size_t i = begin; i < events.size(); ++i) {
+    out += events[i].ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  next_ = 0;
+  count_ = 0;
+  total_ = 0;
+}
+
+}  // namespace snapq

@@ -1,0 +1,67 @@
+// Protocol event tracing: an optional ring buffer of radio events
+// (transmissions, deliveries, losses, snoops) attachable to a Simulator.
+// Used for debugging protocol interleavings and by tests that assert on
+// message sequences.
+#ifndef SNAPQ_SIM_TRACE_H_
+#define SNAPQ_SIM_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/node_id.h"
+
+namespace snapq {
+
+/// One traced radio event.
+struct TraceEvent {
+  enum class Kind { kSend, kDeliver, kSnoop, kLoss };
+  Kind kind = Kind::kSend;
+  Time time = 0;
+  MessageType type = MessageType::kData;
+  NodeId from = kInvalidNode;
+  /// Receiver for deliver/snoop/loss; kInvalidNode for sends.
+  NodeId node = kInvalidNode;
+  int64_t epoch = 0;
+
+  std::string ToString() const;
+};
+
+const char* TraceEventKindName(TraceEvent::Kind kind);
+
+/// Fixed-capacity ring buffer of trace events; old events are overwritten.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 4096);
+
+  void Record(const TraceEvent& event);
+
+  /// Number of retained events (<= capacity).
+  size_t size() const { return count_; }
+  size_t capacity() const { return buffer_.size(); }
+  /// Total events ever recorded (including overwritten ones).
+  uint64_t total_recorded() const { return total_; }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Retained events matching (kind, type), oldest first.
+  std::vector<TraceEvent> Filter(TraceEvent::Kind kind,
+                                 MessageType type) const;
+
+  /// Multi-line dump of the newest `limit` events.
+  std::string Dump(size_t limit = 50) const;
+
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  size_t next_ = 0;
+  size_t count_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_SIM_TRACE_H_

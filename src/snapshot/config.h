@@ -1,0 +1,63 @@
+// Tunables of the snapshot protocol (election + maintenance).
+#ifndef SNAPQ_SNAPSHOT_CONFIG_H_
+#define SNAPQ_SNAPSHOT_CONFIG_H_
+
+#include "model/cache_manager.h"
+#include "model/error_metric.h"
+#include "net/node_id.h"
+
+namespace snapq {
+
+/// Configuration shared by every node's protocol agent.
+struct SnapshotConfig {
+  /// The representation threshold T: N_i can represent N_j iff
+  /// d(x_j, x̂_j) <= T.
+  double threshold = 1.0;
+  /// The application's error metric d() (the paper's experiments use sse).
+  ErrorMetric metric = ErrorMetric::SumSquared();
+  /// Sizing/policy of the per-node observation cache.
+  CacheConfig cache;
+
+  /// Refinement rounds a node waits before Rule-4 kicks in (the paper's
+  /// MAX_WAIT, unspecified there). Measured in time units after the
+  /// refinement phase starts. Only undecided nodes keep refining, so a
+  /// generous window costs nothing under reliable communication but lets
+  /// StayActive/ack retries converge under heavy message loss (Fig 7's
+  /// robustness claim).
+  Time max_wait = 40;
+  /// Rule-4: an expired node stays UNDEFINED for another round with this
+  /// probability (avoids synchronized ACTIVE stampedes).
+  double p_wait = 0.5;
+  /// Absolute bound on refinement length: after this many additional time
+  /// units past max_wait, an UNDEFINED node deterministically goes ACTIVE.
+  /// (Guarantees termination even under adversarial coin flips.)
+  Time rule4_hard_cap = 24;
+  /// Rule-3 retry: a node awaiting its representative's acknowledgment
+  /// re-sends StayActive after this many time units (lost messages are
+  /// retried "in the next iteration", §5). Acknowledgments are answered
+  /// within the same time unit, so under reliable communication no retry
+  /// ever fires and the Table-2 message bound holds.
+  Time stay_active_resend = 1;
+
+  /// Maintenance: heartbeat reply wait before counting a miss.
+  Time heartbeat_timeout = 2;
+  /// Consecutive missed heartbeat replies before the representative is
+  /// declared failed and a local re-election starts. One lost round trip
+  /// must not tear down a healthy representation on a lossy channel.
+  int heartbeat_miss_limit = 3;
+  /// A representative resigns when its battery falls below this fraction of
+  /// the initial capacity (0 disables resignation).
+  double resign_battery_fraction = 0.0;
+
+  /// LEACH-style rotation (§5.1, citing [8]): a representative serves at
+  /// most this many maintenance rounds, then steps down and sits out
+  /// `rotation_cooldown` rounds before offering candidacy again, so the
+  /// representative role (and its energy cost) rotates through the
+  /// neighborhood. 0 disables rotation.
+  int rotation_rounds = 0;
+  int rotation_cooldown = 2;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_SNAPSHOT_CONFIG_H_

@@ -1,0 +1,35 @@
+#include "snapshot/multi_resolution.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace snapq {
+
+void MultiResolutionRegistry::Register(double threshold, SnapshotView view) {
+  SNAPQ_CHECK_GT(threshold, 0.0);
+  snapshots_.insert_or_assign(threshold, std::move(view));
+}
+
+const SnapshotView* MultiResolutionRegistry::Resolve(
+    double query_threshold) const {
+  // Largest registered threshold <= query_threshold.
+  auto it = snapshots_.upper_bound(query_threshold);
+  if (it == snapshots_.begin()) return nullptr;
+  --it;
+  return &it->second;
+}
+
+const SnapshotView* MultiResolutionRegistry::Tightest() const {
+  if (snapshots_.empty()) return nullptr;
+  return &snapshots_.begin()->second;
+}
+
+std::vector<double> MultiResolutionRegistry::Thresholds() const {
+  std::vector<double> out;
+  out.reserve(snapshots_.size());
+  for (const auto& [t, v] : snapshots_) out.push_back(t);
+  return out;
+}
+
+}  // namespace snapq

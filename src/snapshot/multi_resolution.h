@@ -1,0 +1,45 @@
+// Multi-resolution snapshots (§3.1): each threshold T yields a snapshot at
+// a different "resolution". A registry of snapshots keyed by threshold lets
+// a query with its own error tolerance T_q be answered by the snapshot with
+// the largest registered T <= T_q — valid because a representative within T
+// is a fortiori within any larger tolerance, and the larger T is, the
+// smaller (cheaper) the snapshot.
+#ifndef SNAPQ_SNAPSHOT_MULTI_RESOLUTION_H_
+#define SNAPQ_SNAPSHOT_MULTI_RESOLUTION_H_
+
+#include <map>
+#include <vector>
+
+#include "snapshot/node_state.h"
+
+namespace snapq {
+
+/// Threshold-indexed snapshot registry.
+class MultiResolutionRegistry {
+ public:
+  /// Registers (or replaces) the snapshot elected for `threshold`.
+  void Register(double threshold, SnapshotView view);
+
+  /// The registered snapshot best suited to a query tolerating error
+  /// `query_threshold`: the one with the largest threshold <= the query's.
+  /// Returns nullptr when no registered snapshot is tight enough.
+  const SnapshotView* Resolve(double query_threshold) const;
+
+  /// The tightest registered snapshot (smallest threshold); per §3.1 it can
+  /// answer *every* query whose threshold is >= its own. Returns nullptr
+  /// when empty.
+  const SnapshotView* Tightest() const;
+
+  /// Ascending registered thresholds.
+  std::vector<double> Thresholds() const;
+
+  size_t size() const { return snapshots_.size(); }
+  bool empty() const { return snapshots_.empty(); }
+
+ private:
+  std::map<double, SnapshotView> snapshots_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_SNAPSHOT_MULTI_RESOLUTION_H_

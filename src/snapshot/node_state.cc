@@ -1,0 +1,82 @@
+#include "snapshot/node_state.h"
+
+namespace snapq {
+
+const char* NodeModeName(NodeMode mode) {
+  switch (mode) {
+    case NodeMode::kUndefined:
+      return "UNDEFINED";
+    case NodeMode::kActive:
+      return "ACTIVE";
+    case NodeMode::kPassive:
+      return "PASSIVE";
+  }
+  return "?";
+}
+
+size_t SnapshotView::CountActive() const {
+  size_t n = 0;
+  for (const NodeInfo& info : nodes_) {
+    if (info.alive && info.mode == NodeMode::kActive) ++n;
+  }
+  return n;
+}
+
+size_t SnapshotView::CountPassive() const {
+  size_t n = 0;
+  for (const NodeInfo& info : nodes_) {
+    if (info.alive && info.mode == NodeMode::kPassive) ++n;
+  }
+  return n;
+}
+
+size_t SnapshotView::CountUndefined() const {
+  size_t n = 0;
+  for (const NodeInfo& info : nodes_) {
+    if (info.alive && info.mode == NodeMode::kUndefined) ++n;
+  }
+  return n;
+}
+
+bool SnapshotView::RepresentsCurrently(NodeId rep, NodeId j) const {
+  if (rep == j) return true;
+  const NodeInfo& holder = nodes_[rep];
+  const auto it = holder.represents.find(j);
+  if (it == holder.represents.end()) return false;
+  const NodeInfo& target = nodes_[j];
+  // Stale when the represented node has moved on: different representative
+  // or a newer election epoch than the one the holder recorded.
+  return target.representative == rep && target.epoch == it->second;
+}
+
+size_t SnapshotView::CountSpurious() const {
+  size_t n = 0;
+  for (NodeId rep = 0; rep < nodes_.size(); ++rep) {
+    const NodeInfo& holder = nodes_[rep];
+    if (!holder.alive) continue;
+    for (const auto& [j, epoch] : holder.represents) {
+      if (!RepresentsCurrently(rep, j)) {
+        ++n;
+        break;  // count nodes, not entries
+      }
+    }
+  }
+  return n;
+}
+
+NodeId SnapshotView::ResponderFor(NodeId j) const {
+  const NodeInfo& info = nodes_[j];
+  if (info.mode != NodeMode::kPassive) {
+    return info.alive ? j : kInvalidNode;
+  }
+  const NodeId rep = info.representative;
+  if (rep == kInvalidNode || rep == j) {
+    return info.alive ? j : kInvalidNode;
+  }
+  if (nodes_[rep].alive && RepresentsCurrently(rep, j)) {
+    return rep;
+  }
+  return kInvalidNode;
+}
+
+}  // namespace snapq

@@ -1,0 +1,79 @@
+// Node protocol state shared by the election and maintenance logic, plus
+// the SnapshotView value type that captures an elected snapshot for query
+// processing and analysis.
+#ifndef SNAPQ_SNAPSHOT_NODE_STATE_H_
+#define SNAPQ_SNAPSHOT_NODE_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/node_id.h"
+
+namespace snapq {
+
+/// §5: a node's status flag. Initially undefined; the refinement rules set
+/// it to ACTIVE (represents a non-empty set including itself, answers
+/// snapshot queries) or PASSIVE (represented by another node, stays idle).
+enum class NodeMode {
+  kUndefined,
+  kActive,
+  kPassive,
+};
+
+const char* NodeModeName(NodeMode mode);
+
+/// Immutable capture of the network's representation state after an
+/// election (or at any instant during maintenance). Index = NodeId.
+class SnapshotView {
+ public:
+  struct NodeInfo {
+    NodeMode mode = NodeMode::kUndefined;
+    /// Who this node believes represents it (self id when unrepresented).
+    NodeId representative = kInvalidNode;
+    /// This node's election epoch when it last chose its representative.
+    int64_t epoch = 0;
+    /// Nodes this node believes it represents -> the epoch it recorded.
+    std::map<NodeId, int64_t> represents;
+    /// False when the node is dead (battery exhausted / killed).
+    bool alive = true;
+  };
+
+  explicit SnapshotView(std::vector<NodeInfo> nodes)
+      : nodes_(std::move(nodes)) {}
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const NodeInfo& node(NodeId id) const { return nodes_[id]; }
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+
+  /// Number of ACTIVE nodes: the snapshot size n1 the paper plots.
+  size_t CountActive() const;
+
+  /// Number of PASSIVE nodes.
+  size_t CountPassive() const;
+
+  /// Nodes still UNDEFINED (should be zero after a completed election).
+  size_t CountUndefined() const;
+
+  /// Spurious representatives (§3, Fig 13): nodes holding at least one
+  /// stale represents-entry — they believe they represent some N_j whose
+  /// own record points to a different (or newer-epoch) representative.
+  size_t CountSpurious() const;
+
+  /// True when node `rep` holds a *current* (non-stale) representation of
+  /// node `j`.
+  bool RepresentsCurrently(NodeId rep, NodeId j) const;
+
+  /// The nodes that answer a snapshot query on behalf of `j` (j itself when
+  /// ACTIVE, else its current representative); kInvalidNode when nobody
+  /// would answer (e.g. all stale).
+  NodeId ResponderFor(NodeId j) const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+};
+
+}  // namespace snapq
+
+#endif  // SNAPQ_SNAPSHOT_NODE_STATE_H_

@@ -1,0 +1,155 @@
+// Shape tests on the paper's experimental pipeline: these assert the
+// qualitative results of §6 (monotonicity, plateaus, robustness) on
+// reduced-size instances so the full suite stays fast.
+#include "api/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(SensitivityTrialTest, SingleClassElectsSingleRepresentative) {
+  // Fig 6 anchor point: K=1 -> one representative for the whole network.
+  SensitivityConfig config;
+  config.num_classes = 1;
+  config.seed = 3;
+  const SensitivityOutcome outcome = RunSensitivityTrial(config);
+  EXPECT_EQ(outcome.stats.num_active, 1u);
+  EXPECT_EQ(outcome.stats.num_passive, 99u);
+  EXPECT_EQ(outcome.stats.num_undefined, 0u);
+}
+
+TEST(SensitivityTrialTest, RepresentativesGrowWithClassesThenPlateau) {
+  // Fig 6 shape on a reduced instance.
+  auto reps_for = [](size_t k) {
+    SensitivityConfig config;
+    config.num_classes = k;
+    config.seed = 11;
+    return RunSensitivityTrial(config).stats.num_active;
+  };
+  const size_t r1 = reps_for(1);
+  const size_t r10 = reps_for(10);
+  const size_t r100 = reps_for(100);
+  EXPECT_LT(r1, r10);
+  EXPECT_LE(r10, r100 + 5);  // plateau: allow noise
+  EXPECT_LT(r100, 60u);      // far below N=100
+}
+
+TEST(SensitivityTrialTest, MessageBoundHolds) {
+  SensitivityConfig config;
+  config.num_classes = 5;
+  config.seed = 2;
+  const SensitivityOutcome outcome = RunSensitivityTrial(config);
+  EXPECT_LE(outcome.stats.max_messages_per_node, 5.0);
+}
+
+TEST(SensitivityTrialTest, LossyNetworkStillSettles) {
+  // Fig 7: even at high loss, discovery completes and finds a small set.
+  SensitivityConfig config;
+  config.num_classes = 1;
+  config.loss_probability = 0.5;
+  config.seed = 5;
+  const SensitivityOutcome outcome = RunSensitivityTrial(config);
+  EXPECT_EQ(outcome.stats.num_undefined, 0u);
+  EXPECT_LT(outcome.stats.num_active, 50u);
+}
+
+TEST(SensitivityTrialTest, ModelAwareCacheBeatsRoundRobinWhenTight) {
+  // Fig 8 anchor: around 1KB the model-aware manager needs far fewer
+  // representatives than round-robin. Averaged over a few seeds.
+  auto mean_reps = [](CachePolicy policy) {
+    const RunningStats stats = MeanOverSeeds(5, 21, [&](uint64_t seed) {
+      SensitivityConfig config;
+      config.num_classes = 10;
+      config.cache_bytes = 1100;
+      config.cache_policy = policy;
+      config.seed = seed;
+      return static_cast<double>(
+          RunSensitivityTrial(config).stats.num_active);
+    });
+    return stats.mean();
+  };
+  EXPECT_LT(mean_reps(CachePolicy::kModelAware),
+            mean_reps(CachePolicy::kRoundRobin));
+}
+
+TEST(SensitivityTrialTest, ShorterRangeMeansMoreRepresentatives) {
+  // Fig 9 shape: representatives shrink as the transmission range grows.
+  auto reps_for = [](double range) {
+    SensitivityConfig config;
+    config.num_classes = 5;
+    config.transmission_range = range;
+    config.seed = 13;
+    return RunSensitivityTrial(config).stats.num_active;
+  };
+  EXPECT_GT(reps_for(0.3), reps_for(1.4));
+}
+
+TEST(SensitivityTrialTest, WeatherWorkloadRunsAndShrinksWithThreshold) {
+  // Fig 11 shape: larger T -> fewer representatives (weather substitute).
+  auto reps_for = [](double threshold) {
+    SensitivityConfig config;
+    config.workload = WorkloadKind::kWeather;
+    config.threshold = threshold;
+    config.seed = 17;
+    return RunSensitivityTrial(config).stats.num_active;
+  };
+  const size_t tight = reps_for(0.1);
+  const size_t loose = reps_for(10.0);
+  EXPECT_LT(loose, tight);
+  EXPECT_LE(loose, 15u);  // a small fraction of the 100-node network
+}
+
+TEST(SensitivityTrialTest, RepresentationErrorBelowThreshold) {
+  // Fig 12 shape: measured sse of the representatives' estimates stays
+  // below (in practice well below) the threshold T.
+  SensitivityConfig config;
+  config.workload = WorkloadKind::kWeather;
+  config.threshold = 1.0;
+  config.seed = 19;
+  const SensitivityOutcome outcome = RunSensitivityTrial(config);
+  const double sse = AverageRepresentationSse(*outcome.network);
+  EXPECT_LE(sse, config.threshold);
+}
+
+TEST(MeanOverSeedsTest, AveragesAcrossSeeds) {
+  const RunningStats stats = MeanOverSeeds(
+      4, 10, [](uint64_t seed) { return static_cast<double>(seed); });
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 11.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 13.0);
+}
+
+TEST(BuildSensitivityNetworkTest, AttachesDatasetAndTraining) {
+  SensitivityConfig config;
+  config.seed = 23;
+  const auto net = BuildSensitivityNetwork(config);
+  ASSERT_NE(net->dataset(), nullptr);
+  EXPECT_EQ(net->dataset()->num_nodes(), 100u);
+  EXPECT_EQ(net->dataset()->horizon(), 101u);
+}
+
+// Property sweep over loss rates (Fig 7/13 shape): discovery always
+// settles; spurious representatives stay rare.
+class LossRobustness : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossRobustness, DiscoveryRobustUnderLoss) {
+  SensitivityConfig config;
+  config.num_classes = 1;
+  config.loss_probability = GetParam();
+  config.seed = 31;
+  const SensitivityOutcome outcome = RunSensitivityTrial(config);
+  EXPECT_EQ(outcome.stats.num_undefined, 0u);
+  // Spurious representatives (lost Rule-2 recalls) stay a minority even at
+  // extreme loss. (Fig 13 reports single digits at range 0.2; the full
+  // sqrt(2) connectivity used here produces more candidate relationships
+  // and hence more opportunities for stale ones.)
+  EXPECT_LE(outcome.stats.num_spurious, 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossRobustness,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 0.95));
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,89 @@
+// Edge cases of the SensorNetwork facade and simulator accessors not
+// covered by the main suites.
+#include <gtest/gtest.h>
+
+#include "api/network.h"
+
+namespace snapq {
+namespace {
+
+NetworkConfig TinyConfig() {
+  NetworkConfig config;
+  config.num_nodes = 3;
+  config.positions = {{0.1, 0.1}, {0.5, 0.5}, {0.9, 0.9}};
+  config.seed = 5;
+  return config;
+}
+
+TEST(SensorNetworkEdgeTest, SetMeasurementsUpdatesEveryAgent) {
+  SensorNetwork net(TinyConfig());
+  net.SetMeasurements({1.5, 2.5, 3.5});
+  EXPECT_DOUBLE_EQ(net.agent(0).measurement(), 1.5);
+  EXPECT_DOUBLE_EQ(net.agent(1).measurement(), 2.5);
+  EXPECT_DOUBLE_EQ(net.agent(2).measurement(), 3.5);
+}
+
+TEST(SensorNetworkEdgeDeathTest, SetMeasurementsSizeMismatchAborts) {
+  SensorNetwork net(TinyConfig());
+  EXPECT_DEATH(net.SetMeasurements({1.0}), "SNAPQ_CHECK");
+}
+
+TEST(SensorNetworkEdgeTest, QueryBeforeElectionStillAnswers) {
+  // Without an election everyone is UNDEFINED: a snapshot query falls back
+  // to self-reports (undefined nodes are "not represented").
+  SensorNetwork net(TinyConfig());
+  net.SetMeasurements({1.0, 2.0, 3.0});
+  const Result<QueryResult> r = net.Query(
+      "SELECT sum(value) FROM sensors WHERE loc IN EVERYWHERE USE SNAPSHOT");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r->aggregate, 6.0);
+  EXPECT_EQ(r->responders, 3u);
+}
+
+TEST(SensorNetworkEdgeTest, DatasetAccessorReflectsAttachment) {
+  SensorNetwork net(TinyConfig());
+  EXPECT_EQ(net.dataset(), nullptr);
+  std::vector<TimeSeries> series(3, TimeSeries({1.0, 2.0}));
+  ASSERT_TRUE(net.AttachDataset(std::move(Dataset::Create(series).value()))
+                  .ok());
+  ASSERT_NE(net.dataset(), nullptr);
+  EXPECT_EQ(net.dataset()->horizon(), 2u);
+}
+
+TEST(SimulatorEdgeTest, DrainKillsAtZero) {
+  NetworkConfig config = TinyConfig();
+  config.energy.initial_battery = 5.0;
+  SensorNetwork net(config);
+  net.sim().Drain(1, 10.0);
+  EXPECT_FALSE(net.sim().alive(1));
+  EXPECT_TRUE(net.sim().alive(0));
+}
+
+TEST(SensorNetworkEdgeTest, SingleNodeNetworkElectsItself) {
+  NetworkConfig config;
+  config.num_nodes = 1;
+  config.positions = {{0.5, 0.5}};
+  SensorNetwork net(config);
+  net.SetMeasurements({7.0});
+  const ElectionStats stats = net.RunElection(0);
+  EXPECT_EQ(stats.num_active, 1u);
+  EXPECT_EQ(stats.num_passive, 0u);
+  const Result<QueryResult> r = net.Query(
+      "SELECT avg(value) FROM sensors WHERE loc IN EVERYWHERE USE SNAPSHOT");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r->aggregate, 7.0);
+}
+
+TEST(CheckMacroTest, ComparisonsPassAndFail) {
+  SNAPQ_CHECK_GE(2, 2);
+  SNAPQ_CHECK_GT(3, 2);
+  SNAPQ_CHECK_LE(2, 2);
+  SNAPQ_CHECK_LT(1, 2);
+  SNAPQ_CHECK_EQ(5, 5);
+  SNAPQ_CHECK_NE(5, 6);
+  EXPECT_DEATH(SNAPQ_CHECK_GT(1, 2), "SNAPQ_CHECK");
+  EXPECT_DEATH(SNAPQ_CHECK_EQ(1, 2), "SNAPQ_CHECK");
+}
+
+}  // namespace
+}  // namespace snapq

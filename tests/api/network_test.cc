@@ -1,0 +1,161 @@
+// Integration tests of the SensorNetwork facade: dataset feed, training,
+// election, SQL queries and maintenance, end to end.
+#include "api/network.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+NetworkConfig SmallConfig(uint64_t seed = 1) {
+  NetworkConfig config;
+  config.num_nodes = 10;
+  config.seed = seed;
+  config.snapshot.max_wait = 6;
+  config.snapshot.rule4_hard_cap = 16;
+  return config;
+}
+
+Dataset LockstepDataset(size_t nodes, size_t horizon) {
+  // Node i's series = (i+1) * (100 + t): exact pairwise linear relations.
+  std::vector<TimeSeries> series(nodes);
+  for (size_t i = 0; i < nodes; ++i) {
+    for (size_t t = 0; t < horizon; ++t) {
+      series[i].Append(static_cast<double>(i + 1) *
+                       (100.0 + static_cast<double>(t)));
+    }
+  }
+  Result<Dataset> ds = Dataset::Create(std::move(series));
+  return std::move(ds).value();
+}
+
+TEST(SensorNetworkTest, ConstructionPlacesNodesInArea) {
+  SensorNetwork net(SmallConfig());
+  EXPECT_EQ(net.num_nodes(), 10u);
+  for (NodeId i = 0; i < 10; ++i) {
+    EXPECT_TRUE(Rect::UnitSquare().Contains(net.position(i)));
+  }
+}
+
+TEST(SensorNetworkTest, ExplicitPositionsRespected) {
+  NetworkConfig config = SmallConfig();
+  config.num_nodes = 2;
+  config.positions = {{0.25, 0.75}, {0.5, 0.5}};
+  SensorNetwork net(config);
+  EXPECT_DOUBLE_EQ(net.position(0).x, 0.25);
+  EXPECT_DOUBLE_EQ(net.position(1).y, 0.5);
+}
+
+TEST(SensorNetworkTest, AttachDatasetValidatesNodeCount) {
+  SensorNetwork net(SmallConfig());
+  Dataset ds = LockstepDataset(3, 5);
+  EXPECT_FALSE(net.AttachDataset(std::move(ds)).ok());
+}
+
+TEST(SensorNetworkTest, DatasetFeedUpdatesMeasurements) {
+  SensorNetwork net(SmallConfig());
+  ASSERT_TRUE(net.AttachDataset(LockstepDataset(10, 20)).ok());
+  net.RunUntil(5);
+  // At t=5 node 2's reading is 3 * 105.
+  EXPECT_DOUBLE_EQ(net.agent(2).measurement(), 315.0);
+}
+
+TEST(SensorNetworkTest, TrainThenElectProducesOneRepresentative) {
+  SensorNetwork net(SmallConfig());
+  ASSERT_TRUE(net.AttachDataset(LockstepDataset(10, 40)).ok());
+  net.ScheduleTrainingBroadcasts(0, 10);
+  net.RunUntil(30);
+  const ElectionStats stats = net.RunElection(30);
+  // Exact lockstep linear data: one representative suffices.
+  EXPECT_EQ(stats.num_active, 1u);
+  EXPECT_EQ(stats.num_passive, 9u);
+  EXPECT_EQ(stats.num_undefined, 0u);
+  EXPECT_LE(stats.max_messages_per_node, 5.0);
+}
+
+TEST(SensorNetworkTest, SnapshotQueryViaSql) {
+  SensorNetwork net(SmallConfig());
+  ASSERT_TRUE(net.AttachDataset(LockstepDataset(10, 40)).ok());
+  net.ScheduleTrainingBroadcasts(0, 10);
+  net.RunUntil(30);
+  net.RunElection(30);
+  const Result<QueryResult> regular =
+      net.Query("SELECT sum(value) FROM sensors WHERE loc IN EVERYWHERE");
+  const Result<QueryResult> snap = net.Query(
+      "SELECT sum(value) FROM sensors WHERE loc IN EVERYWHERE USE SNAPSHOT");
+  ASSERT_TRUE(regular.ok());
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(regular->responders, 10u);
+  EXPECT_EQ(snap->responders, 1u);
+  ASSERT_TRUE(snap->aggregate.has_value());
+  EXPECT_NEAR(*snap->aggregate, *regular->aggregate, 1e-6);
+}
+
+TEST(SensorNetworkTest, DrillThroughSnapshotRowsCoverEveryNode) {
+  SensorNetwork net(SmallConfig());
+  ASSERT_TRUE(net.AttachDataset(LockstepDataset(10, 40)).ok());
+  net.ScheduleTrainingBroadcasts(0, 10);
+  net.RunUntil(30);
+  net.RunElection(30);
+  const Result<QueryResult> r = net.Query(
+      "SELECT loc, value FROM sensors WHERE loc IN EVERYWHERE USE SNAPSHOT");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 10u);
+}
+
+TEST(SensorNetworkTest, MaintenanceKeepsSnapshotAlive) {
+  SensorNetwork net(SmallConfig());
+  ASSERT_TRUE(net.AttachDataset(LockstepDataset(10, 200)).ok());
+  net.ScheduleTrainingBroadcasts(0, 10);
+  net.RunUntil(30);
+  net.RunElection(30);
+  std::vector<MaintenanceRoundStats> rounds;
+  net.ScheduleMaintenance(80, 200, 40,
+                          [&](const MaintenanceRoundStats& s) {
+                            rounds.push_back(s);
+                          });
+  net.RunAll();
+  ASSERT_EQ(rounds.size(), 3u);
+  for (const auto& r : rounds) {
+    EXPECT_EQ(r.snapshot_size, 1u);  // perfect data: stays at one rep
+    EXPECT_EQ(r.num_spurious, 0u);
+  }
+}
+
+TEST(SensorNetworkTest, SameSeedReproducesExactly) {
+  auto run = [](uint64_t seed) {
+    SensorNetwork net(SmallConfig(seed));
+    Status s = net.AttachDataset(LockstepDataset(10, 40));
+    net.ScheduleTrainingBroadcasts(0, 10);
+    net.RunUntil(30);
+    const ElectionStats stats = net.RunElection(30);
+    std::vector<NodeId> reps;
+    for (NodeId i = 0; i < 10; ++i) {
+      reps.push_back(net.agent(i).representative());
+    }
+    return std::make_pair(stats.num_active, reps);
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(SensorNetworkTest, SnapshotViewMatchesAgents) {
+  SensorNetwork net(SmallConfig());
+  ASSERT_TRUE(net.AttachDataset(LockstepDataset(10, 40)).ok());
+  net.ScheduleTrainingBroadcasts(0, 10);
+  net.RunUntil(30);
+  net.RunElection(30);
+  const SnapshotView view = net.Snapshot();
+  for (NodeId i = 0; i < 10; ++i) {
+    EXPECT_EQ(view.node(i).mode, net.agent(i).mode());
+    EXPECT_EQ(view.node(i).representative, net.agent(i).representative());
+  }
+}
+
+TEST(SensorNetworkDeathTest, ZeroNodesAborts) {
+  NetworkConfig config;
+  config.num_nodes = 0;
+  EXPECT_DEATH(SensorNetwork net(config), "SNAPQ_CHECK");
+}
+
+}  // namespace
+}  // namespace snapq

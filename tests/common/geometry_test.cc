@@ -1,0 +1,85 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(DistanceTest, BasicPythagoras) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(DistanceTest, ZeroForIdenticalPoints) {
+  const Point p{0.3, -2.7};
+  EXPECT_DOUBLE_EQ(Distance(p, p), 0.0);
+}
+
+TEST(DistanceTest, Symmetry) {
+  const Point a{1.5, 2.0}, b{-0.5, 7.25};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(RectTest, ContainsIsClosedOnAllSides) {
+  const Rect r{0.0, 0.0, 1.0, 1.0};
+  EXPECT_TRUE(r.Contains({0.0, 0.0}));
+  EXPECT_TRUE(r.Contains({1.0, 1.0}));
+  EXPECT_TRUE(r.Contains({0.5, 0.5}));
+  EXPECT_FALSE(r.Contains({1.0001, 0.5}));
+  EXPECT_FALSE(r.Contains({0.5, -0.0001}));
+}
+
+TEST(RectTest, CenteredSquareMatchesPaperFilter) {
+  // "loc in [x-W/2, x+W/2] x [y-W/2, y+W/2]"
+  const Rect r = Rect::CenteredSquare({0.5, 0.5}, 0.2);
+  EXPECT_DOUBLE_EQ(r.min_x, 0.4);
+  EXPECT_DOUBLE_EQ(r.max_x, 0.6);
+  EXPECT_DOUBLE_EQ(r.min_y, 0.4);
+  EXPECT_DOUBLE_EQ(r.max_y, 0.6);
+  EXPECT_NEAR(r.Area(), 0.04, 1e-12);
+}
+
+TEST(RectTest, UnitSquare) {
+  const Rect u = Rect::UnitSquare();
+  EXPECT_DOUBLE_EQ(u.Area(), 1.0);
+  EXPECT_TRUE(u.IsValid());
+}
+
+TEST(RectTest, IntersectsOverlapping) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{0.5, 0.5, 2, 2};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+}
+
+TEST(RectTest, IntersectsTouchingEdgesCounts) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{1, 0, 2, 1};
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(RectTest, DisjointDoNotIntersect) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{1.1, 1.1, 2, 2};
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(RectTest, DegenerateRectIsValidAndContainsItsPoint) {
+  const Rect p{0.5, 0.5, 0.5, 0.5};
+  EXPECT_TRUE(p.IsValid());
+  EXPECT_TRUE(p.Contains({0.5, 0.5}));
+  EXPECT_DOUBLE_EQ(p.Area(), 0.0);
+}
+
+TEST(RectTest, InvalidWhenMinExceedsMax) {
+  const Rect r{1.0, 0.0, 0.0, 1.0};
+  EXPECT_FALSE(r.IsValid());
+}
+
+TEST(RectTest, ToStringIsHumanReadable) {
+  const Rect r{0, 0, 1, 1};
+  EXPECT_EQ(r.ToString(), "[0.0000,1.0000]x[0.0000,1.0000]");
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,55 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace snapq {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"K", "reps"});
+  t.AddRow({"1", "1.0"});
+  t.AddRow({"100", "25.5"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| K   | reps |"), std::string::npos);
+  EXPECT_NE(out.find("| 1   | 1.0  |"), std::string::npos);
+  EXPECT_NE(out.find("| 100 | 25.5 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os);
+  // Three columns rendered even for the short row.
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(os.str().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::Num(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinterTest, SeparatorMatchesWidths) {
+  TablePrinter t({"xy"});
+  t.AddRow({"abcd"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("|------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTablePrintsHeaderOnly) {
+  TablePrinter t({"col"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_NE(os.str().find("| col |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,127 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace snapq {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(DatasetTest, CreateValidatesEqualLengths) {
+  std::vector<TimeSeries> series;
+  series.emplace_back(std::vector<double>{1.0, 2.0});
+  series.emplace_back(std::vector<double>{3.0, 4.0});
+  const Result<Dataset> ds = Dataset::Create(std::move(series));
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_nodes(), 2u);
+  EXPECT_EQ(ds->horizon(), 2u);
+  EXPECT_DOUBLE_EQ(ds->Value(1, 0), 3.0);
+}
+
+TEST_F(DatasetTest, CreateRejectsRaggedSeries) {
+  std::vector<TimeSeries> series;
+  series.emplace_back(std::vector<double>{1.0, 2.0});
+  series.emplace_back(std::vector<double>{3.0});
+  const Result<Dataset> ds = Dataset::Create(std::move(series));
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetTest, CreateRejectsEmpty) {
+  EXPECT_FALSE(Dataset::Create({}).ok());
+}
+
+TEST_F(DatasetTest, CsvRoundTrip) {
+  std::vector<TimeSeries> series;
+  series.emplace_back(std::vector<double>{1.5, 2.5, 3.5});
+  series.emplace_back(std::vector<double>{-1.0, 0.0, 1.0});
+  const Result<Dataset> ds = Dataset::Create(std::move(series));
+  ASSERT_TRUE(ds.ok());
+
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(ds->WriteCsv(path).ok());
+
+  const Result<Dataset> back = Dataset::ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), 2u);
+  EXPECT_EQ(back->horizon(), 3u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t t = 0; t < 3; ++t) {
+      EXPECT_DOUBLE_EQ(back->Value(i, t), ds->Value(i, t));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(DatasetTest, ReadCsvWithoutHeader) {
+  const std::string path = TempPath("noheader.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n3,4\n";
+  }
+  const Result<Dataset> ds = Dataset::ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_nodes(), 2u);
+  EXPECT_EQ(ds->horizon(), 2u);
+  EXPECT_DOUBLE_EQ(ds->Value(0, 1), 3.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(DatasetTest, ReadCsvSkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2\n\n3,4\n";
+  }
+  const Result<Dataset> ds = Dataset::ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->horizon(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(DatasetTest, ReadCsvRejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n3\n";
+  }
+  const Result<Dataset> ds = Dataset::ReadCsv(path);
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST_F(DatasetTest, ReadCsvRejectsNonNumericCell) {
+  const std::string path = TempPath("garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2\n3,oops\n";
+  }
+  EXPECT_FALSE(Dataset::ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(DatasetTest, ReadCsvMissingFile) {
+  const Result<Dataset> ds = Dataset::ReadCsv("/nonexistent/nope.csv");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(DatasetTest, ReadCsvEmptyFile) {
+  const std::string path = TempPath("empty.csv");
+  { std::ofstream out(path); }
+  EXPECT_FALSE(Dataset::ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,139 @@
+#include "data/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace snapq {
+namespace {
+
+RandomWalkConfig SmallConfig() {
+  RandomWalkConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.num_classes = 4;
+  cfg.horizon = 50;
+  return cfg;
+}
+
+TEST(RandomWalkTest, ShapesMatchConfig) {
+  Rng rng(1);
+  const RandomWalkData data = GenerateRandomWalk(SmallConfig(), rng);
+  ASSERT_EQ(data.series.size(), 20u);
+  EXPECT_EQ(data.node_class.size(), 20u);
+  EXPECT_EQ(data.move_prob.size(), 4u);
+  EXPECT_EQ(data.step_size.size(), 20u);
+  for (const TimeSeries& s : data.series) {
+    EXPECT_EQ(s.size(), 50u);
+  }
+}
+
+TEST(RandomWalkTest, EveryClassNonEmpty) {
+  Rng rng(2);
+  const RandomWalkData data = GenerateRandomWalk(SmallConfig(), rng);
+  std::vector<int> counts(4, 0);
+  for (size_t c : data.node_class) {
+    ASSERT_LT(c, 4u);
+    ++counts[c];
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(RandomWalkTest, MoveProbsInConfiguredRange) {
+  Rng rng(3);
+  const RandomWalkData data = GenerateRandomWalk(SmallConfig(), rng);
+  for (double p : data.move_prob) {
+    EXPECT_GE(p, 0.2);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(RandomWalkTest, StepSizesInHalfOpenRange) {
+  Rng rng(4);
+  const RandomWalkData data = GenerateRandomWalk(SmallConfig(), rng);
+  for (double s : data.step_size) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(RandomWalkTest, InitialValuesInRange) {
+  Rng rng(5);
+  const RandomWalkData data = GenerateRandomWalk(SmallConfig(), rng);
+  for (const TimeSeries& s : data.series) {
+    EXPECT_GE(s.at(0), 0.0);
+    EXPECT_LT(s.at(0), 1000.0);
+  }
+}
+
+TEST(RandomWalkTest, StepsAreSharedDirectionTimesOwnStepSize) {
+  Rng rng(6);
+  const RandomWalkData data = GenerateRandomWalk(SmallConfig(), rng);
+  // Per tick, within a class, delta / step_size must be identical (-1/0/+1).
+  for (size_t t = 1; t < 50; ++t) {
+    std::vector<double> class_dir(4, 2.0);  // 2.0 = unset marker
+    for (size_t i = 0; i < 20; ++i) {
+      const double delta = data.series[i].at(t) - data.series[i].at(t - 1);
+      const double dir = delta / data.step_size[i];
+      const size_t k = data.node_class[i];
+      if (class_dir[k] == 2.0) {
+        class_dir[k] = dir;
+      } else {
+        EXPECT_NEAR(dir, class_dir[k], 1e-9);
+      }
+    }
+    for (double d : class_dir) {
+      if (d != 2.0) {
+        EXPECT_TRUE(std::abs(d) < 1e-9 || std::abs(std::abs(d) - 1.0) < 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RandomWalkTest, SameClassPairsAreExactlyCollinear) {
+  // The core correlation property the models exploit: same-class series are
+  // affine transforms of one another.
+  Rng rng(7);
+  RandomWalkConfig cfg = SmallConfig();
+  cfg.num_classes = 1;
+  const RandomWalkData data = GenerateRandomWalk(cfg, rng);
+  const TimeSeries& a = data.series[0];
+  const TimeSeries& b = data.series[1];
+  const double scale = data.step_size[1] / data.step_size[0];
+  const double offset = b.at(0) - scale * a.at(0);
+  for (size_t t = 0; t < a.size(); ++t) {
+    EXPECT_NEAR(b.at(t), scale * a.at(t) + offset, 1e-9);
+  }
+}
+
+TEST(RandomWalkTest, DeterministicForSameSeed) {
+  Rng r1(42), r2(42);
+  const RandomWalkData a = GenerateRandomWalk(SmallConfig(), r1);
+  const RandomWalkData b = GenerateRandomWalk(SmallConfig(), r2);
+  for (size_t i = 0; i < a.series.size(); ++i) {
+    for (size_t t = 0; t < a.series[i].size(); ++t) {
+      ASSERT_DOUBLE_EQ(a.series[i].at(t), b.series[i].at(t));
+    }
+  }
+}
+
+TEST(RandomWalkTest, SingleNodeSingleClass) {
+  Rng rng(9);
+  RandomWalkConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.num_classes = 1;
+  cfg.horizon = 10;
+  const RandomWalkData data = GenerateRandomWalk(cfg, rng);
+  EXPECT_EQ(data.series.size(), 1u);
+  EXPECT_EQ(data.series[0].size(), 10u);
+}
+
+TEST(RandomWalkDeathTest, MoreClassesThanNodesAborts) {
+  Rng rng(10);
+  RandomWalkConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.num_classes = 5;
+  EXPECT_DEATH(GenerateRandomWalk(cfg, rng), "SNAPQ_CHECK");
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,96 @@
+#include "data/spatial_field.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "net/topology.h"
+
+namespace snapq {
+namespace {
+
+TEST(SpatialFieldTest, ShapesMatchInput) {
+  Rng rng(1);
+  const auto positions = PlaceUniform(12, Rect::UnitSquare(), rng);
+  SpatialFieldConfig config;
+  config.horizon = 40;
+  const auto series = GenerateSpatialField(config, positions, rng);
+  ASSERT_EQ(series.size(), 12u);
+  for (const TimeSeries& s : series) {
+    EXPECT_EQ(s.size(), 40u);
+  }
+}
+
+TEST(SpatialFieldTest, NearbyNodesMoreCorrelatedThanDistant) {
+  Rng rng(2);
+  // Two tight clusters far apart.
+  std::vector<Point> positions = {{0.05, 0.05}, {0.08, 0.06},
+                                  {0.92, 0.93}, {0.95, 0.95}};
+  SpatialFieldConfig config;
+  config.horizon = 300;
+  config.correlation_length = 0.15;
+  config.offset_max = 10.0;
+  const auto series = GenerateSpatialField(config, positions, rng);
+  const double near_a = SeriesCorrelation(series[0], series[1]);
+  const double near_b = SeriesCorrelation(series[2], series[3]);
+  const double far = SeriesCorrelation(series[0], series[3]);
+  EXPECT_GT(near_a, 0.95);
+  EXPECT_GT(near_b, 0.95);
+  EXPECT_LT(std::abs(far), near_a);
+}
+
+TEST(SpatialFieldTest, LargeCorrelationLengthCouplesEveryone) {
+  Rng rng(3);
+  const auto positions = PlaceUniform(10, Rect::UnitSquare(), rng);
+  SpatialFieldConfig config;
+  config.horizon = 300;
+  config.correlation_length = 50.0;  // whole deployment shares the drivers
+  const auto series = GenerateSpatialField(config, positions, rng);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(SeriesCorrelation(series[0], series[i]), 0.99) << i;
+  }
+}
+
+TEST(SpatialFieldTest, ObservationNoiseReducesCorrelation) {
+  std::vector<Point> positions = {{0.5, 0.5}, {0.52, 0.5}};
+  SpatialFieldConfig clean;
+  clean.horizon = 400;
+  SpatialFieldConfig noisy = clean;
+  noisy.observation_noise = 5.0;
+  Rng r1(4), r2(4);
+  const auto a = GenerateSpatialField(clean, positions, r1);
+  const auto b = GenerateSpatialField(noisy, positions, r2);
+  EXPECT_GT(SeriesCorrelation(a[0], a[1]),
+            SeriesCorrelation(b[0], b[1]));
+}
+
+TEST(SpatialFieldTest, Deterministic) {
+  Rng p(5);
+  const auto positions = PlaceUniform(6, Rect::UnitSquare(), p);
+  Rng r1(6), r2(6);
+  const auto a = GenerateSpatialField({}, positions, r1);
+  const auto b = GenerateSpatialField({}, positions, r2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t t = 0; t < a[i].size(); ++t) {
+      ASSERT_DOUBLE_EQ(a[i].at(t), b[i].at(t));
+    }
+  }
+}
+
+TEST(SeriesCorrelationTest, KnownValues) {
+  const TimeSeries x({1, 2, 3, 4});
+  const TimeSeries y({2, 4, 6, 8});
+  EXPECT_NEAR(SeriesCorrelation(x, y), 1.0, 1e-12);
+  const TimeSeries z({8, 6, 4, 2});
+  EXPECT_NEAR(SeriesCorrelation(x, z), -1.0, 1e-12);
+  const TimeSeries c({5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(SeriesCorrelation(x, c), 0.0);  // degenerate
+}
+
+TEST(SeriesCorrelationDeathTest, LengthMismatchAborts) {
+  const TimeSeries x({1, 2});
+  const TimeSeries y({1, 2, 3});
+  EXPECT_DEATH(SeriesCorrelation(x, y), "SNAPQ_CHECK");
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,58 @@
+#include "data/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(TimeSeriesTest, EmptyByDefault) {
+  TimeSeries s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(TimeSeriesTest, AppendAndAccess) {
+  TimeSeries s;
+  s.Append(1.5);
+  s.Append(-2.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0), 1.5);
+  EXPECT_DOUBLE_EQ(s[1], -2.0);
+}
+
+TEST(TimeSeriesTest, ConstructFromVector) {
+  TimeSeries s({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.at(2), 3.0);
+}
+
+TEST(TimeSeriesTest, SummarizeMatchesValues) {
+  TimeSeries s({2.0, 4.0, 6.0});
+  const RunningStats stats = s.Summarize();
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 6.0);
+}
+
+TEST(TimeSeriesTest, SliceExtractsWindow) {
+  TimeSeries s({0.0, 1.0, 2.0, 3.0, 4.0});
+  const TimeSeries w = s.Slice(1, 3);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(2), 3.0);
+}
+
+TEST(TimeSeriesTest, SliceFullRangeAndEmpty) {
+  TimeSeries s({5.0, 6.0});
+  EXPECT_EQ(s.Slice(0, 2).size(), 2u);
+  EXPECT_EQ(s.Slice(2, 0).size(), 0u);
+}
+
+TEST(TimeSeriesDeathTest, SliceOutOfBoundsAborts) {
+  TimeSeries s({1.0});
+  EXPECT_DEATH(s.Slice(0, 2), "SNAPQ_CHECK");
+}
+
+}  // namespace
+}  // namespace snapq

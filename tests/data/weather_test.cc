@@ -1,0 +1,114 @@
+#include "data/weather.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace snapq {
+namespace {
+
+TEST(WeatherTest, SeriesLengthAndNonNegativity) {
+  Rng rng(1);
+  const TimeSeries s = GenerateStationSeries(WeatherConfig{}, 5000, rng);
+  ASSERT_EQ(s.size(), 5000u);
+  for (size_t t = 0; t < s.size(); ++t) {
+    EXPECT_GE(s.at(t), 0.0);
+  }
+}
+
+TEST(WeatherTest, CalibratedToPaperSummaryStats) {
+  // §6.3 reports mean ~= 5.8 and average per-window variance ~= 2.8 over
+  // 100 windows of 100 one-minute readings. The substitute matches the
+  // mean and keeps per-window variance within an order of magnitude; the
+  // representability structure (what Fig 11 actually exercises) takes
+  // precedence over the marginal variance (see DESIGN.md §5).
+  Rng rng(2);
+  const auto windows = GenerateWeatherWindows(WeatherConfig{}, 100, 100, rng);
+  ASSERT_EQ(windows.size(), 100u);
+  RunningStats means, variances;
+  for (const TimeSeries& w : windows) {
+    const RunningStats s = w.Summarize();
+    means.Add(s.mean());
+    variances.Add(s.variance());
+  }
+  EXPECT_NEAR(means.mean(), 5.8, 1.5);
+  EXPECT_GT(variances.mean(), 0.2);
+  EXPECT_LT(variances.mean(), 8.0);
+}
+
+TEST(WeatherTest, WindowsAreNonOverlappingSlicesOfOneStation) {
+  Rng rng(3);
+  WeatherConfig cfg;
+  const auto windows = GenerateWeatherWindows(cfg, 10, 50, rng);
+  // Regenerate the station with an identically-seeded stream: the windows
+  // must be a permutation of its consecutive slices.
+  Rng rng2(3);
+  const TimeSeries station = GenerateStationSeries(cfg, 500, rng2);
+  for (const TimeSeries& w : windows) {
+    bool found = false;
+    for (size_t k = 0; k < 10 && !found; ++k) {
+      bool match = true;
+      for (size_t t = 0; t < 50; ++t) {
+        if (w.at(t) != station.at(k * 50 + t)) {
+          match = false;
+          break;
+        }
+      }
+      found = match;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(WeatherTest, WindowsAssignmentIsAPermutation) {
+  Rng rng(4);
+  const auto windows = GenerateWeatherWindows(WeatherConfig{}, 20, 10, rng);
+  // All windows distinct (first elements differ with overwhelming
+  // probability for a continuous-state process).
+  for (size_t i = 0; i < windows.size(); ++i) {
+    for (size_t j = i + 1; j < windows.size(); ++j) {
+      EXPECT_NE(windows[i].at(0), windows[j].at(0));
+    }
+  }
+}
+
+TEST(WeatherTest, DiurnalCycleModulatesMean) {
+  Rng rng(5);
+  WeatherConfig cfg;
+  cfg.diurnal_amplitude = 3.0;
+  cfg.noise_sigma = 0.05;
+  cfg.gust_probability = 0.0;
+  cfg.reversion = 0.2;  // track the cycle closely
+  const TimeSeries s = GenerateStationSeries(cfg, 2 * 1440, rng);
+  // Mean around the daily peak (t ~ 360) should exceed the mean around the
+  // trough (t ~ 1080).
+  RunningStats peak, trough;
+  for (size_t t = 300; t < 420; ++t) peak.Add(s.at(t));
+  for (size_t t = 1020; t < 1140; ++t) trough.Add(s.at(t));
+  EXPECT_GT(peak.mean(), trough.mean() + 2.0);
+}
+
+TEST(WeatherTest, GustsIncreaseMaxima) {
+  WeatherConfig calm;
+  calm.gust_probability = 0.0;
+  WeatherConfig gusty;
+  gusty.gust_probability = 0.02;
+  Rng r1(6), r2(6);
+  const TimeSeries a = GenerateStationSeries(calm, 3000, r1);
+  const TimeSeries b = GenerateStationSeries(gusty, 3000, r2);
+  EXPECT_GT(b.Summarize().max(), a.Summarize().max());
+}
+
+TEST(WeatherTest, Deterministic) {
+  Rng r1(7), r2(7);
+  const auto a = GenerateWeatherWindows(WeatherConfig{}, 5, 20, r1);
+  const auto b = GenerateWeatherWindows(WeatherConfig{}, 5, 20, r2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t t = 0; t < a[i].size(); ++t) {
+      ASSERT_DOUBLE_EQ(a[i].at(t), b[i].at(t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,73 @@
+#include "model/cache_line.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(CacheLineTest, StartsEmpty) {
+  CacheLine line;
+  EXPECT_TRUE(line.empty());
+  EXPECT_EQ(line.size(), 0u);
+  EXPECT_EQ(line.stats().n(), 0u);
+}
+
+TEST(CacheLineTest, PushMaintainsOrderOldestFirst) {
+  CacheLine line;
+  line.PushNewest({1.0, 2.0, 10});
+  line.PushNewest({3.0, 4.0, 11});
+  EXPECT_EQ(line.size(), 2u);
+  EXPECT_EQ(line.oldest().time, 10);
+  EXPECT_EQ(line.newest().time, 11);
+}
+
+TEST(CacheLineTest, PopOldestRemovesFront) {
+  CacheLine line;
+  line.PushNewest({1.0, 2.0, 10});
+  line.PushNewest({3.0, 4.0, 11});
+  const ObservationPair p = line.PopOldest();
+  EXPECT_EQ(p.time, 10);
+  EXPECT_EQ(line.size(), 1u);
+  EXPECT_EQ(line.oldest().time, 11);
+}
+
+TEST(CacheLineTest, StatsTrackPushesAndPops) {
+  CacheLine line;
+  line.PushNewest({1.0, 2.0, 0});
+  line.PushNewest({2.0, 4.0, 1});
+  line.PushNewest({3.0, 6.0, 2});
+  EXPECT_EQ(line.stats().n(), 3u);
+  EXPECT_DOUBLE_EQ(line.stats().sum_x(), 6.0);
+  EXPECT_DOUBLE_EQ(line.stats().sum_y(), 12.0);
+  line.PopOldest();
+  EXPECT_EQ(line.stats().n(), 2u);
+  EXPECT_DOUBLE_EQ(line.stats().sum_x(), 5.0);
+}
+
+TEST(CacheLineTest, FitModelSeesExactLine) {
+  CacheLine line;
+  line.PushNewest({0.0, 1.0, 0});
+  line.PushNewest({1.0, 3.0, 1});
+  const LinearModel m = line.FitModel();
+  EXPECT_NEAR(m.a, 2.0, 1e-12);
+  EXPECT_NEAR(m.b, 1.0, 1e-12);
+}
+
+TEST(CacheLineDeathTest, PopFromEmptyAborts) {
+  CacheLine line;
+  EXPECT_DEATH(line.PopOldest(), "SNAPQ_CHECK");
+}
+
+TEST(CacheLineTest, PairsExposedInOrder) {
+  CacheLine line;
+  for (int i = 0; i < 5; ++i) {
+    line.PushNewest({static_cast<double>(i), 0.0, i});
+  }
+  int expected = 0;
+  for (const ObservationPair& p : line.pairs()) {
+    EXPECT_EQ(p.time, expected++);
+  }
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,250 @@
+#include "model/cache_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace snapq {
+namespace {
+
+CacheConfig PairsConfig(size_t pairs,
+                        CachePolicy policy = CachePolicy::kModelAware) {
+  CacheConfig config;
+  config.capacity_bytes = pairs * 8;
+  config.bytes_per_pair = 8;
+  config.policy = policy;
+  return config;
+}
+
+using Action = CacheManager::Action;
+
+TEST(CacheConfigTest, PaperSizing) {
+  // 2048 bytes of 4-byte-float pairs = 256 pairs.
+  CacheConfig config;
+  EXPECT_EQ(config.capacity_pairs(), 256u);
+}
+
+TEST(CacheManagerTest, InsertsFreelyUntilFull) {
+  CacheManager cache(PairsConfig(3));
+  EXPECT_EQ(cache.Observe(1, 0.0, 1.0, 0), Action::kInsertedFree);
+  EXPECT_EQ(cache.Observe(2, 0.0, 2.0, 0), Action::kInsertedFree);
+  EXPECT_EQ(cache.Observe(3, 0.0, 3.0, 0), Action::kInsertedFree);
+  EXPECT_EQ(cache.used_pairs(), 3u);
+  EXPECT_EQ(cache.num_lines(), 3u);
+}
+
+TEST(CacheManagerTest, NewcomerEvictsRoundRobinWhenFull) {
+  CacheManager cache(PairsConfig(2));
+  cache.Observe(1, 0.0, 1.0, 0);
+  cache.Observe(2, 0.0, 2.0, 0);
+  // Node 3 is a newcomer; §4: round-robin victim, not benefit-driven.
+  EXPECT_EQ(cache.Observe(3, 0.0, 3.0, 1), Action::kInsertedNewcomer);
+  EXPECT_EQ(cache.used_pairs(), 2u);
+  EXPECT_NE(cache.Line(3), nullptr);
+  // Exactly one of lines 1/2 was evicted (emptied lines are erased).
+  EXPECT_EQ(cache.num_lines(), 2u);
+}
+
+TEST(CacheManagerTest, NewcomerRoundRobinCyclesThroughVictims) {
+  CacheManager cache(PairsConfig(3));
+  cache.Observe(1, 0.0, 1.0, 0);
+  cache.Observe(2, 0.0, 2.0, 0);
+  cache.Observe(3, 0.0, 3.0, 0);
+  EXPECT_EQ(cache.Observe(4, 0.0, 4.0, 1), Action::kInsertedNewcomer);
+  EXPECT_EQ(cache.Observe(5, 0.0, 5.0, 1), Action::kInsertedNewcomer);
+  // Victims rotated: 1 then 2 are gone, 3 survives.
+  EXPECT_EQ(cache.Line(1), nullptr);
+  EXPECT_EQ(cache.Line(2), nullptr);
+  EXPECT_NE(cache.Line(3), nullptr);
+}
+
+TEST(CacheManagerTest, NewcomerWithNoOtherLineIsRejected) {
+  CacheManager cache(PairsConfig(0));
+  EXPECT_EQ(cache.Observe(1, 0.0, 1.0, 0), Action::kRejected);
+  EXPECT_EQ(cache.num_lines(), 0u);
+}
+
+TEST(CacheManagerTest, RejectsWhenCurrentModelAlreadyExplainsEverything) {
+  // Line holds an exact linear relation and the new pair lies on it: the
+  // current model keeps maximal benefit -> reject.
+  CacheManager cache(PairsConfig(2));
+  cache.Observe(7, 1.0, 2.0, 0);
+  cache.Observe(7, 2.0, 4.0, 1);
+  EXPECT_EQ(cache.Observe(7, 3.0, 6.0, 2), Action::kRejected);
+  EXPECT_EQ(cache.Line(7)->size(), 2u);
+}
+
+TEST(CacheManagerTest, TimeShiftsAwayFromStaleRegime) {
+  // One stale outlier pair plus the start of a clean y = x regime: the
+  // shifted window beats both keeping the cache as-is and (with no other
+  // line to steal from) augmenting, so the oldest pair is dropped.
+  CacheManager cache(PairsConfig(2));
+  cache.Observe(7, 1.0, 100.0, 0);  // stale regime
+  cache.Observe(7, 2.0, 2.0, 1);    // new regime begins
+  const Action a = cache.Observe(7, 4.0, 4.0, 2);
+  EXPECT_EQ(a, Action::kTimeShifted);
+  EXPECT_EQ(cache.Line(7)->size(), 2u);
+  EXPECT_EQ(cache.Line(7)->oldest().time, 1);
+  // The resulting model tracks the fresh regime.
+  const std::optional<double> est = cache.Estimate(7, 3.0);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, 3.0, 1e-9);
+}
+
+TEST(CacheManagerTest, AugmentStealsFromWorthlessLine) {
+  CacheManager cache(PairsConfig(4));
+  // Line 1: worthless history — y == 0 pairs carry zero benefit.
+  cache.Observe(1, 5.0, 0.0, 0);
+  cache.Observe(1, 6.0, 0.0, 1);
+  // Line 2: two pairs of a noisy non-degenerate relation.
+  cache.Observe(2, 1.0, 3.0, 0);
+  cache.Observe(2, 2.0, 4.9, 1);
+  // A third pair for line 2 that improves its fit: should augment by
+  // evicting from line 1 (penalty 0 < gain).
+  const Action a = cache.Observe(2, 3.0, 7.2, 2);
+  EXPECT_EQ(a, Action::kAugmented);
+  EXPECT_EQ(cache.Line(2)->size(), 3u);
+  EXPECT_EQ(cache.Line(1)->size(), 1u);
+  EXPECT_EQ(cache.used_pairs(), 4u);
+}
+
+TEST(CacheManagerTest, HealthyLinesResistEviction) {
+  CacheManager cache(PairsConfig(4));
+  // Line 1: large-magnitude exact line -> huge eviction penalty.
+  cache.Observe(1, 1.0, 100.0, 0);
+  cache.Observe(1, 2.0, 200.0, 1);
+  // Line 2: small noisy line wants to grow.
+  cache.Observe(2, 1.0, 1.0, 0);
+  cache.Observe(2, 2.0, 1.9, 1);
+  const Action a = cache.Observe(2, 3.0, 3.2, 2);
+  // Gain is tiny compared to line 1's penalty: no cross-line eviction.
+  EXPECT_NE(a, Action::kAugmented);
+  EXPECT_EQ(cache.Line(1)->size(), 2u);
+}
+
+TEST(CacheManagerTest, ModelForEmptyNeighborIsNull) {
+  CacheManager cache(PairsConfig(4));
+  EXPECT_FALSE(cache.ModelFor(9).has_value());
+  EXPECT_FALSE(cache.Estimate(9, 1.0).has_value());
+}
+
+TEST(CacheManagerTest, EstimateUsesFittedModel) {
+  CacheManager cache(PairsConfig(4));
+  cache.Observe(3, 1.0, 10.0, 0);
+  cache.Observe(3, 2.0, 20.0, 1);
+  const std::optional<double> est = cache.Estimate(3, 4.0);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, 40.0, 1e-9);
+}
+
+TEST(CacheManagerTest, CachedNeighborsSorted) {
+  CacheManager cache(PairsConfig(8));
+  cache.Observe(5, 0.0, 1.0, 0);
+  cache.Observe(2, 0.0, 1.0, 0);
+  cache.Observe(9, 0.0, 1.0, 0);
+  const std::vector<NodeId> ids = cache.CachedNeighbors();
+  EXPECT_EQ(ids, (std::vector<NodeId>{2, 5, 9}));
+}
+
+TEST(RoundRobinPolicyTest, EvictsGloballyOldest) {
+  CacheManager cache(PairsConfig(3, CachePolicy::kRoundRobin));
+  cache.Observe(1, 0.0, 1.0, 0);
+  cache.Observe(2, 0.0, 2.0, 1);
+  cache.Observe(3, 0.0, 3.0, 2);
+  // Full: inserting for node 4 evicts node 1's pair (globally oldest).
+  cache.Observe(4, 0.0, 4.0, 3);
+  EXPECT_EQ(cache.Line(1), nullptr);
+  EXPECT_NE(cache.Line(4), nullptr);
+  EXPECT_EQ(cache.used_pairs(), 3u);
+  // Next eviction takes node 2's pair.
+  cache.Observe(5, 0.0, 5.0, 4);
+  EXPECT_EQ(cache.Line(2), nullptr);
+}
+
+TEST(RoundRobinPolicyTest, AlwaysAdmits) {
+  CacheManager cache(PairsConfig(2, CachePolicy::kRoundRobin));
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId j = static_cast<NodeId>(rng.UniformInt(1, 5));
+    const Action a = cache.Observe(j, rng.NextDouble(), rng.NextDouble(), i);
+    EXPECT_NE(a, Action::kRejected);
+    EXPECT_LE(cache.used_pairs(), 2u);
+  }
+}
+
+TEST(CacheManagerTest, CapacityNeverExceeded) {
+  CacheManager cache(PairsConfig(5));
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId j = static_cast<NodeId>(rng.UniformInt(1, 12));
+    cache.Observe(j, rng.UniformDouble(0, 10), rng.UniformDouble(0, 10), i);
+    ASSERT_LE(cache.used_pairs(), 5u);
+    // used_pairs must equal the sum over lines.
+    size_t total = 0;
+    for (NodeId id : cache.CachedNeighbors()) {
+      total += cache.Line(id)->size();
+    }
+    ASSERT_EQ(total, cache.used_pairs());
+  }
+}
+
+TEST(CacheManagerTest, TotalBenefitNonNegativeForFittedModels) {
+  CacheManager cache(PairsConfig(6));
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId j = static_cast<NodeId>(rng.UniformInt(1, 4));
+    cache.Observe(j, rng.Gaussian(0, 3), rng.Gaussian(0, 3), i);
+  }
+  // A least-squares fit never does worse than predicting nothing... on its
+  // own line's data, since b = mean(y) is available.
+  EXPECT_GE(cache.TotalBenefit(), -1e-9);
+}
+
+TEST(CacheActionNameTest, Names) {
+  EXPECT_STREQ(CacheActionName(Action::kRejected), "rejected");
+  EXPECT_STREQ(CacheActionName(Action::kAugmented), "augmented");
+  EXPECT_STREQ(CacheActionName(Action::kInsertedNewcomer),
+               "inserted-newcomer");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: with exactly-collinear same-class data (the K=1 workload)
+// the model-aware cache must keep >= 2 pairs for every neighbor it has seen
+// at least twice with distinct predictor values — the precondition for the
+// paper's "one representative for the whole network" result.
+// ---------------------------------------------------------------------------
+
+class CollinearRetention : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CollinearRetention, KeepsTwoPairsPerNeighbor) {
+  const size_t num_neighbors = GetParam();
+  // Capacity: 2.5 pairs per neighbor, mimicking the paper's 2048B / 99.
+  CacheManager cache(PairsConfig(num_neighbors * 5 / 2));
+  Rng rng(static_cast<uint64_t>(num_neighbors));
+  // Shared random walk: x_i = walk, x_j = scale_j * walk + offset_j.
+  std::vector<double> scale(num_neighbors), offset(num_neighbors);
+  for (size_t j = 0; j < num_neighbors; ++j) {
+    scale[j] = rng.UniformDouble(0.1, 1.0);
+    offset[j] = rng.UniformDouble(0.0, 1000.0);
+  }
+  double walk = 500.0;
+  for (Time t = 0; t < 10; ++t) {
+    walk += rng.Bernoulli(0.7) ? (rng.Bernoulli(0.5) ? 1.0 : -1.0) : 0.0;
+    for (size_t j = 0; j < num_neighbors; ++j) {
+      cache.Observe(static_cast<NodeId>(j + 1), walk,
+                    scale[j] * walk + offset[j], t);
+    }
+  }
+  size_t well_trained = 0;
+  for (NodeId id : cache.CachedNeighbors()) {
+    if (cache.Line(id)->size() >= 2) ++well_trained;
+  }
+  // At least 90% of neighbors keep a usable (2+ pair) history.
+  EXPECT_GE(well_trained * 10, num_neighbors * 9);
+}
+
+INSTANTIATE_TEST_SUITE_P(NeighborCounts, CollinearRetention,
+                         ::testing::Values(4, 10, 25, 50, 99));
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,58 @@
+#include "model/error_metric.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(ErrorMetricTest, SumSquared) {
+  const ErrorMetric m = ErrorMetric::SumSquared();
+  EXPECT_DOUBLE_EQ(m.Distance(5.0, 3.0), 4.0);
+  EXPECT_DOUBLE_EQ(m.Distance(3.0, 5.0), 4.0);
+  EXPECT_DOUBLE_EQ(m.Distance(2.0, 2.0), 0.0);
+}
+
+TEST(ErrorMetricTest, Absolute) {
+  const ErrorMetric m = ErrorMetric::Absolute();
+  EXPECT_DOUBLE_EQ(m.Distance(5.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(m.Distance(-1.0, 1.0), 2.0);
+}
+
+TEST(ErrorMetricTest, RelativeScalesByActual) {
+  const ErrorMetric m = ErrorMetric::Relative();
+  EXPECT_DOUBLE_EQ(m.Distance(10.0, 9.0), 0.1);
+  EXPECT_DOUBLE_EQ(m.Distance(-10.0, -9.0), 0.1);
+}
+
+TEST(ErrorMetricTest, RelativeSanityBoundAvoidsDivisionByZero) {
+  const ErrorMetric m = ErrorMetric::Relative(0.5);
+  // actual == 0: divide by max(s, 0) = s.
+  EXPECT_DOUBLE_EQ(m.Distance(0.0, 1.0), 2.0);
+}
+
+TEST(ErrorMetricTest, RelativeUsesActualWhenLargerThanBound) {
+  const ErrorMetric m = ErrorMetric::Relative(0.5);
+  EXPECT_DOUBLE_EQ(m.Distance(2.0, 1.0), 0.5);
+}
+
+TEST(ErrorMetricTest, WithinThreshold) {
+  const ErrorMetric m = ErrorMetric::SumSquared();
+  EXPECT_TRUE(m.Within(5.0, 4.1, 1.0));   // 0.81 <= 1
+  EXPECT_TRUE(m.Within(5.0, 4.0, 1.0));   // boundary: 1.0 <= 1
+  EXPECT_FALSE(m.Within(5.0, 3.9, 1.0));  // 1.21 > 1
+}
+
+TEST(ErrorMetricTest, NamesAndToString) {
+  EXPECT_STREQ(ErrorMetricKindName(ErrorMetricKind::kSumSquared), "sse");
+  EXPECT_STREQ(ErrorMetricKindName(ErrorMetricKind::kAbsolute), "absolute");
+  EXPECT_EQ(ErrorMetric::SumSquared().ToString(), "sse");
+  EXPECT_NE(ErrorMetric::Relative(0.1).ToString().find("relative"),
+            std::string::npos);
+}
+
+TEST(ErrorMetricDeathTest, NonPositiveSanityBoundAborts) {
+  EXPECT_DEATH(ErrorMetric::Relative(0.0), "SNAPQ_CHECK");
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,163 @@
+#include "model/linear_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace snapq {
+namespace {
+
+RegressionStats FromPairs(const std::vector<std::pair<double, double>>& ps) {
+  RegressionStats s;
+  for (const auto& [x, y] : ps) s.Add(x, y);
+  return s;
+}
+
+double DirectSse(const std::vector<std::pair<double, double>>& ps,
+                 const LinearModel& m) {
+  double sum = 0.0;
+  for (const auto& [x, y] : ps) {
+    const double e = y - m.Estimate(x);
+    sum += e * e;
+  }
+  return sum;
+}
+
+TEST(LinearModelTest, EstimateIsAffine) {
+  const LinearModel m{2.0, -1.0};
+  EXPECT_DOUBLE_EQ(m.Estimate(3.0), 5.0);
+  EXPECT_DOUBLE_EQ(m.Estimate(0.0), -1.0);
+}
+
+TEST(RegressionStatsTest, EmptyFitsZeroModel) {
+  RegressionStats s;
+  EXPECT_EQ(s.Fit(), (LinearModel{0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(s.AverageSse({1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(s.AverageNoAnswerSse(), 0.0);
+}
+
+TEST(RegressionStatsTest, SinglePairFitsConstant) {
+  // Lemma 1 degenerate case: n = 1 -> a = 0, b = mean(y).
+  RegressionStats s;
+  s.Add(3.0, 7.0);
+  const LinearModel m = s.Fit();
+  EXPECT_DOUBLE_EQ(m.a, 0.0);
+  EXPECT_DOUBLE_EQ(m.b, 7.0);
+}
+
+TEST(RegressionStatsTest, ConstantPredictorFitsMeanOfY) {
+  // Lemma 1 degenerate case: x constant -> a = 0, b = mean(y).
+  const RegressionStats s = FromPairs({{2.0, 1.0}, {2.0, 3.0}, {2.0, 5.0}});
+  const LinearModel m = s.Fit();
+  EXPECT_DOUBLE_EQ(m.a, 0.0);
+  EXPECT_DOUBLE_EQ(m.b, 3.0);
+}
+
+TEST(RegressionStatsTest, ExactLineIsRecovered) {
+  const RegressionStats s =
+      FromPairs({{0.0, 1.0}, {1.0, 3.0}, {2.0, 5.0}, {-1.0, -1.0}});
+  const LinearModel m = s.Fit();
+  EXPECT_NEAR(m.a, 2.0, 1e-12);
+  EXPECT_NEAR(m.b, 1.0, 1e-12);
+  EXPECT_NEAR(s.SseSum(m), 0.0, 1e-9);
+}
+
+TEST(RegressionStatsTest, KnownTextbookRegression) {
+  // y on x for {(1,2),(2,3),(3,5)}: a = 1.5, b = 10/3 - 1.5*2 = 1/3.
+  const RegressionStats s = FromPairs({{1, 2}, {2, 3}, {3, 5}});
+  const LinearModel m = s.Fit();
+  EXPECT_NEAR(m.a, 1.5, 1e-12);
+  EXPECT_NEAR(m.b, 1.0 / 3.0, 1e-12);
+}
+
+TEST(RegressionStatsTest, SseSumMatchesDirectComputation) {
+  const std::vector<std::pair<double, double>> pairs = {
+      {0.5, 1.2}, {1.5, 0.7}, {2.5, 3.1}, {3.0, 2.2}};
+  const RegressionStats s = FromPairs(pairs);
+  for (const LinearModel m :
+       {LinearModel{0.0, 0.0}, LinearModel{1.0, 0.5}, LinearModel{-2.0, 3.0}}) {
+    EXPECT_NEAR(s.SseSum(m), DirectSse(pairs, m), 1e-9);
+  }
+}
+
+TEST(RegressionStatsTest, NoAnswerSseIsMeanOfSquares) {
+  const RegressionStats s = FromPairs({{1, 2}, {2, -4}});
+  EXPECT_DOUBLE_EQ(s.NoAnswerSseSum(), 20.0);
+  EXPECT_DOUBLE_EQ(s.AverageNoAnswerSse(), 10.0);
+}
+
+TEST(RegressionStatsTest, BenefitIsNoAnswerMinusModelSse) {
+  const RegressionStats s = FromPairs({{1, 2}, {2, 4}});
+  const LinearModel perfect = s.Fit();
+  EXPECT_NEAR(s.Benefit(perfect), s.AverageNoAnswerSse(), 1e-9);
+  EXPECT_NEAR(s.BenefitSum(perfect), s.NoAnswerSseSum(), 1e-9);
+}
+
+TEST(RegressionStatsTest, RemoveUndoesAdd) {
+  RegressionStats s = FromPairs({{1, 2}, {2, 3}, {3, 5}});
+  s.Add(10.0, -7.0);
+  s.Remove(10.0, -7.0);
+  const LinearModel m = s.Fit();
+  EXPECT_NEAR(m.a, 1.5, 1e-9);
+  EXPECT_NEAR(m.b, 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(s.n(), 3u);
+}
+
+TEST(RegressionStatsTest, RemoveToEmptyResetsCleanly) {
+  RegressionStats s;
+  s.Add(1.0, 2.0);
+  s.Remove(1.0, 2.0);
+  EXPECT_EQ(s.n(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum_x(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum_yy(), 0.0);
+}
+
+TEST(RegressionStatsDeathTest, RemoveFromEmptyAborts) {
+  RegressionStats s;
+  EXPECT_DEATH(s.Remove(1.0, 1.0), "SNAPQ_CHECK");
+}
+
+// ---------------------------------------------------------------------------
+// Property test: Lemma 1 optimality. The fitted (a*, b*) must not be beaten
+// by any perturbed model on randomly generated pair sets.
+// ---------------------------------------------------------------------------
+
+class Lemma1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma1Property, FitMinimizesSse) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t n = static_cast<size_t>(rng.UniformInt(2, 30));
+  std::vector<std::pair<double, double>> pairs;
+  RegressionStats s;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble(-50.0, 50.0);
+    const double y = 3.0 * x - 7.0 + rng.Gaussian(0.0, 5.0);
+    pairs.emplace_back(x, y);
+    s.Add(x, y);
+  }
+  const LinearModel best = s.Fit();
+  const double best_sse = DirectSse(pairs, best);
+  for (int k = 0; k < 64; ++k) {
+    LinearModel perturbed = best;
+    perturbed.a += rng.UniformDouble(-1.0, 1.0);
+    perturbed.b += rng.UniformDouble(-5.0, 5.0);
+    EXPECT_GE(DirectSse(pairs, perturbed) + 1e-9, best_sse);
+  }
+  // Gradient check: partial derivatives vanish at the optimum.
+  const double eps = 1e-6;
+  const double up_a =
+      DirectSse(pairs, {best.a + eps, best.b}) - best_sse;
+  const double up_b =
+      DirectSse(pairs, {best.a, best.b + eps}) - best_sse;
+  EXPECT_GE(up_a, -1e-6);
+  EXPECT_GE(up_b, -1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Lemma1Property,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace snapq

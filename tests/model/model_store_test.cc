@@ -1,0 +1,76 @@
+#include "model/model_store.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+CacheConfig SmallCache() {
+  CacheConfig config;
+  config.capacity_bytes = 64;  // 8 pairs
+  return config;
+}
+
+TEST(ModelStoreTest, TracksOwnValue) {
+  ModelStore store(3, SmallCache());
+  EXPECT_EQ(store.self(), 3u);
+  store.SetOwnValue(7.5, 42);
+  EXPECT_DOUBLE_EQ(store.own_value(), 7.5);
+  EXPECT_EQ(store.own_value_time(), 42);
+}
+
+TEST(ModelStoreTest, ObservePairsWithOwnValue) {
+  ModelStore store(0, SmallCache());
+  store.SetOwnValue(1.0, 0);
+  store.Observe(5, 10.0, 0);
+  store.SetOwnValue(2.0, 1);
+  store.Observe(5, 20.0, 1);
+  // Learned y = 10x: estimate at own value 3.0 is 30.
+  store.SetOwnValue(3.0, 2);
+  const std::optional<double> est = store.Estimate(5);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, 30.0, 1e-9);
+}
+
+TEST(ModelStoreTest, EstimateWithoutHistoryIsNull) {
+  ModelStore store(0, SmallCache());
+  EXPECT_FALSE(store.Estimate(1).has_value());
+}
+
+TEST(ModelStoreTest, CanRepresentWithinThreshold) {
+  ModelStore store(0, SmallCache());
+  store.SetOwnValue(1.0, 0);
+  store.Observe(5, 10.0, 0);
+  store.SetOwnValue(2.0, 1);
+  store.Observe(5, 20.0, 1);
+  store.SetOwnValue(3.0, 2);
+  const ErrorMetric sse = ErrorMetric::SumSquared();
+  // Estimate is 30; actual 30.5 -> sse 0.25 <= 1.
+  EXPECT_TRUE(store.CanRepresent(5, 30.5, sse, 1.0));
+  // Actual 32 -> sse 4 > 1.
+  EXPECT_FALSE(store.CanRepresent(5, 32.0, sse, 1.0));
+}
+
+TEST(ModelStoreTest, CanRepresentFalseWithoutModel) {
+  ModelStore store(0, SmallCache());
+  store.SetOwnValue(1.0, 0);
+  EXPECT_FALSE(
+      store.CanRepresent(9, 1.0, ErrorMetric::SumSquared(), 1000.0));
+}
+
+TEST(ModelStoreTest, DifferentMetricsDisagree) {
+  ModelStore store(0, SmallCache());
+  store.SetOwnValue(1.0, 0);
+  store.Observe(5, 10.0, 0);
+  store.SetOwnValue(2.0, 1);
+  store.Observe(5, 20.0, 1);
+  store.SetOwnValue(3.0, 2);
+  // Estimate 30, actual 30.5: absolute err 0.5, sse 0.25, relative ~0.016.
+  EXPECT_TRUE(store.CanRepresent(5, 30.5, ErrorMetric::Absolute(), 0.5));
+  EXPECT_FALSE(store.CanRepresent(5, 30.5, ErrorMetric::Absolute(), 0.4));
+  EXPECT_TRUE(store.CanRepresent(5, 30.5, ErrorMetric::Relative(), 0.02));
+  EXPECT_FALSE(store.CanRepresent(5, 30.5, ErrorMetric::Relative(), 0.01));
+}
+
+}  // namespace
+}  // namespace snapq

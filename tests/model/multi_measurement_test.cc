@@ -1,0 +1,112 @@
+#include "model/multi_measurement.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+CacheConfig Pairs(size_t n) {
+  CacheConfig config;
+  config.capacity_bytes = n * 8;
+  return config;
+}
+
+TEST(MultiSensorStoreTest, TracksOwnValuesPerMeasurement) {
+  MultiSensorStore store(0, 3, Pairs(16));
+  store.SetOwnValue(0, 20.5, 1);  // temperature
+  store.SetOwnValue(1, 0.4, 1);   // humidity
+  store.SetOwnValue(2, 5.8, 1);   // wind
+  EXPECT_DOUBLE_EQ(store.own_value(0), 20.5);
+  EXPECT_DOUBLE_EQ(store.own_value(1), 0.4);
+  EXPECT_DOUBLE_EQ(store.own_value(2), 5.8);
+  EXPECT_EQ(store.num_measurements(), 3u);
+}
+
+TEST(MultiSensorStoreTest, MeasurementsLearnIndependentModels) {
+  MultiSensorStore store(0, 2, Pairs(16));
+  // Temperature: neighbor = 2 * mine. Humidity: neighbor = mine + 5.
+  store.SetOwnValue(0, 10.0, 0);
+  store.SetOwnValue(1, 1.0, 0);
+  store.Observe(7, 0, 20.0, 0);
+  store.Observe(7, 1, 6.0, 0);
+  store.SetOwnValue(0, 20.0, 1);
+  store.SetOwnValue(1, 2.0, 1);
+  store.Observe(7, 0, 40.0, 1);
+  store.Observe(7, 1, 7.0, 1);
+
+  store.SetOwnValue(0, 30.0, 2);
+  store.SetOwnValue(1, 3.0, 2);
+  ASSERT_TRUE(store.Estimate(7, 0).has_value());
+  ASSERT_TRUE(store.Estimate(7, 1).has_value());
+  EXPECT_NEAR(*store.Estimate(7, 0), 60.0, 1e-9);
+  EXPECT_NEAR(*store.Estimate(7, 1), 8.0, 1e-9);
+}
+
+TEST(MultiSensorStoreTest, MeasurementsDoNotBleedAcrossIds) {
+  MultiSensorStore store(0, 2, Pairs(16));
+  store.SetOwnValue(0, 1.0, 0);
+  store.Observe(3, 0, 10.0, 0);
+  EXPECT_TRUE(store.Estimate(3, 0).has_value());
+  EXPECT_FALSE(store.Estimate(3, 1).has_value());
+}
+
+TEST(MultiSensorStoreTest, SharedBudgetAcrossMeasurements) {
+  // 4 pairs total; feeding 2 measurements x 2 neighbors x many pairs must
+  // never exceed the shared budget.
+  MultiSensorStore store(0, 2, Pairs(4));
+  for (Time t = 0; t < 20; ++t) {
+    const double v = static_cast<double>(t);
+    store.SetOwnValue(0, v, t);
+    store.SetOwnValue(1, 2.0 * v, t);
+    store.Observe(1, 0, 3.0 * v, t);
+    store.Observe(1, 1, 4.0 * v, t);
+    store.Observe(2, 0, 5.0 * v, t);
+    store.Observe(2, 1, 6.0 * v, t);
+    ASSERT_LE(store.cache().used_pairs(), 4u);
+  }
+}
+
+TEST(MultiSensorStoreTest, CanRepresentPerMeasurement) {
+  MultiSensorStore store(0, 2, Pairs(16));
+  store.SetOwnValue(0, 1.0, 0);
+  store.Observe(5, 0, 10.0, 0);
+  store.SetOwnValue(0, 2.0, 1);
+  store.Observe(5, 0, 20.0, 1);
+  store.SetOwnValue(0, 3.0, 2);
+  const ErrorMetric sse = ErrorMetric::SumSquared();
+  EXPECT_TRUE(store.CanRepresent(5, 0, 30.5, sse, 1.0));
+  EXPECT_FALSE(store.CanRepresent(5, 0, 32.0, sse, 1.0));
+  // No humidity model: cannot represent that measurement at any threshold.
+  EXPECT_FALSE(store.CanRepresent(5, 1, 0.0, sse, 1e9));
+}
+
+TEST(MultiSensorStoreTest, CanRepresentAllRequiresEveryMeasurement) {
+  MultiSensorStore store(0, 2, Pairs(16));
+  for (Time t = 0; t < 2; ++t) {
+    const double v = static_cast<double>(t);
+    store.SetOwnValue(0, 1.0 + v, t);
+    store.SetOwnValue(1, 10.0 + v, t);
+    store.Observe(5, 0, 2.0 * (1.0 + v), t);
+    store.Observe(5, 1, 10.0 + v + 3.0, t);
+  }
+  store.SetOwnValue(0, 4.0, 3);
+  store.SetOwnValue(1, 13.0, 3);
+  const ErrorMetric sse = ErrorMetric::SumSquared();
+  // True values: temp 8.0, humidity 16.0.
+  EXPECT_TRUE(store.CanRepresentAll(5, {8.1, 16.1}, sse, {1.0, 1.0}));
+  // One measurement out of bounds sinks the whole representation.
+  EXPECT_FALSE(store.CanRepresentAll(5, {8.1, 26.0}, sse, {1.0, 1.0}));
+  EXPECT_FALSE(store.CanRepresentAll(5, {18.0, 16.1}, sse, {1.0, 1.0}));
+  // Per-measurement thresholds.
+  EXPECT_TRUE(store.CanRepresentAll(5, {8.1, 18.0}, sse, {1.0, 5.0}));
+}
+
+TEST(MultiSensorStoreDeathTest, BoundsChecked) {
+  MultiSensorStore store(0, 2, Pairs(4));
+  EXPECT_DEATH(store.SetOwnValue(2, 1.0, 0), "SNAPQ_CHECK");
+  EXPECT_DEATH(store.own_value(5), "SNAPQ_CHECK");
+  EXPECT_DEATH(MultiSensorStore(0, 0, Pairs(4)), "SNAPQ_CHECK");
+}
+
+}  // namespace
+}  // namespace snapq

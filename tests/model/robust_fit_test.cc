@@ -1,0 +1,126 @@
+#include "model/robust_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace snapq {
+namespace {
+
+std::deque<ObservationPair> Pairs(
+    std::initializer_list<std::pair<double, double>> xs) {
+  std::deque<ObservationPair> out;
+  Time t = 0;
+  for (const auto& [x, y] : xs) out.push_back({x, y, t++});
+  return out;
+}
+
+TEST(FitWeightedTest, UniformWeightsEqualOls) {
+  const auto pairs = Pairs({{1, 2}, {2, 3}, {3, 5}});
+  const LinearModel wls =
+      FitWeighted(pairs, std::vector<double>(3, 1.0));
+  EXPECT_NEAR(wls.a, 1.5, 1e-12);
+  EXPECT_NEAR(wls.b, 1.0 / 3.0, 1e-12);
+}
+
+TEST(FitWeightedTest, ZeroWeightIgnoresPoint) {
+  // Third point is an outlier with zero weight: fit the first two exactly.
+  const auto pairs = Pairs({{0, 1}, {1, 3}, {2, 100}});
+  const LinearModel m = FitWeighted(pairs, {1.0, 1.0, 0.0});
+  EXPECT_NEAR(m.a, 2.0, 1e-9);
+  EXPECT_NEAR(m.b, 1.0, 1e-9);
+}
+
+TEST(FitWeightedTest, DegenerateXGivesWeightedMean) {
+  const auto pairs = Pairs({{2, 10}, {2, 20}});
+  const LinearModel m = FitWeighted(pairs, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(m.a, 0.0);
+  EXPECT_DOUBLE_EQ(m.b, 12.5);
+}
+
+TEST(FitForMetricTest, SseMatchesLemma1) {
+  const auto pairs = Pairs({{0, 1}, {1, 3}, {2, 5}, {3, 6.5}});
+  const LinearModel robust =
+      FitForMetric(pairs, ErrorMetric::SumSquared());
+  RegressionStats stats;
+  for (const auto& p : pairs) stats.Add(p.x, p.y);
+  const LinearModel ls = stats.Fit();
+  EXPECT_NEAR(robust.a, ls.a, 1e-12);
+  EXPECT_NEAR(robust.b, ls.b, 1e-12);
+}
+
+TEST(FitForMetricTest, AbsoluteFitIgnoresOutlier) {
+  // Nine points on y = 2x + 1 plus one gross outlier. LS tilts toward the
+  // outlier; the LAD fit must stay on the line.
+  std::deque<ObservationPair> pairs;
+  for (int k = 0; k < 9; ++k) {
+    pairs.push_back({static_cast<double>(k), 2.0 * k + 1.0, k});
+  }
+  pairs.push_back({4.5, 500.0, 9});
+
+  const ErrorMetric abs_metric = ErrorMetric::Absolute();
+  const LinearModel lad = FitForMetric(pairs, abs_metric);
+  EXPECT_NEAR(lad.a, 2.0, 0.05);
+  EXPECT_NEAR(lad.b, 1.0, 0.2);
+
+  RegressionStats stats;
+  for (const auto& p : pairs) stats.Add(p.x, p.y);
+  const LinearModel ls = stats.Fit();
+  EXPECT_LT(TotalError(pairs, abs_metric, lad),
+            TotalError(pairs, abs_metric, ls));
+}
+
+TEST(FitForMetricTest, RelativeFitFavorsSmallMagnitudePoints) {
+  // Two clusters: small-|y| points on y = x, large-|y| points offset by a
+  // constant 10. The relative fit must track the small values much more
+  // closely than LS does.
+  const auto pairs =
+      Pairs({{1, 1}, {2, 2}, {3, 3}, {100, 110}, {200, 210}});
+  const ErrorMetric rel = ErrorMetric::Relative();
+  const LinearModel relative = FitForMetric(pairs, rel);
+  RegressionStats stats;
+  for (const auto& p : pairs) stats.Add(p.x, p.y);
+  const LinearModel ls = stats.Fit();
+  EXPECT_LT(TotalError(pairs, rel, relative),
+            TotalError(pairs, rel, ls) + 1e-12);
+  // Near the small cluster the relative fit is nearly exact.
+  EXPECT_NEAR(relative.Estimate(2.0), 2.0, 0.2);
+}
+
+TEST(FitForMetricTest, EmptyPairsGiveZeroModel) {
+  const std::deque<ObservationPair> empty;
+  const LinearModel m = FitForMetric(empty, ErrorMetric::Absolute());
+  EXPECT_DOUBLE_EQ(m.a, 0.0);
+  EXPECT_DOUBLE_EQ(m.b, 0.0);
+}
+
+// Property: on random instances, the metric-specific fit never does worse
+// (under its own metric) than the plain least-squares line.
+class RobustFitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RobustFitProperty, NeverWorseThanLeastSquaresUnderOwnMetric) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t n = static_cast<size_t>(rng.UniformInt(3, 20));
+  std::deque<ObservationPair> pairs;
+  RegressionStats stats;
+  for (size_t k = 0; k < n; ++k) {
+    const double x = rng.UniformDouble(-10, 10);
+    double y = 1.7 * x + 4.0 + rng.Gaussian(0, 2.0);
+    if (rng.Bernoulli(0.15)) y += rng.UniformDouble(-80, 80);  // outliers
+    pairs.push_back({x, y, static_cast<Time>(k)});
+    stats.Add(x, y);
+  }
+  const LinearModel ls = stats.Fit();
+  for (const ErrorMetric& metric :
+       {ErrorMetric::Absolute(), ErrorMetric::Relative(1.0)}) {
+    const LinearModel fit = FitForMetric(pairs, metric);
+    EXPECT_LE(TotalError(pairs, metric, fit),
+              TotalError(pairs, metric, ls) + 1e-9)
+        << metric.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustFitProperty, ::testing::Range(1, 20));
+
+}  // namespace
+}  // namespace snapq

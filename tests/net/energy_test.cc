@@ -1,0 +1,70 @@
+#include "net/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(BatteryTest, StartsWithCapacity) {
+  Battery b(500.0);
+  EXPECT_TRUE(b.alive());
+  EXPECT_DOUBLE_EQ(b.remaining(), 500.0);
+}
+
+TEST(BatteryTest, DefaultIsDead) {
+  Battery b;
+  EXPECT_FALSE(b.alive());
+}
+
+TEST(BatteryTest, ConsumeDecrements) {
+  Battery b(10.0);
+  EXPECT_TRUE(b.Consume(3.0));
+  EXPECT_DOUBLE_EQ(b.remaining(), 7.0);
+}
+
+TEST(BatteryTest, ExactlyDrainingLastUnitSucceedsThenDead) {
+  // The paper's battery of "500 transmissions" allows exactly 500 sends.
+  Battery b(2.0);
+  EXPECT_TRUE(b.Consume(1.0));
+  EXPECT_TRUE(b.Consume(1.0));  // final transmission succeeds
+  EXPECT_FALSE(b.alive());
+  EXPECT_FALSE(b.Consume(1.0));
+}
+
+TEST(BatteryTest, OverdraftKillsWithoutSucceeding) {
+  Battery b(0.5);
+  EXPECT_FALSE(b.Consume(1.0));
+  EXPECT_FALSE(b.alive());
+  EXPECT_DOUBLE_EQ(b.remaining(), 0.0);
+}
+
+TEST(BatteryTest, KillForcesDeath) {
+  Battery b(100.0);
+  b.Kill();
+  EXPECT_FALSE(b.alive());
+  EXPECT_FALSE(b.Consume(0.1));
+}
+
+TEST(BatteryTest, InfiniteCapacityNeverDies) {
+  Battery b(EnergyModel::Unlimited().initial_battery);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(b.Consume(1000.0));
+  }
+  EXPECT_TRUE(b.alive());
+}
+
+TEST(EnergyModelTest, PaperDefaults) {
+  EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.tx_cost, 1.0);
+  EXPECT_DOUBLE_EQ(m.cache_op_cost, 0.1);  // one tenth of a transmission
+  EXPECT_DOUBLE_EQ(m.initial_battery, 500.0);
+}
+
+TEST(BatteryTest, ZeroCostConsumeKeepsAlive) {
+  Battery b(1.0);
+  EXPECT_TRUE(b.Consume(0.0));
+  EXPECT_TRUE(b.alive());
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,65 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(MessageTest, TypeNamesAreStable) {
+  EXPECT_STREQ(MessageTypeName(MessageType::kInvitation), "Invitation");
+  EXPECT_STREQ(MessageTypeName(MessageType::kCandList), "CandList");
+  EXPECT_STREQ(MessageTypeName(MessageType::kHeartbeat), "Heartbeat");
+  EXPECT_STREQ(MessageTypeName(MessageType::kQueryReply), "QueryReply");
+}
+
+TEST(MessageTest, DefaultsAreBroadcastData) {
+  Message m;
+  EXPECT_EQ(m.type, MessageType::kData);
+  EXPECT_EQ(m.to, kBroadcastId);
+  EXPECT_EQ(m.from, kInvalidNode);
+}
+
+TEST(MessageTest, SizeOfScalarMessages) {
+  Message m;
+  m.type = MessageType::kInvitation;
+  EXPECT_EQ(m.SizeBytes(), 7u + 4u);
+  m.type = MessageType::kAccept;
+  EXPECT_EQ(m.SizeBytes(), 7u);
+  m.type = MessageType::kRecall;
+  EXPECT_EQ(m.SizeBytes(), 7u);
+}
+
+TEST(MessageTest, SizeGrowsWithIdList) {
+  Message m;
+  m.type = MessageType::kCandList;
+  EXPECT_EQ(m.SizeBytes(), 7u + 1u);
+  m.ids = {1, 2, 3};
+  EXPECT_EQ(m.SizeBytes(), 7u + 1u + 6u);
+}
+
+TEST(MessageTest, RepAckCountsEpochs) {
+  Message m;
+  m.type = MessageType::kRepAck;
+  m.ids = {1, 2};
+  m.epochs = {5, 6};
+  EXPECT_EQ(m.SizeBytes(), 7u + 1u + 8u);
+}
+
+TEST(MessageTest, ToStringMentionsTypeAndEndpoints) {
+  Message m;
+  m.type = MessageType::kHeartbeat;
+  m.from = 3;
+  m.to = 9;
+  m.value = 1.25;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("Heartbeat"), std::string::npos);
+  EXPECT_NE(s.find("from=3"), std::string::npos);
+  EXPECT_NE(s.find("to=9"), std::string::npos);
+}
+
+TEST(NodeIdTest, SentinelsAreDistinct) {
+  EXPECT_NE(kInvalidNode, kBroadcastId);
+}
+
+}  // namespace
+}  // namespace snapq

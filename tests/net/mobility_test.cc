@@ -1,0 +1,143 @@
+// Mobility: moving nodes updates reachability, and the snapshot protocol
+// self-heals when a represented node walks out of its representative's
+// radio range ("changes in connectivity among nodes due to mobility", §3).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/link_model.h"
+#include "snapshot/election.h"
+
+namespace snapq {
+namespace {
+
+TEST(LinkModelMobilityTest, MoveUpdatesBothDirections) {
+  LinkModel lm({{0, 0}, {1, 0}, {5, 0}}, {1.2, 1.2, 1.2}, 0.0);
+  EXPECT_TRUE(lm.CanReach(0, 1));
+  EXPECT_FALSE(lm.CanReach(0, 2));
+
+  lm.SetPosition(2, {2.0, 0.0});
+  EXPECT_TRUE(lm.CanReach(1, 2));
+  EXPECT_TRUE(lm.CanReach(2, 1));
+  EXPECT_FALSE(lm.CanReach(0, 2));
+
+  lm.SetPosition(1, {10.0, 0.0});
+  EXPECT_FALSE(lm.CanReach(0, 1));
+  EXPECT_FALSE(lm.CanReach(1, 2));
+}
+
+TEST(LinkModelMobilityTest, ReachableRowsStaySortedAndConsistent) {
+  LinkModel lm({{0, 0}, {0.5, 0}, {1.0, 0}, {1.5, 0}},
+               {0.6, 0.6, 0.6, 0.6}, 0.0);
+  lm.SetPosition(3, {0.25, 0.0});  // now between 0 and 1
+  for (NodeId i = 0; i < 4; ++i) {
+    const auto& row = lm.Reachable(i);
+    for (size_t k = 1; k < row.size(); ++k) {
+      EXPECT_LT(row[k - 1], row[k]);
+    }
+    for (NodeId j = 0; j < 4; ++j) {
+      const bool in_row =
+          std::find(row.begin(), row.end(), j) != row.end();
+      EXPECT_EQ(in_row, lm.CanReach(i, j)) << i << "->" << j;
+    }
+  }
+}
+
+TEST(SimulatorMobilityTest, MovedNodeChangesDeliveries) {
+  Simulator sim({{0, 0}, {1, 0}, {5, 0}}, {1.2, 1.2, 1.2}, SimConfig{});
+  int received_by_2 = 0;
+  sim.SetHandler(2, [&](const Message&, bool) { ++received_by_2; });
+  Message m;
+  m.from = 0;
+  sim.Send(m);
+  sim.RunAll();
+  EXPECT_EQ(received_by_2, 0);
+  sim.MoveNode(2, {1.0, 0.5});
+  sim.Send(m);
+  sim.RunAll();
+  EXPECT_EQ(received_by_2, 1);
+}
+
+TEST(MobilityIntegrationTest, SnapshotSelfHealsWhenMemberWalksAway) {
+  SnapshotConfig config;
+  config.threshold = 1.0;
+  config.max_wait = 4;
+  config.rule4_hard_cap = 8;
+  config.heartbeat_miss_limit = 1;
+  // Three nodes close together.
+  Simulator sim({{0.1, 0.5}, {0.2, 0.5}, {0.3, 0.5}},
+                std::vector<double>(3, 0.4), SimConfig{});
+  std::vector<std::unique_ptr<SnapshotAgent>> agents;
+  for (NodeId i = 0; i < 3; ++i) {
+    agents.push_back(
+        std::make_unique<SnapshotAgent>(i, &sim, config, 60 + i));
+    agents.back()->Install();
+    agents.back()->SetMeasurement(10.0 + i);
+  }
+  // Node 2 can represent 0 and 1.
+  for (NodeId j = 0; j < 2; ++j) {
+    const double vi = agents[2]->measurement();
+    const double vj = agents[j]->measurement();
+    agents[2]->models().cache().Observe(j, vi - 1, vj - 1, 0);
+    agents[2]->models().cache().Observe(j, vi + 1, vj + 1, 0);
+  }
+  RunGlobalElection(sim, agents, 0, config);
+  ASSERT_EQ(agents[0]->representative(), 2u);
+  ASSERT_EQ(agents[0]->mode(), NodeMode::kPassive);
+
+  // Node 0 wanders out of range of everyone.
+  sim.MoveNode(0, {5.0, 5.0});
+  // Its heartbeat can no longer reach node 2: after the miss limit it
+  // re-elects, finds no candidates in range, and represents itself.
+  for (auto& a : agents) a->MaintenanceTick();
+  sim.RunAll();
+  EXPECT_EQ(agents[0]->mode(), NodeMode::kActive);
+  EXPECT_EQ(agents[0]->representative(), 0u);
+  // Node 1 stays happily represented.
+  EXPECT_EQ(agents[1]->mode(), NodeMode::kPassive);
+  EXPECT_EQ(agents[1]->representative(), 2u);
+}
+
+TEST(MobilityIntegrationTest, NewcomerJoinsNeighborhoodAndMerges) {
+  SnapshotConfig config;
+  config.threshold = 1.0;
+  config.max_wait = 4;
+  config.rule4_hard_cap = 8;
+  // Node 2 starts far away, then moves next to 0/1 after their election.
+  Simulator sim({{0.1, 0.5}, {0.2, 0.5}, {5.0, 5.0}},
+                std::vector<double>(3, 0.4), SimConfig{});
+  std::vector<std::unique_ptr<SnapshotAgent>> agents;
+  for (NodeId i = 0; i < 3; ++i) {
+    agents.push_back(
+        std::make_unique<SnapshotAgent>(i, &sim, config, 80 + i));
+    agents.back()->Install();
+    agents.back()->SetMeasurement(10.0 + i);
+  }
+  const double v1 = agents[1]->measurement();
+  const double v0 = agents[0]->measurement();
+  agents[1]->models().cache().Observe(0, v1 - 1, v0 - 1, 0);
+  agents[1]->models().cache().Observe(0, v1 + 1, v0 + 1, 0);
+  RunGlobalElection(sim, agents, 0, config);
+  ASSERT_EQ(agents[2]->mode(), NodeMode::kActive);  // isolated -> lone
+
+  // Node 2 moves in; node 1 (the local rep) learns its values from its
+  // announcements, then a maintenance round lets the lone active find a
+  // representative.
+  sim.MoveNode(2, {0.3, 0.5});
+  agents[1]->SetMeasurement(20.0);
+  agents[2]->SetMeasurement(30.0);
+  agents[2]->BroadcastValue();
+  sim.RunAll();
+  agents[1]->SetMeasurement(21.0);
+  agents[2]->SetMeasurement(31.0);
+  agents[2]->BroadcastValue();
+  sim.RunAll();
+  for (auto& a : agents) a->MaintenanceTick();
+  sim.RunAll();
+  EXPECT_EQ(agents[2]->mode(), NodeMode::kPassive);
+  EXPECT_EQ(agents[2]->representative(), 1u);
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,81 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(PlaceUniformTest, AllInsideArea) {
+  Rng rng(1);
+  const Rect area{0.5, 1.0, 2.5, 3.0};
+  const auto pts = PlaceUniform(500, area, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const Point& p : pts) {
+    EXPECT_TRUE(area.Contains(p));
+  }
+}
+
+TEST(PlaceUniformTest, SpreadsOverQuadrants) {
+  Rng rng(2);
+  const Rect area = Rect::UnitSquare();
+  const auto pts = PlaceUniform(1000, area, rng);
+  int q[4] = {0, 0, 0, 0};
+  for (const Point& p : pts) {
+    ++q[(p.x >= 0.5 ? 1 : 0) + (p.y >= 0.5 ? 2 : 0)];
+  }
+  for (int c : q) {
+    EXPECT_GT(c, 150);  // roughly uniform
+  }
+}
+
+TEST(PlaceUniformTest, Deterministic) {
+  Rng r1(3), r2(3);
+  const auto a = PlaceUniform(10, Rect::UnitSquare(), r1);
+  const auto b = PlaceUniform(10, Rect::UnitSquare(), r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PlaceGridTest, NoJitterIsRegular) {
+  Rng rng(4);
+  const auto pts = PlaceGrid(4, Rect::UnitSquare(), 0.0, rng);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_DOUBLE_EQ(pts[0].x, 0.25);
+  EXPECT_DOUBLE_EQ(pts[0].y, 0.25);
+  EXPECT_DOUBLE_EQ(pts[3].x, 0.75);
+  EXPECT_DOUBLE_EQ(pts[3].y, 0.75);
+}
+
+TEST(PlaceGridTest, NonSquareCountStaysInArea) {
+  Rng rng(5);
+  const auto pts = PlaceGrid(7, Rect::UnitSquare(), 0.3, rng);
+  ASSERT_EQ(pts.size(), 7u);
+  for (const Point& p : pts) {
+    EXPECT_TRUE(Rect::UnitSquare().Contains(p));
+  }
+}
+
+TEST(PlaceGridTest, ZeroNodes) {
+  Rng rng(6);
+  EXPECT_TRUE(PlaceGrid(0, Rect::UnitSquare(), 0.0, rng).empty());
+}
+
+TEST(PlaceClusteredTest, StaysInAreaAndClusters) {
+  Rng rng(7);
+  const auto pts = PlaceClustered(200, 4, 0.02, Rect::UnitSquare(), rng);
+  ASSERT_EQ(pts.size(), 200u);
+  for (const Point& p : pts) {
+    EXPECT_TRUE(Rect::UnitSquare().Contains(p));
+  }
+  // With tiny stddev, nodes of the same cluster are close: check that the
+  // average distance between consecutive same-cluster nodes is small.
+  double total = 0.0;
+  int count = 0;
+  for (size_t i = 0; i + 4 < pts.size(); i += 4) {
+    total += Distance(pts[i], pts[i + 4]);
+    ++count;
+  }
+  EXPECT_LT(total / count, 0.2);
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,104 @@
+#include "query/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace snapq {
+namespace {
+
+TEST(PartialAggregateTest, Sum) {
+  PartialAggregate agg(AggregateFunction::kSum);
+  agg.AddValue(1.5);
+  agg.AddValue(-0.5);
+  agg.AddValue(4.0);
+  EXPECT_DOUBLE_EQ(agg.Finalize(), 5.0);
+  EXPECT_EQ(agg.count(), 3u);
+}
+
+TEST(PartialAggregateTest, Avg) {
+  PartialAggregate agg(AggregateFunction::kAvg);
+  agg.AddValue(2.0);
+  agg.AddValue(4.0);
+  EXPECT_DOUBLE_EQ(agg.Finalize(), 3.0);
+}
+
+TEST(PartialAggregateTest, MinMax) {
+  PartialAggregate mn(AggregateFunction::kMin);
+  PartialAggregate mx(AggregateFunction::kMax);
+  for (double v : {3.0, -1.0, 7.0}) {
+    mn.AddValue(v);
+    mx.AddValue(v);
+  }
+  EXPECT_DOUBLE_EQ(mn.Finalize(), -1.0);
+  EXPECT_DOUBLE_EQ(mx.Finalize(), 7.0);
+}
+
+TEST(PartialAggregateTest, Count) {
+  PartialAggregate agg(AggregateFunction::kCount);
+  for (int i = 0; i < 5; ++i) agg.AddValue(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(agg.Finalize(), 5.0);
+}
+
+TEST(PartialAggregateTest, EmptyStates) {
+  EXPECT_DOUBLE_EQ(PartialAggregate(AggregateFunction::kSum).Finalize(), 0.0);
+  EXPECT_DOUBLE_EQ(PartialAggregate(AggregateFunction::kAvg).Finalize(), 0.0);
+  EXPECT_DOUBLE_EQ(PartialAggregate(AggregateFunction::kCount).Finalize(),
+                   0.0);
+  EXPECT_TRUE(
+      std::isinf(PartialAggregate(AggregateFunction::kMin).Finalize()));
+}
+
+TEST(PartialAggregateTest, MergeEqualsFlatAggregation) {
+  // TAG correctness: merging partials must equal aggregating the union.
+  Rng rng(3);
+  for (AggregateFunction f :
+       {AggregateFunction::kSum, AggregateFunction::kAvg,
+        AggregateFunction::kMin, AggregateFunction::kMax,
+        AggregateFunction::kCount}) {
+    PartialAggregate whole(f);
+    PartialAggregate left(f), right(f);
+    for (int i = 0; i < 100; ++i) {
+      const double v = rng.Gaussian(0, 10);
+      whole.AddValue(v);
+      (i % 3 == 0 ? left : right).AddValue(v);
+    }
+    left.Merge(right);
+    EXPECT_NEAR(left.Finalize(), whole.Finalize(), 1e-9)
+        << AggregateFunctionName(f);
+    EXPECT_EQ(left.count(), whole.count());
+  }
+}
+
+TEST(PartialAggregateTest, MergeIsAssociativeOnChains) {
+  // Simulates a deep routing tree: fold one value per hop.
+  PartialAggregate acc(AggregateFunction::kAvg);
+  PartialAggregate flat(AggregateFunction::kAvg);
+  for (int i = 1; i <= 20; ++i) {
+    PartialAggregate hop(AggregateFunction::kAvg);
+    hop.AddValue(i);
+    acc.Merge(hop);
+    flat.AddValue(i);
+  }
+  EXPECT_DOUBLE_EQ(acc.Finalize(), flat.Finalize());
+}
+
+TEST(PartialAggregateDeathTest, NoneIsNotAggregatable) {
+  EXPECT_DEATH(PartialAggregate(AggregateFunction::kNone), "SNAPQ_CHECK");
+}
+
+TEST(PartialAggregateDeathTest, MergeRequiresSameFunction) {
+  PartialAggregate a(AggregateFunction::kSum);
+  PartialAggregate b(AggregateFunction::kMax);
+  EXPECT_DEATH(a.Merge(b), "SNAPQ_CHECK");
+}
+
+TEST(AggregateFunctionNameTest, Names) {
+  EXPECT_STREQ(AggregateFunctionName(AggregateFunction::kSum), "sum");
+  EXPECT_STREQ(AggregateFunctionName(AggregateFunction::kNone), "none");
+}
+
+}  // namespace
+}  // namespace snapq

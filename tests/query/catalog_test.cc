@@ -1,0 +1,90 @@
+#include "query/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(CatalogTest, StandardRegionsCoverQuadrants) {
+  const Catalog c = Catalog::WithStandardRegions(Rect::UnitSquare());
+  const Result<Rect> se = c.LookupRegion("SOUTH_EAST_QUADRANT");
+  ASSERT_TRUE(se.ok());
+  EXPECT_DOUBLE_EQ(se->min_x, 0.5);
+  EXPECT_DOUBLE_EQ(se->max_x, 1.0);
+  EXPECT_DOUBLE_EQ(se->min_y, 0.0);
+  EXPECT_DOUBLE_EQ(se->max_y, 0.5);
+
+  const Result<Rect> everywhere = c.LookupRegion("EVERYWHERE");
+  ASSERT_TRUE(everywhere.ok());
+  EXPECT_EQ(*everywhere, Rect::UnitSquare());
+}
+
+TEST(CatalogTest, LookupIsCaseInsensitive) {
+  const Catalog c = Catalog::WithStandardRegions(Rect::UnitSquare());
+  EXPECT_TRUE(c.LookupRegion("south_east_quadrant").ok());
+  EXPECT_TRUE(c.LookupRegion("South_East_Quadrant").ok());
+}
+
+TEST(CatalogTest, UnknownRegionIsNotFound) {
+  const Catalog c;
+  const Result<Rect> r = c.LookupRegion("ATLANTIS");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RegisterAndReplace) {
+  Catalog c;
+  c.RegisterRegion("lab", Rect{0, 0, 0.1, 0.1});
+  c.RegisterRegion("LAB", Rect{0, 0, 0.2, 0.2});  // same key, replaces
+  const Result<Rect> r = c.LookupRegion("Lab");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->max_x, 0.2);
+}
+
+TEST(CatalogTest, RegionNamesSorted) {
+  Catalog c;
+  c.RegisterRegion("zeta", Rect{0, 0, 1, 1});
+  c.RegisterRegion("alpha", Rect{0, 0, 1, 1});
+  const auto names = c.RegionNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "ALPHA");
+  EXPECT_EQ(names[1], "ZETA");
+}
+
+TEST(CatalogTest, BuiltinColumnsAlwaysValid) {
+  const Catalog c;
+  EXPECT_TRUE(c.IsValidColumn("loc"));
+  EXPECT_TRUE(c.IsValidColumn("LOC"));
+  EXPECT_TRUE(c.IsValidColumn("value"));
+  EXPECT_TRUE(c.IsValidColumn("*"));
+  EXPECT_FALSE(c.IsValidColumn("temperature"));
+}
+
+TEST(CatalogTest, RegisteredMeasurementColumns) {
+  Catalog c;
+  c.RegisterMeasurementColumn("temperature");
+  EXPECT_TRUE(c.IsValidColumn("temperature"));
+  EXPECT_TRUE(c.IsValidColumn("TEMPERATURE"));
+  EXPECT_FALSE(c.IsValidColumn("humidity"));
+}
+
+TEST(CatalogTest, HalvesPartitionTheArea) {
+  const Catalog c = Catalog::WithStandardRegions(Rect::UnitSquare());
+  const Rect north = *c.LookupRegion("NORTH_HALF");
+  const Rect south = *c.LookupRegion("SOUTH_HALF");
+  EXPECT_DOUBLE_EQ(north.Area() + south.Area(), 1.0);
+  EXPECT_TRUE(north.Contains({0.5, 0.9}));
+  EXPECT_TRUE(south.Contains({0.5, 0.1}));
+}
+
+TEST(CatalogTest, NonUnitAreaRegions) {
+  const Catalog c = Catalog::WithStandardRegions(Rect{0, 0, 10, 4});
+  const Rect ne = *c.LookupRegion("NORTH_EAST_QUADRANT");
+  EXPECT_DOUBLE_EQ(ne.min_x, 5.0);
+  EXPECT_DOUBLE_EQ(ne.min_y, 2.0);
+  EXPECT_DOUBLE_EQ(ne.max_x, 10.0);
+  EXPECT_DOUBLE_EQ(ne.max_y, 4.0);
+}
+
+}  // namespace
+}  // namespace snapq

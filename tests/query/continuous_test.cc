@@ -1,0 +1,170 @@
+#include "query/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "query/parser.h"
+
+namespace snapq {
+namespace {
+
+struct Net {
+  std::unique_ptr<Simulator> sim;
+  std::vector<std::unique_ptr<SnapshotAgent>> agents;
+  std::unique_ptr<QueryExecutor> executor;
+  std::unique_ptr<ContinuousQueryRunner> runner;
+
+  explicit Net(size_t n = 4) {
+    std::vector<Point> positions;
+    for (size_t i = 0; i < n; ++i) {
+      positions.push_back({0.1 * static_cast<double>(i) + 0.05, 0.5});
+    }
+    sim = std::make_unique<Simulator>(std::move(positions),
+                                      std::vector<double>(n, 10.0),
+                                      SimConfig{});
+    for (NodeId i = 0; i < n; ++i) {
+      agents.push_back(std::make_unique<SnapshotAgent>(
+          i, sim.get(), SnapshotConfig{}, 30 + i));
+      agents.back()->Install();
+      agents.back()->SetMeasurement(static_cast<double>(i));
+    }
+    executor = std::make_unique<QueryExecutor>(
+        sim.get(), &agents,
+        Catalog::WithStandardRegions(Rect::UnitSquare()));
+    runner = std::make_unique<ContinuousQueryRunner>(sim.get(),
+                                                     executor.get());
+  }
+};
+
+TEST(ContinuousQueryTest, SingleShotWithoutInterval) {
+  Net net;
+  std::vector<EpochResult> epochs;
+  const Result<int64_t> n = net.runner->ScheduleSql(
+      "SELECT sum(value) FROM sensors", 5, {},
+      [&](const EpochResult& e) { epochs.push_back(e); });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  net.sim->RunAll();
+  ASSERT_EQ(epochs.size(), 1u);
+  EXPECT_EQ(epochs[0].epoch, 0);
+  EXPECT_EQ(epochs[0].time, 5);
+  EXPECT_DOUBLE_EQ(*epochs[0].result.aggregate, 0.0 + 1.0 + 2.0 + 3.0);
+}
+
+TEST(ContinuousQueryTest, EpochCountFromIntervalAndDuration) {
+  Net net;
+  std::vector<EpochResult> epochs;
+  // 1s interval for 5s -> 5 epochs.
+  const Result<int64_t> n = net.runner->ScheduleSql(
+      "SELECT count(*) FROM sensors SAMPLE INTERVAL 1s FOR 5s", 0, {},
+      [&](const EpochResult& e) { epochs.push_back(e); });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5);
+  net.sim->RunAll();
+  ASSERT_EQ(epochs.size(), 5u);
+  for (int64_t e = 0; e < 5; ++e) {
+    EXPECT_EQ(epochs[static_cast<size_t>(e)].epoch, e);
+    EXPECT_EQ(epochs[static_cast<size_t>(e)].time, e);
+  }
+}
+
+TEST(ContinuousQueryTest, PaperQueryShape) {
+  // "SAMPLE INTERVAL 1sec for 5min" -> 300 epochs.
+  Net net;
+  int rounds = 0;
+  const Result<int64_t> n = net.runner->ScheduleSql(
+      "SELECT loc, value FROM sensors SAMPLE INTERVAL 1s FOR 5min", 0, {},
+      [&](const EpochResult&) { ++rounds; });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 300);
+  net.sim->RunAll();
+  EXPECT_EQ(rounds, 300);
+}
+
+TEST(ContinuousQueryTest, EpochsObserveChangingData) {
+  Net net;
+  std::vector<double> sums;
+  ASSERT_TRUE(net.runner
+                  ->ScheduleSql(
+                      "SELECT sum(value) FROM sensors SAMPLE INTERVAL 2s "
+                      "FOR 6s",
+                      0, {},
+                      [&](const EpochResult& e) {
+                        sums.push_back(*e.result.aggregate);
+                      })
+                  .ok());
+  // Bump node 0's reading between epochs.
+  net.sim->ScheduleAt(1, [&net] { net.agents[0]->SetMeasurement(100.0); });
+  net.sim->ScheduleAt(3, [&net] { net.agents[0]->SetMeasurement(200.0); });
+  net.sim->RunAll();
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_DOUBLE_EQ(sums[0], 6.0);
+  EXPECT_DOUBLE_EQ(sums[1], 106.0);
+  EXPECT_DOUBLE_EQ(sums[2], 206.0);
+}
+
+TEST(ContinuousQueryTest, SubUnitIntervalClampedToOneTick) {
+  Net net;
+  const Result<int64_t> n = net.runner->ScheduleSql(
+      "SELECT count(*) FROM sensors SAMPLE INTERVAL 100 ms FOR 1s", 0, {},
+      {});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 10);   // 10 epochs...
+  net.sim->RunAll();
+  EXPECT_EQ(net.sim->now(), 9);  // ...spaced one tick apart
+}
+
+TEST(ContinuousQueryTest, RejectsPastStart) {
+  Net net;
+  net.sim->RunUntil(10);
+  const Result<int64_t> n = net.runner->ScheduleSql(
+      "SELECT count(*) FROM sensors", 5, {}, {});
+  EXPECT_FALSE(n.ok());
+}
+
+TEST(ContinuousQueryTest, RejectsBadQueryUpFront) {
+  Net net;
+  EXPECT_FALSE(
+      net.runner->ScheduleSql("SELECT humidity FROM sensors", 0, {}, {})
+          .ok());
+  EXPECT_FALSE(net.runner
+                   ->ScheduleSql(
+                       "SELECT value FROM sensors WHERE loc IN ATLANTIS", 0,
+                       {}, {})
+                   .ok());
+  EXPECT_FALSE(net.runner->ScheduleSql("garbage", 0, {}, {}).ok());
+}
+
+TEST(ContinuousQueryTest, SnapshotClausePassesThrough) {
+  Net net;
+  // Make nodes 0..2 passive under node 3.
+  for (NodeId j = 0; j < 3; ++j) {
+    const double vi = net.agents[3]->measurement();
+    const double vj = net.agents[j]->measurement();
+    net.agents[3]->models().cache().Observe(j, vi - 1, vj - 1, 0);
+    net.agents[3]->models().cache().Observe(j, vi + 1, vj + 1, 0);
+  }
+  for (auto& agent : net.agents) agent->BeginElection(0);
+  net.sim->RunAll();
+
+  std::vector<size_t> responders;
+  ASSERT_TRUE(net.runner
+                  ->ScheduleSql(
+                      "SELECT sum(value) FROM sensors SAMPLE INTERVAL 1s "
+                      "FOR 3s USE SNAPSHOT",
+                      net.sim->now(), {},
+                      [&](const EpochResult& e) {
+                        responders.push_back(e.result.responders);
+                      })
+                  .ok());
+  net.sim->RunAll();
+  ASSERT_EQ(responders.size(), 3u);
+  for (size_t r : responders) {
+    EXPECT_EQ(r, 1u);  // only the representative answers, every epoch
+  }
+}
+
+}  // namespace
+}  // namespace snapq

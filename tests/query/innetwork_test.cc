@@ -1,0 +1,212 @@
+// Message-level TAG aggregation tests: tree formation by flooding,
+// level-scheduled convergecast, loss/failure behavior and the snapshot
+// contribution rule — all over real simulator messages.
+#include "query/innetwork.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "query/executor.h"
+#include "snapshot/election.h"
+
+namespace snapq {
+namespace {
+
+SnapshotConfig TestConfig() {
+  SnapshotConfig config;
+  config.threshold = 1.0;
+  config.max_wait = 4;
+  config.rule4_hard_cap = 8;
+  return config;
+}
+
+struct Net {
+  std::unique_ptr<Simulator> sim;
+  std::vector<std::unique_ptr<SnapshotAgent>> agents;
+
+  Net(std::vector<Point> positions, double range, SimConfig sim_config = {}) {
+    const size_t n = positions.size();
+    sim = std::make_unique<Simulator>(std::move(positions),
+                                      std::vector<double>(n, range),
+                                      sim_config);
+    for (NodeId i = 0; i < n; ++i) {
+      agents.push_back(std::make_unique<SnapshotAgent>(i, sim.get(),
+                                                       TestConfig(), 70 + i));
+      agents.back()->Install();
+      agents.back()->SetMeasurement(10.0 * (i + 1));
+    }
+  }
+};
+
+const Rect kAll{0.0, 0.0, 10.0, 10.0};
+
+TEST(InNetworkTest, SumOverChainMatchesTruth) {
+  // 4-node chain, unit spacing, range 1: depth = hop count.
+  Net net({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, 1.0);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  const InNetworkResult r =
+      agg.Execute(kAll, AggregateFunction::kSum, 0, false);
+  ASSERT_TRUE(r.aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*r.aggregate, 10.0 + 20.0 + 30.0 + 40.0);
+  EXPECT_EQ(r.readings, 4u);
+  EXPECT_EQ(r.participants, 4u);
+}
+
+TEST(InNetworkTest, AvgMinMaxCount) {
+  Net net({{0, 0}, {1, 0}, {2, 0}}, 1.0);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  EXPECT_DOUBLE_EQ(
+      *agg.Execute(kAll, AggregateFunction::kAvg, 0, false).aggregate, 20.0);
+  EXPECT_DOUBLE_EQ(
+      *agg.Execute(kAll, AggregateFunction::kMin, 0, false).aggregate, 10.0);
+  EXPECT_DOUBLE_EQ(
+      *agg.Execute(kAll, AggregateFunction::kMax, 0, false).aggregate, 30.0);
+  EXPECT_DOUBLE_EQ(
+      *agg.Execute(kAll, AggregateFunction::kCount, 0, false).aggregate,
+      3.0);
+}
+
+TEST(InNetworkTest, RegionFiltersContributions) {
+  Net net({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, 1.0);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  // Region covers only nodes at x >= 2 (values 30, 40); nodes 1 routes.
+  const Rect region{1.5, -1.0, 10.0, 1.0};
+  const InNetworkResult r =
+      agg.Execute(region, AggregateFunction::kSum, 0, false);
+  ASSERT_TRUE(r.aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*r.aggregate, 70.0);
+  EXPECT_EQ(r.readings, 2u);
+}
+
+TEST(InNetworkTest, EmptyRegionYieldsNoAnswer) {
+  Net net({{0, 0}, {1, 0}}, 1.0);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  const Rect nowhere{5.0, 5.0, 6.0, 6.0};
+  const InNetworkResult r =
+      agg.Execute(nowhere, AggregateFunction::kSum, 0, false);
+  EXPECT_FALSE(r.aggregate.has_value());
+  EXPECT_EQ(r.readings, 0u);
+}
+
+TEST(InNetworkTest, DeadRouterSeversSubtree) {
+  Net net({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, 1.0);
+  net.sim->Kill(1);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  const InNetworkResult r =
+      agg.Execute(kAll, AggregateFunction::kSum, 0, false);
+  // Only the sink's own reading survives.
+  ASSERT_TRUE(r.aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*r.aggregate, 10.0);
+  EXPECT_EQ(r.readings, 1u);
+}
+
+TEST(InNetworkTest, DeadSinkAnswersNothing) {
+  Net net({{0, 0}, {1, 0}}, 1.0);
+  net.sim->Kill(0);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  const InNetworkResult r =
+      agg.Execute(kAll, AggregateFunction::kSum, 0, false);
+  EXPECT_FALSE(r.aggregate.has_value());
+}
+
+TEST(InNetworkTest, TotalLossDeliversOnlySinkReading) {
+  SimConfig sim_config;
+  sim_config.loss_probability = 1.0;
+  Net net({{0, 0}, {1, 0}, {2, 0}}, 1.0, sim_config);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  const InNetworkResult r =
+      agg.Execute(kAll, AggregateFunction::kSum, 0, false);
+  ASSERT_TRUE(r.aggregate.has_value());
+  EXPECT_DOUBLE_EQ(*r.aggregate, 10.0);
+}
+
+TEST(InNetworkTest, PartialLossUndercountsNeverOvercounts) {
+  SimConfig sim_config;
+  sim_config.loss_probability = 0.4;
+  sim_config.seed = 17;
+  std::vector<Point> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({0.2 * i, 0.0});
+  Net net(std::move(pts), 0.45, sim_config);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  for (int round = 0; round < 10; ++round) {
+    const InNetworkResult r =
+        agg.Execute(kAll, AggregateFunction::kCount, 0, false);
+    ASSERT_TRUE(r.aggregate.has_value());
+    EXPECT_LE(*r.aggregate, 20.0);
+    EXPECT_GE(*r.aggregate, 1.0);
+  }
+}
+
+TEST(InNetworkTest, MessageCountsAreBounded) {
+  Net net({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, 1.0);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  const InNetworkResult r =
+      agg.Execute(kAll, AggregateFunction::kSum, 0, false);
+  // TAG: each node forwards the request at most once and sends at most
+  // one reply.
+  EXPECT_LE(r.request_messages, 4u);
+  EXPECT_LE(r.reply_messages, 3u);  // sink sends no reply
+  EXPECT_EQ(r.reply_messages, 3u);  // everyone carried data here
+}
+
+TEST(InNetworkTest, SnapshotModeUsesRepresentatives) {
+  // Full mesh; teach node 3 models of everyone, elect, then aggregate.
+  Net net({{0, 0}, {0.1, 0}, {0.2, 0}, {0.3, 0}}, 5.0);
+  for (NodeId rep = 3, j = 0; j < 3; ++j) {
+    const double vi = net.agents[rep]->measurement();
+    const double vj = net.agents[j]->measurement();
+    net.agents[rep]->models().cache().Observe(j, vi - 1, vj - 1, 0);
+    net.agents[rep]->models().cache().Observe(j, vi + 1, vj + 1, 0);
+  }
+  RunGlobalElection(*net.sim, net.agents, net.sim->now(), TestConfig());
+  ASSERT_EQ(net.agents[3]->mode(), NodeMode::kActive);
+
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  const InNetworkResult r =
+      agg.Execute(kAll, AggregateFunction::kSum, 0, true);
+  ASSERT_TRUE(r.aggregate.has_value());
+  // Exact models: the representative's estimates reproduce the true sum.
+  EXPECT_NEAR(*r.aggregate, 100.0, 1e-6);
+  EXPECT_EQ(r.readings, 4u);
+  // Only the representative carried data (plus the sink if it self-reports
+  // -- node 0 is passive here, so it does not).
+  EXPECT_LE(r.participants, 2u);
+}
+
+TEST(InNetworkTest, BackToBackQueriesAreIndependent) {
+  Net net({{0, 0}, {1, 0}}, 1.0);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  const InNetworkResult a =
+      agg.Execute(kAll, AggregateFunction::kSum, 0, false);
+  net.agents[1]->SetMeasurement(100.0);
+  const InNetworkResult b =
+      agg.Execute(kAll, AggregateFunction::kSum, 0, false);
+  EXPECT_DOUBLE_EQ(*a.aggregate, 30.0);
+  EXPECT_DOUBLE_EQ(*b.aggregate, 110.0);
+}
+
+TEST(InNetworkTest, MatchesAnalyticExecutorOnZeroLoss) {
+  // The analytic executor and the message-level engine must agree when no
+  // messages are lost.
+  std::vector<Point> pts;
+  for (int i = 0; i < 15; ++i) {
+    pts.push_back({0.06 * i, 0.03 * (i % 4)});
+  }
+  Net net(std::move(pts), 0.2);
+  InNetworkAggregator agg(net.sim.get(), &net.agents);
+  QueryExecutor executor(net.sim.get(), &net.agents,
+                         Catalog::WithStandardRegions(Rect::UnitSquare()));
+  const Rect region{0.2, -1.0, 0.7, 1.0};
+  const InNetworkResult wire =
+      agg.Execute(region, AggregateFunction::kSum, 0, false);
+  const QueryResult analytic = executor.ExecuteRegion(
+      region, false, AggregateFunction::kSum, ExecutionOptions{});
+  ASSERT_TRUE(wire.aggregate.has_value());
+  ASSERT_TRUE(analytic.aggregate.has_value());
+  EXPECT_NEAR(*wire.aggregate, *analytic.aggregate, 1e-9);
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,87 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_TRUE(tokens->front().Is(TokenType::kEnd));
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  const auto tokens = Tokenize("SELECT loc FROM sensors");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_TRUE((*tokens)[1].Is(TokenType::kIdentifier));
+  EXPECT_EQ((*tokens)[1].text, "loc");
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+}
+
+TEST(LexerTest, Punctuation) {
+  const auto tokens = Tokenize("sum ( * ) ,");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].Is(TokenType::kLeftParen));
+  EXPECT_TRUE((*tokens)[2].Is(TokenType::kStar));
+  EXPECT_TRUE((*tokens)[3].Is(TokenType::kRightParen));
+  EXPECT_TRUE((*tokens)[4].Is(TokenType::kComma));
+}
+
+TEST(LexerTest, Numbers) {
+  const auto tokens = Tokenize("1 2.5 -3 1e3 0.5e-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 1.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 2.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, -3.0);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[4].number, 0.005);
+}
+
+TEST(LexerTest, DurationSuffixSplitsIntoNumberPlusIdentifier) {
+  const auto tokens = Tokenize("1s 5min");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // 1, s, 5, min, END
+  EXPECT_TRUE((*tokens)[0].Is(TokenType::kNumber));
+  EXPECT_EQ((*tokens)[1].text, "s");
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 5.0);
+  EXPECT_EQ((*tokens)[3].text, "min");
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  const auto tokens = Tokenize("ab cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 3u);
+}
+
+TEST(LexerTest, UnderscoredIdentifiers) {
+  const auto tokens = Tokenize("SOUTH_EAST_QUADRANT _x x_1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SOUTH_EAST_QUADRANT");
+  EXPECT_EQ((*tokens)[1].text, "_x");
+  EXPECT_EQ((*tokens)[2].text, "x_1");
+}
+
+TEST(LexerTest, RejectsUnexpectedCharacters) {
+  EXPECT_FALSE(Tokenize("select @foo").ok());
+  EXPECT_FALSE(Tokenize("a;b").ok());
+}
+
+TEST(LexerTest, IsKeywordOnlyMatchesIdentifiers) {
+  const auto tokens = Tokenize("42");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_FALSE((*tokens)[0].IsKeyword("42"));
+}
+
+TEST(LexerTest, WhitespaceVariantsIgnored) {
+  const auto tokens = Tokenize("a\tb\nc\r d");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 5u);
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,83 @@
+// Parser robustness: randomized token soup must never crash, hang or
+// return anything but a clean ParseError/valid spec; random mutations of
+// valid queries must behave likewise.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "query/parser.h"
+
+namespace snapq {
+namespace {
+
+const char* const kFragments[] = {
+    "SELECT", "FROM",  "WHERE", "loc",    "IN",       "RECT",
+    "sensors", "value", "sum",  "avg",    "min",      "max",
+    "count",   "(",     ")",    ",",      "*",        "USE",
+    "SNAPSHOT", "ERROR", "SAMPLE", "INTERVAL", "FOR", "1",
+    "2.5",     "-3",    "1e9",  "0",      "s",        "min",
+    "ms",      "hour",  "NORTH_HALF", "_x", "x_1",    "banana",
+};
+
+std::string RandomQuery(Rng& rng, int max_tokens) {
+  std::string out;
+  const int n = static_cast<int>(rng.UniformInt(0, max_tokens));
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += kFragments[rng.UniformInt(
+        0, static_cast<int64_t>(std::size(kFragments)) - 1)];
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, TokenSoupNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 2000; ++i) {
+    const std::string q = RandomQuery(rng, 24);
+    const Result<QuerySpec> spec = ParseQuery(q);
+    if (!spec.ok()) {
+      EXPECT_EQ(spec.status().code(), StatusCode::kParseError) << q;
+    } else {
+      // A parsed spec must round-trip through its own printer.
+      EXPECT_TRUE(ParseQuery(spec->ToString()).ok()) << spec->ToString();
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MutatedValidQueriesNeverCrash) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  const std::string base =
+      "SELECT avg(value) FROM sensors WHERE loc IN RECT(0, 0, 1, 1) "
+      "SAMPLE INTERVAL 1s FOR 5min USE SNAPSHOT ERROR 0.5";
+  for (int i = 0; i < 2000; ++i) {
+    std::string q = base;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(q.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          q.erase(pos, 1);
+          break;
+        case 1:
+          q.insert(pos, 1, static_cast<char>(rng.UniformInt(32, 126)));
+          break;
+        default:
+          q[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+      }
+    }
+    const Result<QuerySpec> spec = ParseQuery(q);  // must not crash
+    if (!spec.ok()) {
+      EXPECT_EQ(spec.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,181 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(ParserTest, PaperExampleQuery) {
+  // The query from §3.1 of the paper (modulo its typos).
+  const auto q = ParseQuery(
+      "SELECT loc, temperature FROM sensors "
+      "WHERE loc IN SOUTH_EAST_QUADRANT "
+      "SAMPLE INTERVAL 1s FOR 5min USE SNAPSHOT");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->select[0].column, "loc");
+  EXPECT_EQ(q->select[1].column, "temperature");
+  EXPECT_EQ(q->table, "sensors");
+  ASSERT_TRUE(q->region_name.has_value());
+  EXPECT_EQ(*q->region_name, "SOUTH_EAST_QUADRANT");
+  EXPECT_DOUBLE_EQ(q->sample_interval, 1.0);
+  EXPECT_DOUBLE_EQ(q->duration, 300.0);
+  EXPECT_TRUE(q->use_snapshot);
+  EXPECT_FALSE(q->snapshot_threshold.has_value());
+  EXPECT_FALSE(q->IsAggregate());
+}
+
+TEST(ParserTest, MinimalQuery) {
+  const auto q = ParseQuery("select value from sensors");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select.size(), 1u);
+  EXPECT_FALSE(q->use_snapshot);
+  EXPECT_FALSE(q->region.has_value());
+  EXPECT_FALSE(q->region_name.has_value());
+}
+
+TEST(ParserTest, SelectStar) {
+  const auto q = ParseQuery("SELECT * FROM sensors");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->select.size(), 1u);
+  EXPECT_EQ(q->select[0].column, "*");
+}
+
+TEST(ParserTest, Aggregates) {
+  for (const auto& [sql, agg] :
+       std::vector<std::pair<std::string, AggregateFunction>>{
+           {"SELECT sum(value) FROM sensors", AggregateFunction::kSum},
+           {"SELECT avg(value) FROM sensors", AggregateFunction::kAvg},
+           {"SELECT min(value) FROM sensors", AggregateFunction::kMin},
+           {"SELECT max(value) FROM sensors", AggregateFunction::kMax},
+           {"SELECT count(*) FROM sensors", AggregateFunction::kCount}}) {
+    const auto q = ParseQuery(sql);
+    ASSERT_TRUE(q.ok()) << sql;
+    EXPECT_TRUE(q->IsAggregate()) << sql;
+    EXPECT_EQ(q->TheAggregate(), agg) << sql;
+  }
+}
+
+TEST(ParserTest, AggregateWithLocColumn) {
+  const auto q = ParseQuery("SELECT loc, max(value) FROM sensors");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->TheAggregate(), AggregateFunction::kMax);
+}
+
+TEST(ParserTest, RectRegion) {
+  const auto q = ParseQuery(
+      "SELECT value FROM sensors WHERE loc IN RECT(0.1, 0.2, 0.5, 0.8)");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->region.has_value());
+  EXPECT_DOUBLE_EQ(q->region->min_x, 0.1);
+  EXPECT_DOUBLE_EQ(q->region->min_y, 0.2);
+  EXPECT_DOUBLE_EQ(q->region->max_x, 0.5);
+  EXPECT_DOUBLE_EQ(q->region->max_y, 0.8);
+}
+
+TEST(ParserTest, SnapshotWithPerQueryThreshold) {
+  // §3.1 extension: each query may define its own error threshold.
+  const auto q =
+      ParseQuery("SELECT avg(value) FROM sensors USE SNAPSHOT ERROR 2.5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->use_snapshot);
+  ASSERT_TRUE(q->snapshot_threshold.has_value());
+  EXPECT_DOUBLE_EQ(*q->snapshot_threshold, 2.5);
+}
+
+TEST(ParserTest, DurationUnits) {
+  const auto q = ParseQuery(
+      "SELECT value FROM sensors SAMPLE INTERVAL 500 ms FOR 2 hours");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->sample_interval, 0.5);
+  EXPECT_DOUBLE_EQ(q->duration, 7200.0);
+}
+
+TEST(ParserTest, BareDurationDefaultsToSeconds) {
+  const auto q = ParseQuery("SELECT value FROM sensors SAMPLE INTERVAL 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->sample_interval, 3.0);
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  const auto q = ParseQuery(
+      "select Value from Sensors where LOC in north_half use snapshot");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->use_snapshot);
+  EXPECT_EQ(*q->region_name, "north_half");
+}
+
+TEST(ParserTest, ToStringRoundTripsThroughParser) {
+  const auto q = ParseQuery(
+      "SELECT avg(value) FROM sensors WHERE loc IN RECT(0, 0, 1, 1) "
+      "SAMPLE INTERVAL 2 FOR 10 USE SNAPSHOT ERROR 0.5");
+  ASSERT_TRUE(q.ok());
+  const auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q->ToString() << " -> " << q2.status().ToString();
+  EXPECT_EQ(q2->select, q->select);
+  EXPECT_EQ(q2->region, q->region);
+  EXPECT_DOUBLE_EQ(q2->sample_interval, q->sample_interval);
+  EXPECT_EQ(q2->use_snapshot, q->use_snapshot);
+}
+
+// --- error cases -----------------------------------------------------------
+
+TEST(ParserTest, RejectsMissingSelect) {
+  EXPECT_FALSE(ParseQuery("FROM sensors").ok());
+}
+
+TEST(ParserTest, RejectsMissingFrom) {
+  EXPECT_FALSE(ParseQuery("SELECT value").ok());
+}
+
+TEST(ParserTest, RejectsDoubleAggregate) {
+  EXPECT_FALSE(
+      ParseQuery("SELECT sum(value), avg(value) FROM sensors").ok());
+}
+
+TEST(ParserTest, RejectsMixingAggregateWithPlainColumn) {
+  EXPECT_FALSE(ParseQuery("SELECT value, sum(value) FROM sensors").ok());
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseQuery("SELECT value FROM sensors banana").ok());
+}
+
+TEST(ParserTest, RejectsMalformedRect) {
+  EXPECT_FALSE(
+      ParseQuery("SELECT value FROM sensors WHERE loc IN RECT(1,2,3)").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT value FROM sensors WHERE loc IN RECT(1 2 3 4)")
+          .ok());
+}
+
+TEST(ParserTest, RejectsInvertedRect) {
+  EXPECT_FALSE(
+      ParseQuery("SELECT value FROM sensors WHERE loc IN RECT(1,0,0,1)")
+          .ok());
+}
+
+TEST(ParserTest, RejectsNonPositiveSnapshotError) {
+  EXPECT_FALSE(
+      ParseQuery("SELECT value FROM sensors USE SNAPSHOT ERROR 0").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT value FROM sensors USE SNAPSHOT ERROR -1").ok());
+}
+
+TEST(ParserTest, RejectsUseWithoutSnapshot) {
+  EXPECT_FALSE(ParseQuery("SELECT value FROM sensors USE MAGIC").ok());
+}
+
+TEST(ParserTest, RejectsWhereWithoutLocIn) {
+  EXPECT_FALSE(ParseQuery("SELECT value FROM sensors WHERE x IN y").ok());
+  EXPECT_FALSE(ParseQuery("SELECT value FROM sensors WHERE loc EQ y").ok());
+}
+
+TEST(ParserTest, ErrorsMentionOffset) {
+  const auto q = ParseQuery("SELECT value FROM sensors banana");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapq

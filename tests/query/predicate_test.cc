@@ -1,0 +1,80 @@
+#include "query/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace snapq {
+namespace {
+
+Catalog StdCatalog() {
+  return Catalog::WithStandardRegions(Rect::UnitSquare());
+}
+
+TEST(ResolveRegionTest, LiteralRectWins) {
+  const auto q = ParseQuery(
+      "SELECT value FROM sensors WHERE loc IN RECT(0.1, 0.1, 0.2, 0.2)");
+  ASSERT_TRUE(q.ok());
+  const Result<Rect> r =
+      ResolveRegion(*q, StdCatalog(), Rect::UnitSquare());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->min_x, 0.1);
+}
+
+TEST(ResolveRegionTest, NamedRegionResolvesThroughCatalog) {
+  const auto q =
+      ParseQuery("SELECT value FROM sensors WHERE loc IN NORTH_HALF");
+  ASSERT_TRUE(q.ok());
+  const Result<Rect> r =
+      ResolveRegion(*q, StdCatalog(), Rect::UnitSquare());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->min_y, 0.5);
+}
+
+TEST(ResolveRegionTest, UnknownNameFails) {
+  const auto q =
+      ParseQuery("SELECT value FROM sensors WHERE loc IN NOWHERE_LAND");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(ResolveRegion(*q, StdCatalog(), Rect::UnitSquare()).ok());
+}
+
+TEST(ResolveRegionTest, NoWhereClauseUsesDefault) {
+  const auto q = ParseQuery("SELECT value FROM sensors");
+  ASSERT_TRUE(q.ok());
+  const Rect fallback{0, 0, 2, 2};
+  const Result<Rect> r = ResolveRegion(*q, StdCatalog(), fallback);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, fallback);
+}
+
+TEST(ValidateColumnsTest, AcceptsKnownColumns) {
+  Catalog c = StdCatalog();
+  c.RegisterMeasurementColumn("temperature");
+  const auto q =
+      ParseQuery("SELECT loc, temperature FROM sensors");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(ValidateColumns(*q, c).ok());
+}
+
+TEST(ValidateColumnsTest, RejectsUnknownColumn) {
+  const auto q = ParseQuery("SELECT humidity FROM sensors");
+  ASSERT_TRUE(q.ok());
+  const Status s = ValidateColumns(*q, StdCatalog());
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("humidity"), std::string::npos);
+}
+
+TEST(ValidateColumnsTest, CountStarAllowed) {
+  const auto q = ParseQuery("SELECT count(*) FROM sensors");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(ValidateColumns(*q, StdCatalog()).ok());
+}
+
+TEST(ValidateColumnsTest, SumStarRejected) {
+  const auto q = ParseQuery("SELECT sum(*) FROM sensors");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(ValidateColumns(*q, StdCatalog()).ok());
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,225 @@
+// FM/PCSA sketch and multipath aggregation tests (the [3] baseline).
+#include "query/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "net/topology.h"
+#include "query/innetwork.h"
+#include "query/multipath.h"
+
+namespace snapq {
+namespace {
+
+TEST(FmSketchTest, EmptyEstimatesNearZero) {
+  FmSketch s(32);
+  EXPECT_LT(s.EstimateCount(), 64.0);  // m/phi with zero mean R
+}
+
+TEST(FmSketchTest, InsertIsIdempotent) {
+  FmSketch s(16);
+  for (int i = 0; i < 100; ++i) s.InsertItem(42);
+  FmSketch once(16);
+  once.InsertItem(42);
+  EXPECT_EQ(s, once);
+}
+
+TEST(FmSketchTest, EstimateWithinPcsaErrorBand) {
+  // PCSA with 32 bitmaps: typical relative error ~1.3/sqrt(32) ~= 23%;
+  // assert a generous 40% band across two decades of cardinality.
+  for (uint64_t n : {500u, 5000u, 50000u}) {
+    FmSketch s(32);
+    for (uint64_t i = 0; i < n; ++i) {
+      s.InsertItem(i * 2654435761ULL);
+    }
+    const double estimate = s.EstimateCount();
+    EXPECT_GT(estimate, 0.6 * static_cast<double>(n)) << n;
+    EXPECT_LT(estimate, 1.4 * static_cast<double>(n)) << n;
+  }
+}
+
+TEST(FmSketchTest, MergeEqualsUnion) {
+  FmSketch a(16), b(16), both(16);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    a.InsertItem(i);
+    both.InsertItem(i);
+  }
+  for (uint64_t i = 500; i < 1500; ++i) {
+    b.InsertItem(i);
+    both.InsertItem(i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a, both);  // OR merge is exactly the union of bitmaps
+}
+
+TEST(FmSketchTest, MergeIsCommutativeAndIdempotent) {
+  FmSketch a(8), b(8);
+  for (uint64_t i = 0; i < 200; ++i) a.InsertItem(i * 3);
+  for (uint64_t i = 0; i < 200; ++i) b.InsertItem(i * 7);
+  FmSketch ab = a;
+  ab.Merge(b);
+  FmSketch ba = b;
+  ba.Merge(a);
+  EXPECT_EQ(ab, ba);
+  FmSketch twice = ab;
+  twice.Merge(ab);
+  EXPECT_EQ(twice, ab);
+}
+
+TEST(FmSketchTest, WireRoundTrip) {
+  FmSketch s(8);
+  for (uint64_t i = 0; i < 50; ++i) s.InsertItem(i);
+  const FmSketch back = FmSketch::FromWire(s.bitmaps());
+  EXPECT_EQ(back, s);
+}
+
+TEST(SumSketchTest, SumEstimateTracksTotal) {
+  SumSketch s(32);
+  double truth = 0.0;
+  for (NodeId i = 0; i < 50; ++i) {
+    const double v = 100.0 + 10.0 * i;
+    s.AddValue(i, v);
+    truth += std::ceil(v);
+  }
+  const double estimate = s.EstimateSum();
+  EXPECT_GT(estimate, 0.6 * truth);
+  EXPECT_LT(estimate, 1.4 * truth);
+}
+
+TEST(SumSketchTest, DisjointNodesMerge) {
+  SumSketch a(32), b(32), both(32);
+  a.AddValue(1, 500.0);
+  both.AddValue(1, 500.0);
+  b.AddValue(2, 700.0);
+  both.AddValue(2, 700.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateSum(), both.EstimateSum());
+}
+
+TEST(SumSketchDeathTest, NegativeValueAborts) {
+  SumSketch s(8);
+  EXPECT_DEATH(s.AddValue(0, -1.0), "SNAPQ_CHECK");
+}
+
+// ---------------------------------------------------------------------------
+// Multipath aggregation.
+// ---------------------------------------------------------------------------
+
+struct Net {
+  std::unique_ptr<Simulator> sim;
+  std::vector<std::unique_ptr<SnapshotAgent>> agents;
+
+  Net(size_t n, double spacing, double range, SimConfig sim_config = {}) {
+    std::vector<Point> positions;
+    for (size_t i = 0; i < n; ++i) {
+      positions.push_back({spacing * static_cast<double>(i), 0.0});
+    }
+    sim = std::make_unique<Simulator>(std::move(positions),
+                                      std::vector<double>(n, range),
+                                      sim_config);
+    for (NodeId i = 0; i < n; ++i) {
+      agents.push_back(std::make_unique<SnapshotAgent>(
+          i, sim.get(), SnapshotConfig{}, 40 + i));
+      agents.back()->Install();
+      agents.back()->SetMeasurement(100.0 + 10.0 * i);
+    }
+  }
+
+  double Truth() const {
+    double t = 0.0;
+    for (const auto& a : agents) t += a->measurement();
+    return t;
+  }
+};
+
+const Rect kAll{-1.0, -1.0, 100.0, 100.0};
+
+TEST(MultipathTest, ZeroLossEstimateNearTruth) {
+  Net net(20, 0.2, 0.45);
+  MultipathSketchAggregator agg(net.sim.get(), &net.agents);
+  const MultipathResult r = agg.Execute(kAll, 0);
+  ASSERT_TRUE(r.estimate.has_value());
+  EXPECT_GT(*r.estimate, 0.55 * net.Truth());
+  EXPECT_LT(*r.estimate, 1.45 * net.Truth());
+  EXPECT_EQ(r.participants, 20u);  // every node transmits every epoch
+}
+
+TEST(MultipathTest, RobustWhereTreeIsFragile) {
+  // 2-D multi-hop deployment under 30% loss (the [3] setting): the tree
+  // engine loses whole subtrees when a single parent edge drops; the
+  // multipath sketch is caught by several lower-ring neighbors at once and
+  // retains most of the mass. (On a 1-D chain every node is a cut vertex
+  // and multipath diversity vanishes -- deliberately not tested here.)
+  SimConfig sim_config;
+  sim_config.loss_probability = 0.3;
+  sim_config.seed = 9;
+  Rng placement(4);
+  std::vector<Point> positions =
+      PlaceUniform(60, Rect::UnitSquare(), placement);
+  auto sim = std::make_unique<Simulator>(
+      std::move(positions), std::vector<double>(60, 0.25), sim_config);
+  std::vector<std::unique_ptr<SnapshotAgent>> agents;
+  double truth = 0.0;
+  for (NodeId i = 0; i < 60; ++i) {
+    agents.push_back(std::make_unique<SnapshotAgent>(
+        i, sim.get(), SnapshotConfig{}, 40 + i));
+    agents.back()->Install();
+    agents.back()->SetMeasurement(100.0 + 10.0 * i);
+    truth += 100.0 + 10.0 * i;
+  }
+
+  double tree_total = 0.0;
+  {
+    InNetworkAggregator tree(sim.get(), &agents);
+    for (int q = 0; q < 10; ++q) {
+      tree_total += tree.Execute(kAll, AggregateFunction::kSum, 0, false)
+                        .aggregate.value_or(0.0);
+    }
+  }
+  double sketch_total = 0.0;
+  {
+    MultipathSketchAggregator multipath(sim.get(), &agents);
+    for (int q = 0; q < 10; ++q) {
+      sketch_total += multipath.Execute(kAll, 0).estimate.value_or(0.0);
+    }
+  }
+  EXPECT_GT(sketch_total, tree_total);
+  EXPECT_GT(sketch_total / 10.0, 0.6 * truth);
+}
+
+TEST(MultipathTest, DeadSinkNoAnswer) {
+  Net net(4, 0.2, 0.5);
+  net.sim->Kill(0);
+  MultipathSketchAggregator agg(net.sim.get(), &net.agents);
+  const MultipathResult r = agg.Execute(kAll, 0);
+  EXPECT_FALSE(r.estimate.has_value());
+}
+
+TEST(MultipathTest, RegionFiltersContributions) {
+  Net net(10, 0.2, 0.45);
+  MultipathSketchAggregator agg(net.sim.get(), &net.agents);
+  // Only nodes 0..4 (x <= 0.8) are in region; truth = sum of their values.
+  const Rect region{-1.0, -1.0, 0.85, 1.0};
+  double truth = 0.0;
+  for (NodeId i = 0; i <= 4; ++i) truth += net.agents[i]->measurement();
+  const MultipathResult r = agg.Execute(region, 0);
+  ASSERT_TRUE(r.estimate.has_value());
+  EXPECT_GT(*r.estimate, 0.5 * truth);
+  EXPECT_LT(*r.estimate, 1.5 * truth);
+}
+
+TEST(MultipathTest, BackToBackQueriesIndependent) {
+  Net net(5, 0.2, 0.5);
+  MultipathSketchAggregator agg(net.sim.get(), &net.agents);
+  const MultipathResult a = agg.Execute(kAll, 0);
+  const MultipathResult b = agg.Execute(kAll, 0);
+  ASSERT_TRUE(a.estimate.has_value());
+  ASSERT_TRUE(b.estimate.has_value());
+  // Same inputs, fresh sketches: identical estimates.
+  EXPECT_DOUBLE_EQ(*a.estimate, *b.estimate);
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,99 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace snapq {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(5, [&] { order.push_back(5); });
+  q.ScheduleAt(1, [&] { order.push_back(1); });
+  q.ScheduleAt(3, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(q.now(), 5);
+}
+
+TEST(EventQueueTest, FifoWithinSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(2, [&, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1, [&] {
+    order.push_back(1);
+    q.ScheduleAt(1, [&] { order.push_back(2); });  // same time, later seq
+    q.ScheduleAt(4, [&] { order.push_back(4); });
+  });
+  q.ScheduleAt(3, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1, [&] { order.push_back(1); });
+  q.ScheduleAt(2, [&] { order.push_back(2); });
+  q.ScheduleAt(3, [&] { order.push_back(3); });
+  q.RunUntil(2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 2);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.RunUntil(42);
+  EXPECT_EQ(q.now(), 42);
+}
+
+TEST(EventQueueTest, RunNextReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunNext());
+}
+
+TEST(EventQueueTest, PendingCount) {
+  EventQueue q;
+  q.ScheduleAt(1, [] {});
+  q.ScheduleAt(2, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.RunNext();
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EventQueue q;
+  q.ScheduleAt(5, [] {});
+  q.RunAll();
+  EXPECT_DEATH(q.ScheduleAt(4, [] {}), "SNAPQ_CHECK");
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  Time last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = (i * 7919) % 97;  // scattered times
+    q.ScheduleAt(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  q.RunAll();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,58 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+TEST(MetricsTest, StartsAtZero) {
+  Metrics m;
+  EXPECT_EQ(m.total_sent(), 0u);
+  EXPECT_EQ(m.total_delivered(), 0u);
+  EXPECT_EQ(m.total_lost(), 0u);
+  EXPECT_EQ(m.cache_ops(), 0u);
+}
+
+TEST(MetricsTest, CountsPerType) {
+  Metrics m;
+  m.CountSent(MessageType::kInvitation);
+  m.CountSent(MessageType::kInvitation);
+  m.CountSent(MessageType::kAccept);
+  m.CountDelivered(MessageType::kInvitation);
+  m.CountLost(MessageType::kAccept);
+  EXPECT_EQ(m.sent(MessageType::kInvitation), 2u);
+  EXPECT_EQ(m.sent(MessageType::kAccept), 1u);
+  EXPECT_EQ(m.delivered(MessageType::kInvitation), 1u);
+  EXPECT_EQ(m.lost(MessageType::kAccept), 1u);
+  EXPECT_EQ(m.total_sent(), 3u);
+  EXPECT_EQ(m.total_delivered(), 1u);
+  EXPECT_EQ(m.total_lost(), 1u);
+}
+
+TEST(MetricsTest, SnoopedCountsSeparately) {
+  Metrics m;
+  m.CountSnooped(MessageType::kHeartbeat);
+  EXPECT_EQ(m.snooped(MessageType::kHeartbeat), 1u);
+  EXPECT_EQ(m.delivered(MessageType::kHeartbeat), 0u);
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  Metrics m;
+  m.CountSent(MessageType::kData);
+  m.CountCacheOp();
+  m.Reset();
+  EXPECT_EQ(m.total_sent(), 0u);
+  EXPECT_EQ(m.cache_ops(), 0u);
+  EXPECT_EQ(m.sent(MessageType::kData), 0u);
+}
+
+TEST(MetricsTest, ToStringListsActiveTypesOnly) {
+  Metrics m;
+  m.CountSent(MessageType::kRecall);
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("Recall"), std::string::npos);
+  EXPECT_EQ(s.find("Heartbeat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,141 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace snapq {
+namespace {
+
+TraceEvent Ev(TraceEvent::Kind kind, Time t, MessageType type = {}) {
+  TraceEvent e;
+  e.kind = kind;
+  e.time = t;
+  e.type = type;
+  return e;
+}
+
+TEST(TraceRecorderTest, RecordsInOrder) {
+  TraceRecorder trace(8);
+  trace.Record(Ev(TraceEvent::Kind::kSend, 1));
+  trace.Record(Ev(TraceEvent::Kind::kDeliver, 2));
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, 1);
+  EXPECT_EQ(events[1].time, 2);
+  EXPECT_EQ(trace.total_recorded(), 2u);
+}
+
+TEST(TraceRecorderTest, RingBufferOverwritesOldest) {
+  TraceRecorder trace(3);
+  for (Time t = 0; t < 10; ++t) {
+    trace.Record(Ev(TraceEvent::Kind::kSend, t));
+  }
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].time, 7);
+  EXPECT_EQ(events[2].time, 9);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+}
+
+TEST(TraceRecorderTest, FilterByKindAndType) {
+  TraceRecorder trace(16);
+  trace.Record(Ev(TraceEvent::Kind::kSend, 1, MessageType::kInvitation));
+  trace.Record(Ev(TraceEvent::Kind::kDeliver, 1, MessageType::kInvitation));
+  trace.Record(Ev(TraceEvent::Kind::kSend, 2, MessageType::kAccept));
+  const auto sends =
+      trace.Filter(TraceEvent::Kind::kSend, MessageType::kInvitation);
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0].time, 1);
+}
+
+TEST(TraceRecorderTest, DumpAndClear) {
+  TraceRecorder trace(8);
+  trace.Record(Ev(TraceEvent::Kind::kLoss, 5, MessageType::kRecall));
+  const std::string dump = trace.Dump();
+  EXPECT_NE(dump.find("loss"), std::string::npos);
+  EXPECT_NE(dump.find("Recall"), std::string::npos);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_TRUE(trace.Events().empty());
+}
+
+TEST(TraceRecorderTest, DumpRespectsLimit) {
+  TraceRecorder trace(64);
+  for (Time t = 0; t < 20; ++t) {
+    trace.Record(Ev(TraceEvent::Kind::kSend, t));
+  }
+  const std::string dump = trace.Dump(5);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 5);
+  EXPECT_NE(dump.find("t=19"), std::string::npos);
+  EXPECT_EQ(dump.find("t=14 "), std::string::npos);
+}
+
+TEST(SimulatorTraceTest, RecordsSendsDeliveriesAndLosses) {
+  SimConfig config;
+  Simulator sim({{0, 0}, {1, 0}, {2, 0}}, {1.0, 1.0, 1.0}, config);
+  TraceRecorder trace(64);
+  sim.SetTrace(&trace);
+  sim.mutable_links().SetLinkLoss(1, 2, 1.0);
+
+  Message m;
+  m.type = MessageType::kData;
+  m.from = 1;
+  m.to = kBroadcastId;
+  sim.Send(m);
+  sim.RunAll();
+
+  // One send, one delivery (to node 0), one loss (to node 2).
+  EXPECT_EQ(trace.Filter(TraceEvent::Kind::kSend, MessageType::kData).size(),
+            1u);
+  const auto delivered =
+      trace.Filter(TraceEvent::Kind::kDeliver, MessageType::kData);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].node, 0u);
+  const auto lost =
+      trace.Filter(TraceEvent::Kind::kLoss, MessageType::kData);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0].node, 2u);
+}
+
+TEST(SimulatorTraceTest, SnoopedDeliveriesTaggedSeparately) {
+  SimConfig config;
+  config.snoop_probability = 1.0;
+  Simulator sim({{0, 0}, {1, 0}, {2, 0}}, {5.0, 5.0, 5.0}, config);
+  TraceRecorder trace(64);
+  sim.SetTrace(&trace);
+  Message m;
+  m.type = MessageType::kHeartbeat;
+  m.from = 0;
+  m.to = 1;
+  sim.Send(m);
+  sim.RunAll();
+  EXPECT_EQ(
+      trace.Filter(TraceEvent::Kind::kDeliver, MessageType::kHeartbeat)
+          .size(),
+      1u);
+  EXPECT_EQ(
+      trace.Filter(TraceEvent::Kind::kSnoop, MessageType::kHeartbeat).size(),
+      1u);
+}
+
+TEST(SimulatorTraceTest, DetachStopsRecording) {
+  Simulator sim({{0, 0}, {1, 0}}, {1.0, 1.0}, SimConfig{});
+  TraceRecorder trace(8);
+  sim.SetTrace(&trace);
+  Message m;
+  m.from = 0;
+  sim.Send(m);
+  sim.SetTrace(nullptr);
+  sim.Send(m);
+  sim.RunAll();
+  EXPECT_EQ(trace.Filter(TraceEvent::Kind::kSend, MessageType::kData).size(),
+            1u);
+}
+
+TEST(TraceRecorderDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH(TraceRecorder trace(0), "SNAPQ_CHECK");
+}
+
+}  // namespace
+}  // namespace snapq

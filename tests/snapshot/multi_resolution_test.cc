@@ -1,0 +1,92 @@
+#include "snapshot/multi_resolution.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+SnapshotView ViewWithActives(size_t total, size_t active) {
+  std::vector<SnapshotView::NodeInfo> infos(total);
+  for (size_t i = 0; i < total; ++i) {
+    infos[i].mode = i < active ? NodeMode::kActive : NodeMode::kPassive;
+    infos[i].representative = i < active ? static_cast<NodeId>(i) : 0;
+  }
+  return SnapshotView(std::move(infos));
+}
+
+TEST(MultiResolutionTest, EmptyRegistryResolvesNothing) {
+  MultiResolutionRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.Resolve(1.0), nullptr);
+  EXPECT_EQ(registry.Tightest(), nullptr);
+}
+
+TEST(MultiResolutionTest, ResolvePicksLargestThresholdAtMostQuery) {
+  MultiResolutionRegistry registry;
+  registry.Register(0.1, ViewWithActives(10, 8));
+  registry.Register(1.0, ViewWithActives(10, 4));
+  registry.Register(5.0, ViewWithActives(10, 1));
+
+  // Query tolerating 2.0: snapshot for T=1.0 is the cheapest valid one.
+  const SnapshotView* v = registry.Resolve(2.0);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->CountActive(), 4u);
+
+  // Exactly at a registered threshold: that snapshot qualifies.
+  EXPECT_EQ(registry.Resolve(5.0)->CountActive(), 1u);
+  EXPECT_EQ(registry.Resolve(0.1)->CountActive(), 8u);
+
+  // Query tighter than anything registered: nothing qualifies.
+  EXPECT_EQ(registry.Resolve(0.05), nullptr);
+
+  // Very loose query: the coarsest snapshot.
+  EXPECT_EQ(registry.Resolve(100.0)->CountActive(), 1u);
+}
+
+TEST(MultiResolutionTest, TightestIsSmallestThreshold) {
+  MultiResolutionRegistry registry;
+  registry.Register(2.0, ViewWithActives(6, 2));
+  registry.Register(0.5, ViewWithActives(6, 5));
+  ASSERT_NE(registry.Tightest(), nullptr);
+  EXPECT_EQ(registry.Tightest()->CountActive(), 5u);
+}
+
+TEST(MultiResolutionTest, ReRegisterReplaces) {
+  MultiResolutionRegistry registry;
+  registry.Register(1.0, ViewWithActives(4, 4));
+  registry.Register(1.0, ViewWithActives(4, 2));
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Resolve(1.0)->CountActive(), 2u);
+}
+
+TEST(MultiResolutionTest, ThresholdsSortedAscending) {
+  MultiResolutionRegistry registry;
+  registry.Register(3.0, ViewWithActives(2, 1));
+  registry.Register(0.5, ViewWithActives(2, 2));
+  registry.Register(1.0, ViewWithActives(2, 1));
+  EXPECT_EQ(registry.Thresholds(), (std::vector<double>{0.5, 1.0, 3.0}));
+}
+
+TEST(MultiResolutionDeathTest, NonPositiveThresholdAborts) {
+  MultiResolutionRegistry registry;
+  EXPECT_DEATH(registry.Register(0.0, ViewWithActives(1, 1)),
+               "SNAPQ_CHECK");
+}
+
+TEST(MultiResolutionTest, CoarserSnapshotsAreSmallerInvariant) {
+  // The §3.1 rationale: larger T -> fewer representatives. Verify the
+  // registry preserves whatever monotone family it is given.
+  MultiResolutionRegistry registry;
+  registry.Register(0.1, ViewWithActives(100, 30));
+  registry.Register(1.0, ViewWithActives(100, 12));
+  registry.Register(10.0, ViewWithActives(100, 2));
+  size_t prev = 1000;
+  for (double t : registry.Thresholds()) {
+    const size_t n = registry.Resolve(t)->CountActive();
+    EXPECT_LE(n, prev);
+    prev = n;
+  }
+}
+
+}  // namespace
+}  // namespace snapq

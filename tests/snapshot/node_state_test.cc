@@ -1,0 +1,123 @@
+#include "snapshot/node_state.h"
+
+#include <gtest/gtest.h>
+
+namespace snapq {
+namespace {
+
+using NodeInfo = SnapshotView::NodeInfo;
+
+NodeInfo Active(NodeId self) {
+  NodeInfo info;
+  info.mode = NodeMode::kActive;
+  info.representative = self;
+  return info;
+}
+
+NodeInfo Passive(NodeId rep, int64_t epoch = 1) {
+  NodeInfo info;
+  info.mode = NodeMode::kPassive;
+  info.representative = rep;
+  info.epoch = epoch;
+  return info;
+}
+
+TEST(NodeModeTest, Names) {
+  EXPECT_STREQ(NodeModeName(NodeMode::kUndefined), "UNDEFINED");
+  EXPECT_STREQ(NodeModeName(NodeMode::kActive), "ACTIVE");
+  EXPECT_STREQ(NodeModeName(NodeMode::kPassive), "PASSIVE");
+}
+
+TEST(SnapshotViewTest, CountsByMode) {
+  NodeInfo rep = Active(0);
+  rep.represents = {{1, 1}, {2, 1}};
+  SnapshotView view({rep, Passive(0), Passive(0), NodeInfo{}});
+  EXPECT_EQ(view.num_nodes(), 4u);
+  EXPECT_EQ(view.CountActive(), 1u);
+  EXPECT_EQ(view.CountPassive(), 2u);
+  EXPECT_EQ(view.CountUndefined(), 1u);
+}
+
+TEST(SnapshotViewTest, DeadNodesExcludedFromCounts) {
+  NodeInfo dead = Active(0);
+  dead.alive = false;
+  SnapshotView view({dead, Passive(0)});
+  EXPECT_EQ(view.CountActive(), 0u);
+  EXPECT_EQ(view.CountPassive(), 1u);
+}
+
+TEST(SnapshotViewTest, CurrentRepresentationMatchesEpochs) {
+  NodeInfo rep = Active(0);
+  rep.represents = {{1, 5}};
+  SnapshotView view({rep, Passive(0, 5)});
+  EXPECT_TRUE(view.RepresentsCurrently(0, 1));
+}
+
+TEST(SnapshotViewTest, StaleWhenEpochMoved) {
+  NodeInfo rep = Active(0);
+  rep.represents = {{1, 5}};
+  // Node 1 re-elected (epoch 6) and now points at node 0 again... but the
+  // holder recorded epoch 5, so the old entry is stale.
+  SnapshotView view({rep, Passive(0, 6)});
+  EXPECT_FALSE(view.RepresentsCurrently(0, 1));
+}
+
+TEST(SnapshotViewTest, StaleWhenRepresentativeChanged) {
+  NodeInfo rep0 = Active(0);
+  rep0.represents = {{2, 1}};
+  NodeInfo rep1 = Active(1);
+  rep1.represents = {{2, 2}};
+  SnapshotView view({rep0, rep1, Passive(1, 2)});
+  EXPECT_FALSE(view.RepresentsCurrently(0, 2));
+  EXPECT_TRUE(view.RepresentsCurrently(1, 2));
+  EXPECT_EQ(view.CountSpurious(), 1u);  // node 0 holds a stale entry
+}
+
+TEST(SnapshotViewTest, SelfIsAlwaysCurrent) {
+  SnapshotView view({Active(0)});
+  EXPECT_TRUE(view.RepresentsCurrently(0, 0));
+}
+
+TEST(SnapshotViewTest, SpuriousCountsNodesNotEntries) {
+  NodeInfo rep = Active(0);
+  rep.represents = {{1, 9}, {2, 9}};  // both stale
+  SnapshotView view({rep, Passive(3, 1), Passive(3, 1), Active(3)});
+  EXPECT_EQ(view.CountSpurious(), 1u);
+}
+
+TEST(SnapshotViewTest, ResponderForActiveIsSelf) {
+  SnapshotView view({Active(0)});
+  EXPECT_EQ(view.ResponderFor(0), 0u);
+}
+
+TEST(SnapshotViewTest, ResponderForPassiveIsCurrentRep) {
+  NodeInfo rep = Active(0);
+  rep.represents = {{1, 3}};
+  SnapshotView view({rep, Passive(0, 3)});
+  EXPECT_EQ(view.ResponderFor(1), 0u);
+}
+
+TEST(SnapshotViewTest, ResponderMissingWhenRepDead) {
+  NodeInfo rep = Active(0);
+  rep.represents = {{1, 3}};
+  rep.alive = false;
+  SnapshotView view({rep, Passive(0, 3)});
+  EXPECT_EQ(view.ResponderFor(1), kInvalidNode);
+}
+
+TEST(SnapshotViewTest, ResponderMissingWhenEntryStale) {
+  NodeInfo rep = Active(0);
+  rep.represents = {{1, 2}};  // stale: node 1 is at epoch 3
+  SnapshotView view({rep, Passive(0, 3)});
+  EXPECT_EQ(view.ResponderFor(1), kInvalidNode);
+}
+
+TEST(SnapshotViewTest, DeadUnrepresentedNodeHasNoResponder) {
+  NodeInfo dead = Active(0);
+  dead.alive = false;
+  SnapshotView view({dead});
+  EXPECT_EQ(view.ResponderFor(0), kInvalidNode);
+}
+
+}  // namespace
+}  // namespace snapq
