@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cache_penalty"
+  "../bench/ablation_cache_penalty.pdb"
+  "CMakeFiles/ablation_cache_penalty.dir/ablation_cache_penalty.cc.o"
+  "CMakeFiles/ablation_cache_penalty.dir/ablation_cache_penalty.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

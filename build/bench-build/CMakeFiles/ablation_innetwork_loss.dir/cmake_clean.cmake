@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_innetwork_loss"
+  "../bench/ablation_innetwork_loss.pdb"
+  "CMakeFiles/ablation_innetwork_loss.dir/ablation_innetwork_loss.cc.o"
+  "CMakeFiles/ablation_innetwork_loss.dir/ablation_innetwork_loss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_innetwork_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

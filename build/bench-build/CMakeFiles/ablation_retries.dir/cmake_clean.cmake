@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_retries"
+  "../bench/ablation_retries.pdb"
+  "CMakeFiles/ablation_retries.dir/ablation_retries.cc.o"
+  "CMakeFiles/ablation_retries.dir/ablation_retries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

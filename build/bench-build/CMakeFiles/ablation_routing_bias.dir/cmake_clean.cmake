@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_routing_bias"
+  "../bench/ablation_routing_bias.pdb"
+  "CMakeFiles/ablation_routing_bias.dir/ablation_routing_bias.cc.o"
+  "CMakeFiles/ablation_routing_bias.dir/ablation_routing_bias.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routing_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

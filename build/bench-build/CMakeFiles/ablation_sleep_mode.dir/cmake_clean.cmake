@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sleep_mode"
+  "../bench/ablation_sleep_mode.pdb"
+  "CMakeFiles/ablation_sleep_mode.dir/ablation_sleep_mode.cc.o"
+  "CMakeFiles/ablation_sleep_mode.dir/ablation_sleep_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sleep_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

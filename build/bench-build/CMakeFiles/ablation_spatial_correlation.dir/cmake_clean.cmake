@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_spatial_correlation"
+  "../bench/ablation_spatial_correlation.pdb"
+  "CMakeFiles/ablation_spatial_correlation.dir/ablation_spatial_correlation.cc.o"
+  "CMakeFiles/ablation_spatial_correlation.dir/ablation_spatial_correlation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spatial_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

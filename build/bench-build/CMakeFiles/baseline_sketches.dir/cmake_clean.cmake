@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_sketches"
+  "../bench/baseline_sketches.pdb"
+  "CMakeFiles/baseline_sketches.dir/baseline_sketches.cc.o"
+  "CMakeFiles/baseline_sketches.dir/baseline_sketches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sketches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

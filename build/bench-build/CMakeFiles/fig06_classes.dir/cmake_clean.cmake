@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_classes"
+  "../bench/fig06_classes.pdb"
+  "CMakeFiles/fig06_classes.dir/fig06_classes.cc.o"
+  "CMakeFiles/fig06_classes.dir/fig06_classes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_message_loss"
+  "../bench/fig07_message_loss.pdb"
+  "CMakeFiles/fig07_message_loss.dir/fig07_message_loss.cc.o"
+  "CMakeFiles/fig07_message_loss.dir/fig07_message_loss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_message_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_cache_size"
+  "../bench/fig08_cache_size.pdb"
+  "CMakeFiles/fig08_cache_size.dir/fig08_cache_size.cc.o"
+  "CMakeFiles/fig08_cache_size.dir/fig08_cache_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_transmission_range"
+  "../bench/fig09_transmission_range.pdb"
+  "CMakeFiles/fig09_transmission_range.dir/fig09_transmission_range.cc.o"
+  "CMakeFiles/fig09_transmission_range.dir/fig09_transmission_range.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_transmission_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_network_lifetime"
+  "../bench/fig10_network_lifetime.pdb"
+  "CMakeFiles/fig10_network_lifetime.dir/fig10_network_lifetime.cc.o"
+  "CMakeFiles/fig10_network_lifetime.dir/fig10_network_lifetime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_network_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_sse"
+  "../bench/fig12_sse.pdb"
+  "CMakeFiles/fig12_sse.dir/fig12_sse.cc.o"
+  "CMakeFiles/fig12_sse.dir/fig12_sse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_spurious"
+  "../bench/fig13_spurious.pdb"
+  "CMakeFiles/fig13_spurious.dir/fig13_spurious.cc.o"
+  "CMakeFiles/fig13_spurious.dir/fig13_spurious.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_spurious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

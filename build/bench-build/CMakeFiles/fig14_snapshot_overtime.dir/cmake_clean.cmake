@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_snapshot_overtime"
+  "../bench/fig14_snapshot_overtime.pdb"
+  "CMakeFiles/fig14_snapshot_overtime.dir/fig14_snapshot_overtime.cc.o"
+  "CMakeFiles/fig14_snapshot_overtime.dir/fig14_snapshot_overtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_snapshot_overtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

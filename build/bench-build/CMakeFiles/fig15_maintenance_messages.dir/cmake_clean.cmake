@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_maintenance_messages"
+  "../bench/fig15_maintenance_messages.pdb"
+  "CMakeFiles/fig15_maintenance_messages.dir/fig15_maintenance_messages.cc.o"
+  "CMakeFiles/fig15_maintenance_messages.dir/fig15_maintenance_messages.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_maintenance_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_benchmarks.cc" "bench-build/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cc.o" "gcc" "bench-build/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snapq_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_query_savings"
+  "../bench/table3_query_savings.pdb"
+  "CMakeFiles/table3_query_savings.dir/table3_query_savings.cc.o"
+  "CMakeFiles/table3_query_savings.dir/table3_query_savings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_query_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_walkthrough.dir/election_walkthrough.cpp.o"
+  "CMakeFiles/election_walkthrough.dir/election_walkthrough.cpp.o.d"
+  "election_walkthrough"
+  "election_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

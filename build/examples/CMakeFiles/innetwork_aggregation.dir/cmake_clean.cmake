@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innetwork_aggregation.dir/innetwork_aggregation.cpp.o"
+  "CMakeFiles/innetwork_aggregation.dir/innetwork_aggregation.cpp.o.d"
+  "innetwork_aggregation"
+  "innetwork_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innetwork_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

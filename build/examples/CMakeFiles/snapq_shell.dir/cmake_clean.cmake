@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapq_shell.dir/snapq_shell.cpp.o"
+  "CMakeFiles/snapq_shell.dir/snapq_shell.cpp.o.d"
+  "snapq_shell"
+  "snapq_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapq_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_svg.dir/snapshot_svg.cpp.o"
+  "CMakeFiles/snapshot_svg.dir/snapshot_svg.cpp.o.d"
+  "snapshot_svg"
+  "snapshot_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapq_api.dir/api/experiment.cc.o"
+  "CMakeFiles/snapq_api.dir/api/experiment.cc.o.d"
+  "CMakeFiles/snapq_api.dir/api/network.cc.o"
+  "CMakeFiles/snapq_api.dir/api/network.cc.o.d"
+  "libsnapq_api.a"
+  "libsnapq_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapq_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapq_common.dir/common/geometry.cc.o"
+  "CMakeFiles/snapq_common.dir/common/geometry.cc.o.d"
+  "CMakeFiles/snapq_common.dir/common/rng.cc.o"
+  "CMakeFiles/snapq_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/snapq_common.dir/common/stats.cc.o"
+  "CMakeFiles/snapq_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/snapq_common.dir/common/status.cc.o"
+  "CMakeFiles/snapq_common.dir/common/status.cc.o.d"
+  "CMakeFiles/snapq_common.dir/common/string_util.cc.o"
+  "CMakeFiles/snapq_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/snapq_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/snapq_common.dir/common/table_printer.cc.o.d"
+  "libsnapq_common.a"
+  "libsnapq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

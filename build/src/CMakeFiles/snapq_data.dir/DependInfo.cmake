@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/snapq_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/snapq_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/random_walk.cc" "src/CMakeFiles/snapq_data.dir/data/random_walk.cc.o" "gcc" "src/CMakeFiles/snapq_data.dir/data/random_walk.cc.o.d"
+  "/root/repo/src/data/spatial_field.cc" "src/CMakeFiles/snapq_data.dir/data/spatial_field.cc.o" "gcc" "src/CMakeFiles/snapq_data.dir/data/spatial_field.cc.o.d"
+  "/root/repo/src/data/timeseries.cc" "src/CMakeFiles/snapq_data.dir/data/timeseries.cc.o" "gcc" "src/CMakeFiles/snapq_data.dir/data/timeseries.cc.o.d"
+  "/root/repo/src/data/weather.cc" "src/CMakeFiles/snapq_data.dir/data/weather.cc.o" "gcc" "src/CMakeFiles/snapq_data.dir/data/weather.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snapq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapq_data.dir/data/dataset.cc.o"
+  "CMakeFiles/snapq_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/snapq_data.dir/data/random_walk.cc.o"
+  "CMakeFiles/snapq_data.dir/data/random_walk.cc.o.d"
+  "CMakeFiles/snapq_data.dir/data/spatial_field.cc.o"
+  "CMakeFiles/snapq_data.dir/data/spatial_field.cc.o.d"
+  "CMakeFiles/snapq_data.dir/data/timeseries.cc.o"
+  "CMakeFiles/snapq_data.dir/data/timeseries.cc.o.d"
+  "CMakeFiles/snapq_data.dir/data/weather.cc.o"
+  "CMakeFiles/snapq_data.dir/data/weather.cc.o.d"
+  "libsnapq_data.a"
+  "libsnapq_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapq_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cache_line.cc" "src/CMakeFiles/snapq_model.dir/model/cache_line.cc.o" "gcc" "src/CMakeFiles/snapq_model.dir/model/cache_line.cc.o.d"
+  "/root/repo/src/model/cache_manager.cc" "src/CMakeFiles/snapq_model.dir/model/cache_manager.cc.o" "gcc" "src/CMakeFiles/snapq_model.dir/model/cache_manager.cc.o.d"
+  "/root/repo/src/model/error_metric.cc" "src/CMakeFiles/snapq_model.dir/model/error_metric.cc.o" "gcc" "src/CMakeFiles/snapq_model.dir/model/error_metric.cc.o.d"
+  "/root/repo/src/model/linear_model.cc" "src/CMakeFiles/snapq_model.dir/model/linear_model.cc.o" "gcc" "src/CMakeFiles/snapq_model.dir/model/linear_model.cc.o.d"
+  "/root/repo/src/model/model_store.cc" "src/CMakeFiles/snapq_model.dir/model/model_store.cc.o" "gcc" "src/CMakeFiles/snapq_model.dir/model/model_store.cc.o.d"
+  "/root/repo/src/model/multi_measurement.cc" "src/CMakeFiles/snapq_model.dir/model/multi_measurement.cc.o" "gcc" "src/CMakeFiles/snapq_model.dir/model/multi_measurement.cc.o.d"
+  "/root/repo/src/model/robust_fit.cc" "src/CMakeFiles/snapq_model.dir/model/robust_fit.cc.o" "gcc" "src/CMakeFiles/snapq_model.dir/model/robust_fit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snapq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

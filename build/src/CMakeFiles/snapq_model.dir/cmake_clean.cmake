@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapq_model.dir/model/cache_line.cc.o"
+  "CMakeFiles/snapq_model.dir/model/cache_line.cc.o.d"
+  "CMakeFiles/snapq_model.dir/model/cache_manager.cc.o"
+  "CMakeFiles/snapq_model.dir/model/cache_manager.cc.o.d"
+  "CMakeFiles/snapq_model.dir/model/error_metric.cc.o"
+  "CMakeFiles/snapq_model.dir/model/error_metric.cc.o.d"
+  "CMakeFiles/snapq_model.dir/model/linear_model.cc.o"
+  "CMakeFiles/snapq_model.dir/model/linear_model.cc.o.d"
+  "CMakeFiles/snapq_model.dir/model/model_store.cc.o"
+  "CMakeFiles/snapq_model.dir/model/model_store.cc.o.d"
+  "CMakeFiles/snapq_model.dir/model/multi_measurement.cc.o"
+  "CMakeFiles/snapq_model.dir/model/multi_measurement.cc.o.d"
+  "CMakeFiles/snapq_model.dir/model/robust_fit.cc.o"
+  "CMakeFiles/snapq_model.dir/model/robust_fit.cc.o.d"
+  "libsnapq_model.a"
+  "libsnapq_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapq_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for snapq_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/energy.cc" "src/CMakeFiles/snapq_net.dir/net/energy.cc.o" "gcc" "src/CMakeFiles/snapq_net.dir/net/energy.cc.o.d"
+  "/root/repo/src/net/link_model.cc" "src/CMakeFiles/snapq_net.dir/net/link_model.cc.o" "gcc" "src/CMakeFiles/snapq_net.dir/net/link_model.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/snapq_net.dir/net/message.cc.o" "gcc" "src/CMakeFiles/snapq_net.dir/net/message.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/snapq_net.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/snapq_net.dir/net/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snapq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

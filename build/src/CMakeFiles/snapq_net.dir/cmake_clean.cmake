@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapq_net.dir/net/energy.cc.o"
+  "CMakeFiles/snapq_net.dir/net/energy.cc.o.d"
+  "CMakeFiles/snapq_net.dir/net/link_model.cc.o"
+  "CMakeFiles/snapq_net.dir/net/link_model.cc.o.d"
+  "CMakeFiles/snapq_net.dir/net/message.cc.o"
+  "CMakeFiles/snapq_net.dir/net/message.cc.o.d"
+  "CMakeFiles/snapq_net.dir/net/topology.cc.o"
+  "CMakeFiles/snapq_net.dir/net/topology.cc.o.d"
+  "libsnapq_net.a"
+  "libsnapq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

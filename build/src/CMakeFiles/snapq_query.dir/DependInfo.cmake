@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregation.cc" "src/CMakeFiles/snapq_query.dir/query/aggregation.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/aggregation.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/snapq_query.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/catalog.cc" "src/CMakeFiles/snapq_query.dir/query/catalog.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/catalog.cc.o.d"
+  "/root/repo/src/query/continuous.cc" "src/CMakeFiles/snapq_query.dir/query/continuous.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/continuous.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/snapq_query.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/innetwork.cc" "src/CMakeFiles/snapq_query.dir/query/innetwork.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/innetwork.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/snapq_query.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/multipath.cc" "src/CMakeFiles/snapq_query.dir/query/multipath.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/multipath.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/snapq_query.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/snapq_query.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/routing_tree.cc" "src/CMakeFiles/snapq_query.dir/query/routing_tree.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/routing_tree.cc.o.d"
+  "/root/repo/src/query/sketch.cc" "src/CMakeFiles/snapq_query.dir/query/sketch.cc.o" "gcc" "src/CMakeFiles/snapq_query.dir/query/sketch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snapq_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snapq_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

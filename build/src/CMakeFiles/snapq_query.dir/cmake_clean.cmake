@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapq_query.dir/query/aggregation.cc.o"
+  "CMakeFiles/snapq_query.dir/query/aggregation.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/ast.cc.o"
+  "CMakeFiles/snapq_query.dir/query/ast.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/catalog.cc.o"
+  "CMakeFiles/snapq_query.dir/query/catalog.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/continuous.cc.o"
+  "CMakeFiles/snapq_query.dir/query/continuous.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/executor.cc.o"
+  "CMakeFiles/snapq_query.dir/query/executor.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/innetwork.cc.o"
+  "CMakeFiles/snapq_query.dir/query/innetwork.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/lexer.cc.o"
+  "CMakeFiles/snapq_query.dir/query/lexer.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/multipath.cc.o"
+  "CMakeFiles/snapq_query.dir/query/multipath.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/parser.cc.o"
+  "CMakeFiles/snapq_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/predicate.cc.o"
+  "CMakeFiles/snapq_query.dir/query/predicate.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/routing_tree.cc.o"
+  "CMakeFiles/snapq_query.dir/query/routing_tree.cc.o.d"
+  "CMakeFiles/snapq_query.dir/query/sketch.cc.o"
+  "CMakeFiles/snapq_query.dir/query/sketch.cc.o.d"
+  "libsnapq_query.a"
+  "libsnapq_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapq_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapq_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/snapq_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/snapq_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/snapq_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/snapq_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/snapq_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/snapq_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/snapq_sim.dir/sim/trace.cc.o.d"
+  "libsnapq_sim.a"
+  "libsnapq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapq_snapshot.dir/snapshot/agent.cc.o"
+  "CMakeFiles/snapq_snapshot.dir/snapshot/agent.cc.o.d"
+  "CMakeFiles/snapq_snapshot.dir/snapshot/election.cc.o"
+  "CMakeFiles/snapq_snapshot.dir/snapshot/election.cc.o.d"
+  "CMakeFiles/snapq_snapshot.dir/snapshot/maintenance.cc.o"
+  "CMakeFiles/snapq_snapshot.dir/snapshot/maintenance.cc.o.d"
+  "CMakeFiles/snapq_snapshot.dir/snapshot/multi_resolution.cc.o"
+  "CMakeFiles/snapq_snapshot.dir/snapshot/multi_resolution.cc.o.d"
+  "CMakeFiles/snapq_snapshot.dir/snapshot/node_state.cc.o"
+  "CMakeFiles/snapq_snapshot.dir/snapshot/node_state.cc.o.d"
+  "libsnapq_snapshot.a"
+  "libsnapq_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapq_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnapq_snapshot.a"
+)

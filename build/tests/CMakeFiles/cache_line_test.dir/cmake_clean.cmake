@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_line_test.dir/model/cache_line_test.cc.o"
+  "CMakeFiles/cache_line_test.dir/model/cache_line_test.cc.o.d"
+  "cache_line_test"
+  "cache_line_test.pdb"
+  "cache_line_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_line_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

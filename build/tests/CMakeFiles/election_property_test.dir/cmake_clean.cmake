@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_property_test.dir/snapshot/election_property_test.cc.o"
+  "CMakeFiles/election_property_test.dir/snapshot/election_property_test.cc.o.d"
+  "election_property_test"
+  "election_property_test.pdb"
+  "election_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_measurement_test.dir/model/multi_measurement_test.cc.o"
+  "CMakeFiles/multi_measurement_test.dir/model/multi_measurement_test.cc.o.d"
+  "multi_measurement_test"
+  "multi_measurement_test.pdb"
+  "multi_measurement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_measurement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_fit_test.dir/model/robust_fit_test.cc.o"
+  "CMakeFiles/robust_fit_test.dir/model/robust_fit_test.cc.o.d"
+  "robust_fit_test"
+  "robust_fit_test.pdb"
+  "robust_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

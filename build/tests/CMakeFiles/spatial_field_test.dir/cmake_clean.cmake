@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_field_test.dir/data/spatial_field_test.cc.o"
+  "CMakeFiles/spatial_field_test.dir/data/spatial_field_test.cc.o.d"
+  "spatial_field_test"
+  "spatial_field_test.pdb"
+  "spatial_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

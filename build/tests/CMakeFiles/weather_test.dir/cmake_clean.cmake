@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_test.dir/data/weather_test.cc.o"
+  "CMakeFiles/weather_test.dir/data/weather_test.cc.o.d"
+  "weather_test"
+  "weather_test.pdb"
+  "weather_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
