@@ -30,7 +30,7 @@ double MeanReps(size_t num_classes, PenaltyCurrency currency) {
 
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Ablation: eviction-penalty currency (DESIGN.md §6, item 2)",
@@ -47,5 +47,6 @@ int main() {
   table.Print(std::cout);
   std::printf("\n(the paper reports 1 representative at K=1; the averaged "
               "formula cannot sustain it)\n");
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

@@ -47,7 +47,7 @@ double MeanRelativeError(double loss, bool use_snapshot, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Extension: in-network SUM error under loss (message-level TAG)",
@@ -67,5 +67,6 @@ int main() {
                   TablePrinter::Num(100.0 * snapshot.mean(), 1) + "%"});
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

@@ -34,15 +34,18 @@ double MeanReps(double loss, bool retries) {
                              network.AttachDataset(std::move(*ds)).ok());
                          network.ScheduleTrainingBroadcasts(0, 10);
                          network.RunUntil(100);
-                         return static_cast<double>(
+                         const double active = static_cast<double>(
                              network.RunElection(100).num_active);
+                         obs::GlobalMetrics().MergeFrom(
+                             network.sim().registry());
+                         return active;
                        })
       .mean();
 }
 
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Ablation: refinement retries under message loss (DESIGN.md §6, "
@@ -56,5 +59,6 @@ int main() {
                   TablePrinter::Num(MeanReps(loss, false), 1)});
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

@@ -66,6 +66,7 @@ std::vector<double> RunCoverageCurve(int rotation_rounds, uint64_t seed) {
       buckets[std::min<size_t>(b, kBuckets - 1)].Add(result.coverage);
     }
   }
+  obs::GlobalMetrics().MergeFrom(net.sim().registry());
   std::vector<double> out;
   out.reserve(kBuckets);
   for (const RunningStats& b : buckets) out.push_back(b.mean());
@@ -74,7 +75,7 @@ std::vector<double> RunCoverageCurve(int rotation_rounds, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Extension: LEACH-style representative rotation (§5.1)",
@@ -104,5 +105,6 @@ int main() {
   table.Print(std::cout);
   std::printf("\narea under curve: no rotation=%.2f rotation=%.2f (of %d)\n",
               area_off, area_on, kBuckets);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

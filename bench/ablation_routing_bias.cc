@@ -59,7 +59,7 @@ double SavingsFor(size_t num_classes, double range, double w_squared,
 
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Ablation: routing biased toward representatives (§3.1)",
@@ -77,5 +77,6 @@ int main() {
     }
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

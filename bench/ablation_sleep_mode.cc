@@ -56,7 +56,7 @@ SleepOutcome Measure(double range, bool sleep) {
 
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Extension: passive nodes sleeping through queries (§5)",
@@ -75,5 +75,6 @@ int main() {
                   TablePrinter::Num(100.0 * asleep.coverage, 0) + "%"});
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

@@ -40,13 +40,14 @@ double MeanReps(double correlation_length, double range) {
     net.ScheduleTrainingBroadcasts(0, 10);
     net.RunUntil(100);
     reps.Add(static_cast<double>(net.RunElection(100).num_active));
+    obs::GlobalMetrics().MergeFrom(net.sim().registry());
   }
   return reps.mean();
 }
 
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Extension: representatives vs spatial correlation length",
@@ -61,5 +62,6 @@ int main() {
                   TablePrinter::Num(MeanReps(length, 1.4142), 1)});
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

@@ -72,7 +72,7 @@ void Measure(double loss, Row* tree, Row* sketch, Row* snapshot) {
 
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Baseline: TAG tree vs multipath sketches [3] vs snapshot queries",
@@ -97,5 +97,6 @@ int main() {
   std::printf("\n(data messages only; all three pay ~N request/flood "
               "messages per epoch. The snapshot additionally amortizes its "
               "election over the query stream.)\n");
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

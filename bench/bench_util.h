@@ -5,7 +5,10 @@
 #define SNAPQ_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+
+#include "obs/metric_registry.h"
 
 namespace snapq::bench {
 
@@ -18,6 +21,21 @@ inline void PrintHeader(const char* experiment, const char* setup) {
   std::printf("=== %s ===\n", experiment);
   std::printf("%s\n", setup);
   std::printf("(averages over %d seeded repetitions)\n\n", kRepetitions);
+}
+
+/// Writes the process-wide metric registry (every trial merges its
+/// simulation registry into it) as a machine-readable sidecar next to the
+/// binary: `<argv0>.metrics.json`. Called at the end of every driver's
+/// main() so each table/figure run leaves its instruments on disk.
+inline void WriteMetricsSidecar(const char* argv0) {
+  const std::string path = std::string(argv0) + ".metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << obs::GlobalMetrics().ToJson() << '\n';
+  std::printf("\nmetrics sidecar: %s\n", path.c_str());
 }
 
 }  // namespace snapq::bench

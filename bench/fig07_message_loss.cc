@@ -11,7 +11,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Figure 7: representatives vs message loss (K=1)",
@@ -35,5 +35,6 @@ int main() {
                   TablePrinter::Num(reps.max(), 0)});
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

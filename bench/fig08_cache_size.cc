@@ -12,7 +12,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Figure 8: representatives vs cache size (K=10)",
@@ -41,5 +41,6 @@ int main() {
                   TablePrinter::Num(mean_reps(bytes, CachePolicy::kRoundRobin), 1)});
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

@@ -10,7 +10,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Figure 9: representatives vs transmission range",
@@ -38,5 +38,6 @@ int main() {
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

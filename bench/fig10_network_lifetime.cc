@@ -96,11 +96,12 @@ void RunLifetime(bool use_snapshot, uint64_t seed, LifetimeCurve* curve) {
           result.coverage);
     }
   }
+  obs::GlobalMetrics().MergeFrom(net.sim().registry());
 }
 
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Figure 10: network coverage over time (K=1, range=0.7)",
@@ -130,5 +131,6 @@ int main() {
   table.Print(std::cout);
   std::printf("\narea under curve: regular=%.2f snapshot=%.2f (of %d)\n",
               area_regular, area_snapshot, kBuckets);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

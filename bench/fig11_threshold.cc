@@ -12,7 +12,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Figure 11: representatives vs error threshold T (weather data)",
@@ -34,5 +34,6 @@ int main() {
                   TablePrinter::Num(reps.mean(), 1) + "%"});
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

@@ -8,7 +8,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Figure 12: average sse of representative estimates (weather data)",
@@ -30,5 +30,6 @@ int main() {
                   TablePrinter::Num(sse.mean() / t, 3)});
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

@@ -12,7 +12,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Figure 13: spurious representatives vs message loss (weather data)",
@@ -38,5 +38,6 @@ int main() {
                   TablePrinter::Num(spurious.mean(), 1)});
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

@@ -13,7 +13,7 @@
 #include "common/table_printer.h"
 #include "longrun_common.h"
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Figure 14: snapshot size over time (weather data)",
@@ -51,5 +51,6 @@ int main() {
   table.Print(std::cout);
   std::printf("\naverage snapshot size: range 0.2 -> %.1f, range 0.7 -> %.1f\n",
               overall[0.2].mean(), overall[0.7].mean());
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

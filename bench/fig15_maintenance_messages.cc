@@ -13,7 +13,7 @@
 #include "common/table_printer.h"
 #include "longrun_common.h"
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Figure 15: messages per node per snapshot update (weather data)",
@@ -38,5 +38,6 @@ int main() {
   table.Print(std::cout);
   std::printf("\n(§5.1 bound: at most six protocol messages per maintained "
               "node per update)\n");
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

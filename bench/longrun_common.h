@@ -72,6 +72,7 @@ inline std::vector<MaintenanceRoundStats> RunLongMaintenance(
       net.now() + kUpdateInterval, kLongHorizon, kUpdateInterval,
       [&rounds](const MaintenanceRoundStats& s) { rounds.push_back(s); });
   net.RunAll();
+  obs::GlobalMetrics().MergeFrom(net.sim().registry());
   return rounds;
 }
 

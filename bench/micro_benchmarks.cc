@@ -9,6 +9,8 @@
 #include "api/experiment.h"
 #include "model/cache_manager.h"
 #include "net/topology.h"
+#include "obs/journal.h"
+#include "obs/metric_registry.h"
 #include "query/executor.h"
 #include "query/parser.h"
 #include "query/routing_tree.h"
@@ -104,6 +106,32 @@ void BM_SnapshotQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SnapshotQuery);
+
+// The observability layer's hot-path costs: a cached counter bump is what
+// every Simulator::Send pays; a disabled journal emit is the price of an
+// unobserved protocol event (must stay one branch — the field-building
+// lambda never runs).
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::MetricRegistry registry;
+  obs::Counter* counter = registry.GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Inc();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsJournalEmitDisabled(benchmark::State& state) {
+  obs::EventJournal journal;  // no sink: disabled
+  int64_t t = 0;
+  for (auto _ : state) {
+    journal.Emit("bench.event", ++t, [&](obs::JournalEvent& e) {
+      e.Node(17).Int("expensive", t);
+    });
+    benchmark::DoNotOptimize(journal.events_emitted());
+  }
+}
+BENCHMARK(BM_ObsJournalEmitDisabled);
 
 void BM_ParseQuery(benchmark::State& state) {
   const std::string sql =

@@ -62,7 +62,7 @@ double SavingsFor(size_t num_classes, double range, double w_squared,
 
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   using namespace snapq;
   bench::PrintHeader(
       "Table 3: participation savings of snapshot queries",
@@ -85,5 +85,6 @@ int main() {
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
+  snapq::bench::WriteMetricsSidecar(argv[0]);
   return 0;
 }

@@ -8,11 +8,14 @@
 //   snapq> \snapshot
 //   snapq> \quit
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "api/network.h"
 #include "data/random_walk.h"
+#include "obs/journal.h"
 
 using namespace snapq;
 
@@ -52,6 +55,8 @@ void PrintHelp() {
       "  \\snapshot             show the current representative set\n"
       "  \\elect                re-run representative discovery\n"
       "  \\regions              list named regions\n"
+      "  \\metrics              dump the metric registry (CSV)\n"
+      "  \\journal [n]          show the last n journal events (default 20)\n"
       "  \\help                 this text\n"
       "  \\quit                 exit\n");
 }
@@ -80,6 +85,12 @@ int main(int argc, char** argv) {
   config.snapshot.threshold = 1.0;
   config.seed = 42;
   SensorNetwork net(config);
+  // Record protocol events (election transitions, cache evictions, query
+  // plans) in memory for the \journal command. Installed before training
+  // so the initial election is captured too.
+  auto* journal_sink = static_cast<obs::MemoryJournalSink*>(
+      net.sim().journal().SetSink(
+          std::make_unique<obs::MemoryJournalSink>(10000)));
   const Time horizon = static_cast<Time>(data->horizon());
   if (Status s = net.AttachDataset(std::move(*data)); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -112,6 +123,23 @@ int main(int argc, char** argv) {
       for (const std::string& name : net.executor().catalog().RegionNames()) {
         std::printf("  %s\n", name.c_str());
       }
+    } else if (line == "\\metrics") {
+      std::printf("%s", net.sim().registry().ToCsv().c_str());
+    } else if (line.rfind("\\journal", 0) == 0) {
+      size_t limit = 20;
+      if (line.size() > 9) {
+        limit = static_cast<size_t>(std::strtoul(line.c_str() + 9, nullptr, 10));
+        if (limit == 0) limit = 20;
+      }
+      const std::vector<std::string>& events = journal_sink->lines();
+      const size_t start = events.size() > limit ? events.size() - limit : 0;
+      for (size_t i = start; i < events.size(); ++i) {
+        std::printf("%s\n", events[i].c_str());
+      }
+      std::printf("-- %llu events emitted (%zu retained)\n",
+                  static_cast<unsigned long long>(
+                      net.sim().journal().events_emitted()),
+                  events.size());
     } else if (!line.empty()) {
       const Result<QueryResult> r = net.Query(line);
       if (r.ok()) {

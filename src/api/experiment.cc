@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metric_registry.h"
 
 namespace snapq {
 
@@ -53,7 +54,14 @@ SensitivityOutcome RunSensitivityTrial(const SensitivityConfig& config) {
   outcome.network = BuildSensitivityNetwork(config);
   // Training + silence: run up to the discovery instant, then elect.
   outcome.network->RunUntil(config.discovery_time);
+  const MetricsSnapshot before = outcome.network->sim().metrics().Snapshot();
   outcome.stats = outcome.network->RunElection(config.discovery_time);
+  outcome.election_traffic =
+      outcome.network->sim().metrics().Delta(before);
+  // Fold the trial's instruments into the process-wide registry so bench
+  // drivers can export one merged sidecar across seeds (counters and
+  // histograms add; gauges keep the high-watermark).
+  obs::GlobalMetrics().MergeFrom(outcome.network->sim().registry());
   return outcome;
 }
 

@@ -48,6 +48,9 @@ struct SensitivityConfig {
 /// follow-up queries, sse evaluation etc.).
 struct SensitivityOutcome {
   ElectionStats stats;
+  /// Traffic of the election phase alone (training broadcasts excluded):
+  /// the Metrics delta between the discovery instant and quiescence.
+  MetricsSnapshot election_traffic;
   std::unique_ptr<SensorNetwork> network;
 };
 

@@ -45,16 +45,39 @@ const char* CacheActionName(CacheManager::Action action) {
 
 CacheManager::CacheManager(const CacheConfig& config) : config_(config) {}
 
+void CacheManager::BindObservability(obs::MetricRegistry* registry,
+                                     obs::EventJournal* journal,
+                                     NodeId self) {
+  journal_ = journal;
+  self_ = self;
+  if (registry == nullptr) {
+    action_counters_.fill(nullptr);
+    refit_counter_ = nullptr;
+    return;
+  }
+  for (size_t i = 0; i < kNumActions; ++i) {
+    action_counters_[i] = registry->GetCounter(
+        std::string("cache.action.") +
+        CacheActionName(static_cast<Action>(i)));
+  }
+  refit_counter_ = registry->GetCounter("model.refits");
+}
+
 CacheManager::Action CacheManager::Observe(NodeId j, double x, double y,
                                            Time t) {
   if (config_.capacity_pairs() == 0) return Action::kRejected;
+  observe_time_ = t;
+  Action action = Action::kRejected;
   switch (config_.policy) {
     case CachePolicy::kModelAware:
-      return ObserveModelAware(j, x, y, t);
+      action = ObserveModelAware(j, x, y, t);
+      break;
     case CachePolicy::kRoundRobin:
-      return ObserveRoundRobin(j, x, y, t);
+      action = ObserveRoundRobin(j, x, y, t);
+      break;
   }
-  return Action::kRejected;
+  CountAction(action);
+  return action;
 }
 
 CacheManager::Action CacheManager::ObserveModelAware(NodeId j, double x,
@@ -93,6 +116,9 @@ CacheManager::Action CacheManager::ObserveModelAware(NodeId j, double x,
   // including the incoming pair).
   const RegressionStats aug = StatsPlus(entry.line.stats(), x, y);
   const RegressionStats shift = StatsMinusOldestPlus(entry.line, x, y);
+
+  // The full-cache decision refits three candidate models.
+  if (refit_counter_ != nullptr) refit_counter_->Inc(3);
 
   const LinearModel model_current = entry.line.stats().Fit();
   const LinearModel model_shift = shift.Fit();
@@ -215,12 +241,22 @@ double CacheManager::PenaltyEvict(const Entry& entry) const {
 void CacheManager::EvictOldest(std::map<NodeId, Entry>::iterator it) {
   SNAPQ_CHECK(it != lines_.end());
   SNAPQ_CHECK(!it->second.line.empty());
+  const NodeId victim = it->first;
   it->second.line.PopOldest();
   it->second.penalty.reset();
   SNAPQ_CHECK_GT(used_pairs_, 0u);
   --used_pairs_;
-  if (it->second.line.empty()) {
+  const bool emptied = it->second.line.empty();
+  if (emptied) {
     lines_.erase(it);
+  }
+  if (journal_ != nullptr) {
+    journal_->Emit("cache.evict", observe_time_,
+                   [&](obs::JournalEvent& e) {
+                     e.Node(self_)
+                         .Int("victim", static_cast<int64_t>(victim))
+                         .Bool("line_emptied", emptied);
+                   });
   }
 }
 

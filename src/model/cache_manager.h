@@ -14,6 +14,7 @@
 #ifndef SNAPQ_MODEL_CACHE_MANAGER_H_
 #define SNAPQ_MODEL_CACHE_MANAGER_H_
 
+#include <array>
 #include <cstddef>
 #include <deque>
 #include <map>
@@ -23,6 +24,8 @@
 #include "model/cache_line.h"
 #include "model/linear_model.h"
 #include "net/node_id.h"
+#include "obs/journal.h"
+#include "obs/metric_registry.h"
 
 namespace snapq {
 
@@ -65,8 +68,18 @@ class CacheManager {
     kAugmented,         ///< grew the line; another line's oldest evicted
     kRejected,          ///< the new observation was discarded
   };
+  static constexpr size_t kNumActions = 5;
 
   explicit CacheManager(const CacheConfig& config);
+
+  /// Hooks this cache into the simulation's observability layer: action
+  /// counters ("cache.action.rejected", ...), the "model.refits" counter,
+  /// and "cache.evict" journal events attributed to node `self`. Either
+  /// pointer may be null (that aspect stays disabled); neither is owned and
+  /// both must outlive this object. Unbound caches pay one null check per
+  /// observation.
+  void BindObservability(obs::MetricRegistry* registry,
+                         obs::EventJournal* journal, NodeId self);
 
   /// Feeds one observation: own measurement `x` and neighbor `j`'s
   /// measurement `y`, collected at the same time `t`.
@@ -106,6 +119,11 @@ class CacheManager {
   Action ObserveModelAware(NodeId j, double x, double y, Time t);
   Action ObserveRoundRobin(NodeId j, double x, double y, Time t);
 
+  void CountAction(Action action) {
+    obs::Counter* c = action_counters_[static_cast<size_t>(action)];
+    if (c != nullptr) c->Inc();
+  }
+
   /// Penalty_Evict for `entry`: benefit(c') - benefit(c' minus oldest).
   double PenaltyEvict(const Entry& entry) const;
 
@@ -123,6 +141,15 @@ class CacheManager {
   NodeId rr_cursor_ = 0;
   /// Insertion order across all pairs, for the round-robin/FIFO baseline.
   std::deque<NodeId> fifo_order_;
+
+  // Observability (optional; see BindObservability). All null when unbound.
+  std::array<obs::Counter*, kNumActions> action_counters_{};
+  obs::Counter* refit_counter_ = nullptr;
+  obs::EventJournal* journal_ = nullptr;
+  NodeId self_ = kInvalidNode;
+  /// Timestamp of the in-flight Observe(), for journal attribution of the
+  /// evictions it triggers.
+  Time observe_time_ = 0;
 };
 
 const char* CacheActionName(CacheManager::Action action);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace snapq {
 namespace {
@@ -38,7 +39,9 @@ LinearModel FitWeighted(const std::deque<ObservationPair>& pairs,
 }
 
 LinearModel FitForMetric(const std::deque<ObservationPair>& pairs,
-                         const ErrorMetric& metric) {
+                         const ErrorMetric& metric,
+                         obs::MetricRegistry* registry) {
+  obs::Span span(registry, "model.refit");
   if (pairs.empty()) return LinearModel{0.0, 0.0};
   switch (metric.kind()) {
     case ErrorMetricKind::kSumSquared: {

@@ -21,6 +21,7 @@
 #include "model/cache_line.h"
 #include "model/error_metric.h"
 #include "model/linear_model.h"
+#include "obs/metric_registry.h"
 
 namespace snapq {
 
@@ -30,9 +31,12 @@ LinearModel FitWeighted(const std::deque<ObservationPair>& pairs,
                         const std::vector<double>& weights);
 
 /// The metric-optimal line over `pairs` (see file comment). For the sse
-/// metric this equals RegressionStats::Fit().
+/// metric this equals RegressionStats::Fit(). When `registry` is non-null
+/// the fit is timed into its "model.refit.wall_us" histogram (the IRLS
+/// fits are the expensive ones; a null registry costs nothing).
 LinearModel FitForMetric(const std::deque<ObservationPair>& pairs,
-                         const ErrorMetric& metric);
+                         const ErrorMetric& metric,
+                         obs::MetricRegistry* registry = nullptr);
 
 /// Total error of `model` over `pairs` under `metric` (the objective
 /// FitForMetric approximately minimizes).

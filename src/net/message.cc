@@ -30,6 +30,8 @@ const char* MessageTypeName(MessageType type) {
       return "QueryRequest";
     case MessageType::kQueryReply:
       return "QueryReply";
+    case MessageType::kMessageTypeCount:
+      break;  // sentinel, never sent
   }
   return "Unknown";
 }
@@ -66,6 +68,8 @@ size_t Message::SizeBytes() const {
     case MessageType::kQueryReply:
       payload = 4 + 2 * ids.size();  // aggregate value + contributor ids
       break;
+    case MessageType::kMessageTypeCount:
+      break;  // sentinel, never sent
   }
   return kHeader + payload;
 }

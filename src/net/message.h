@@ -47,7 +47,15 @@ enum class MessageType {
   kQueryRequest,
   /// Query layer: (partial) result propagated up the routing tree.
   kQueryReply,
+  /// Sentinel — keep last, never sent. Sizes the per-type arrays (metric
+  /// counters, loss injection) so adding a message type above cannot
+  /// silently truncate them.
+  kMessageTypeCount,
 };
+
+/// Number of real message types (the sentinel itself excluded).
+inline constexpr size_t kNumMessageTypes =
+    static_cast<size_t>(MessageType::kMessageTypeCount);
 
 /// Stable name for logging/traces.
 const char* MessageTypeName(MessageType type);

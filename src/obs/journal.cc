@@ -1,0 +1,179 @@
+#include "obs/journal.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace snapq::obs {
+
+JournalEvent& JournalEvent::Int(std::string_view key, int64_t value) {
+  Field f;
+  f.key = std::string(key);
+  f.kind = Field::Kind::kInt;
+  f.i = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+JournalEvent& JournalEvent::Num(std::string_view key, double value) {
+  Field f;
+  f.key = std::string(key);
+  f.kind = Field::Kind::kNum;
+  f.d = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+JournalEvent& JournalEvent::Str(std::string_view key,
+                                std::string_view value) {
+  Field f;
+  f.key = std::string(key);
+  f.kind = Field::Kind::kStr;
+  f.s = std::string(value);
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+JournalEvent& JournalEvent::Bool(std::string_view key, bool value) {
+  Field f;
+  f.key = std::string(key);
+  f.kind = Field::Kind::kBool;
+  f.b = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+const JournalEvent::Field* JournalEvent::Find(std::string_view key) const {
+  for (const Field& f : fields_) {
+    if (f.key == key) return &f;
+  }
+  return nullptr;
+}
+
+std::optional<int64_t> JournalEvent::GetInt(std::string_view key) const {
+  const Field* f = Find(key);
+  if (f == nullptr || f->kind != Field::Kind::kInt) return std::nullopt;
+  return f->i;
+}
+
+std::optional<double> JournalEvent::GetNum(std::string_view key) const {
+  const Field* f = Find(key);
+  if (f == nullptr) return std::nullopt;
+  if (f->kind == Field::Kind::kNum) return f->d;
+  if (f->kind == Field::Kind::kInt) return static_cast<double>(f->i);
+  return std::nullopt;
+}
+
+std::optional<std::string> JournalEvent::GetStr(std::string_view key) const {
+  const Field* f = Find(key);
+  if (f == nullptr || f->kind != Field::Kind::kStr) return std::nullopt;
+  return f->s;
+}
+
+std::optional<bool> JournalEvent::GetBool(std::string_view key) const {
+  const Field* f = Find(key);
+  if (f == nullptr || f->kind != Field::Kind::kBool) return std::nullopt;
+  return f->b;
+}
+
+std::string JournalEvent::ToJsonLine() const {
+  std::string out = "{\"event\":\"";
+  out += JsonEscape(name_);
+  out += "\",\"t\":";
+  out += StrFormat("%lld", static_cast<long long>(time_));
+  for (const Field& f : fields_) {
+    out += ",\"";
+    out += JsonEscape(f.key);
+    out += "\":";
+    switch (f.kind) {
+      case Field::Kind::kInt:
+        out += StrFormat("%lld", static_cast<long long>(f.i));
+        break;
+      case Field::Kind::kNum:
+        out += JsonNumber(f.d);
+        break;
+      case Field::Kind::kStr:
+        out += '"';
+        out += JsonEscape(f.s);
+        out += '"';
+        break;
+      case Field::Kind::kBool:
+        out += f.b ? "true" : "false";
+        break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+std::optional<JournalEvent> JournalEvent::Parse(std::string_view line) {
+  const auto object = ParseFlatJsonObject(line);
+  if (!object.has_value()) return std::nullopt;
+  const auto event_it = object->find("event");
+  const auto time_it = object->find("t");
+  if (event_it == object->end() ||
+      event_it->second.kind != JsonValue::Kind::kString ||
+      time_it == object->end() ||
+      time_it->second.kind != JsonValue::Kind::kNumber) {
+    return std::nullopt;
+  }
+  JournalEvent out(event_it->second.string, time_it->second.AsInt());
+  for (const auto& [key, value] : *object) {
+    if (key == "event" || key == "t") continue;
+    switch (value.kind) {
+      case JsonValue::Kind::kNumber:
+        // Integral numbers parse back as Int fields — the common case for
+        // node ids, epochs and counts — others as Num.
+        if (value.number == std::floor(value.number) &&
+            std::abs(value.number) < 9e15) {
+          out.Int(key, value.AsInt());
+        } else {
+          out.Num(key, value.number);
+        }
+        break;
+      case JsonValue::Kind::kString:
+        out.Str(key, value.string);
+        break;
+      case JsonValue::Kind::kBool:
+        out.Bool(key, value.boolean);
+        break;
+      case JsonValue::Kind::kNull:
+        break;  // dropped; our writers never emit null fields
+    }
+  }
+  return out;
+}
+
+FileJournalSink::FileJournalSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+FileJournalSink::~FileJournalSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileJournalSink::Write(const std::string& line) {
+  if (file_ == nullptr) return;
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+}
+
+void FileJournalSink::Flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void MemoryJournalSink::Write(const std::string& line) {
+  lines_.push_back(line);
+  if (max_lines_ > 0 && lines_.size() > max_lines_) {
+    lines_.erase(lines_.begin(),
+                 lines_.begin() +
+                     static_cast<std::ptrdiff_t>(lines_.size() - max_lines_));
+  }
+}
+
+void EventJournal::WriteEvent(const JournalEvent& event) {
+  sink_->Write(event.ToJsonLine());
+  ++emitted_;
+}
+
+}  // namespace snapq::obs

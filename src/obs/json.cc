@@ -1,0 +1,210 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace snapq::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+namespace {
+
+/// Cursor over the input; all Parse* helpers advance it past what they
+/// consumed and return false on malformed input.
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+  bool Consume(char c) {
+    if (AtEnd() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  bool ConsumeWord(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+};
+
+bool ParseString(Cursor& c, std::string* out) {
+  if (!c.Consume('"')) return false;
+  out->clear();
+  while (!c.AtEnd()) {
+    const char ch = c.text[c.pos++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      *out += ch;
+      continue;
+    }
+    if (c.AtEnd()) return false;
+    const char esc = c.text[c.pos++];
+    switch (esc) {
+      case '"':
+        *out += '"';
+        break;
+      case '\\':
+        *out += '\\';
+        break;
+      case '/':
+        *out += '/';
+        break;
+      case 'n':
+        *out += '\n';
+        break;
+      case 'r':
+        *out += '\r';
+        break;
+      case 't':
+        *out += '\t';
+        break;
+      case 'u': {
+        if (c.pos + 4 > c.text.size()) return false;
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = c.text[c.pos++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return false;
+          }
+        }
+        // Our writers only escape control characters; anything else in the
+        // BMP is passed through as a replacement to keep the parser simple.
+        *out += code < 0x80 ? static_cast<char>(code) : '?';
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+bool ParseValue(Cursor& c, JsonValue* out) {
+  c.SkipSpace();
+  if (c.AtEnd()) return false;
+  const char ch = c.Peek();
+  if (ch == '"') {
+    out->kind = JsonValue::Kind::kString;
+    return ParseString(c, &out->string);
+  }
+  if (ch == 't') {
+    out->kind = JsonValue::Kind::kBool;
+    out->boolean = true;
+    return c.ConsumeWord("true");
+  }
+  if (ch == 'f') {
+    out->kind = JsonValue::Kind::kBool;
+    out->boolean = false;
+    return c.ConsumeWord("false");
+  }
+  if (ch == 'n') {
+    out->kind = JsonValue::Kind::kNull;
+    return c.ConsumeWord("null");
+  }
+  // Number: delegate to strtod over the remaining text.
+  const std::string rest(c.text.substr(c.pos));
+  char* end = nullptr;
+  const double v = std::strtod(rest.c_str(), &end);
+  if (end == rest.c_str()) return false;
+  c.pos += static_cast<size_t>(end - rest.c_str());
+  out->kind = JsonValue::Kind::kNumber;
+  out->number = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::map<std::string, JsonValue>> ParseFlatJsonObject(
+    std::string_view text) {
+  Cursor c{text};
+  c.SkipSpace();
+  if (!c.Consume('{')) return std::nullopt;
+  std::map<std::string, JsonValue> out;
+  c.SkipSpace();
+  if (c.Consume('}')) {
+    c.SkipSpace();
+    return c.AtEnd() ? std::optional(out) : std::nullopt;
+  }
+  while (true) {
+    c.SkipSpace();
+    std::string key;
+    if (!ParseString(c, &key)) return std::nullopt;
+    c.SkipSpace();
+    if (!c.Consume(':')) return std::nullopt;
+    JsonValue value;
+    if (!ParseValue(c, &value)) return std::nullopt;
+    out[std::move(key)] = std::move(value);
+    c.SkipSpace();
+    if (c.Consume(',')) continue;
+    if (c.Consume('}')) break;
+    return std::nullopt;
+  }
+  c.SkipSpace();
+  if (!c.AtEnd()) return std::nullopt;
+  return out;
+}
+
+}  // namespace snapq::obs

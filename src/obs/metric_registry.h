@@ -1,0 +1,158 @@
+// The metric registry: named counters, gauges and fixed-bucket histograms,
+// optionally labeled by node ("election.messages_sent{node=17}"). The
+// registry is the single source of truth for experiment accounting — the
+// simulator's Metrics object is a thin façade over it, protocol layers
+// register their own instruments, and the exporters (ToJson/ToCsv, bench
+// sidecar files) read it back out.
+//
+// Design constraints, in order:
+//  * hot-path cost: callers cache the Counter*/Gauge* returned by Get* at
+//    registration time, so a counted event is one pointer-indirect
+//    increment — no map lookup, no allocation, no branch on an "enabled"
+//    flag;
+//  * stable handles: instruments live in node-based maps, so pointers stay
+//    valid for the registry's lifetime no matter how many instruments are
+//    registered later;
+//  * phase accounting: TakeSnapshot()/DeltaSince() capture counter and
+//    gauge values between experiment phases without resetting anything;
+//  * cross-run aggregation: MergeFrom() folds another registry in
+//    (counters and histogram buckets add, gauges keep the maximum — a
+//    high-watermark, which is what per-node message bounds need).
+//
+// Not thread-safe: the simulator is single-threaded by design; parallel
+// experiment runs each own a registry and merge afterwards.
+#ifndef SNAPQ_OBS_METRIC_REGISTRY_H_
+#define SNAPQ_OBS_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/node_id.h"
+
+namespace snapq::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time value (sizes, per-phase totals, high-watermarks).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  /// Keeps the larger of the current and proposed value.
+  void SetMax(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// an implicit +inf bucket catches the rest. Bucket i counts observations
+/// x <= bounds[i] (and > bounds[i-1]).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double x);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double max_seen() const { return max_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the +inf overflow bucket.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  /// Adds `other`'s observations; bucket bounds must match.
+  void MergeFrom(const Histogram& other);
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Canonical flattened instrument name: `name` alone, or "name{node=17}"
+/// for node-labeled instruments. Used by snapshots and the exporters.
+std::string LabeledName(const std::string& name, NodeId node);
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Instrument registration. Returns a stable handle; repeated calls with
+  // the same name (and node) return the same instrument. Cache the pointer
+  // on hot paths.
+  Counter* GetCounter(const std::string& name);
+  Counter* GetCounter(const std::string& name, NodeId node);
+  Gauge* GetGauge(const std::string& name);
+  Gauge* GetGauge(const std::string& name, NodeId node);
+  /// `bounds` is used on first registration only; later calls with the
+  /// same name ignore it.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// Flattened (name -> value) capture of every counter and gauge.
+  /// Histograms contribute their count and sum as "<name>.count" /
+  /// "<name>.sum" so deltas cover them too.
+  using Snapshot = std::map<std::string, double>;
+  Snapshot TakeSnapshot() const;
+  /// Current values minus `earlier` (instruments absent earlier count from
+  /// zero; instruments absent now are omitted).
+  Snapshot DeltaSince(const Snapshot& earlier) const;
+
+  /// Folds `other` in: counters and histograms add, gauges keep the max.
+  /// Histogram bucket layouts must match for shared names.
+  void MergeFrom(const MetricRegistry& other);
+
+  /// Zeroes every instrument; registrations (and handed-out pointers)
+  /// stay valid.
+  void Reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"count":..,"sum":..,"max":..,"bounds":[..],"buckets":[..]}}}
+  std::string ToJson() const;
+  /// One instrument per line: kind,name,value (histograms emit count, sum
+  /// and one line per bucket).
+  std::string ToCsv() const;
+
+  size_t num_instruments() const;
+
+ private:
+  // std::map keeps element addresses stable across inserts.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, std::map<NodeId, Counter>> node_counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, std::map<NodeId, Gauge>> node_gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Process-wide registry for cross-run aggregation: experiment drivers
+/// merge each trial's simulator registry here, and the bench harness dumps
+/// it into the `*.metrics.json` sidecar at exit.
+MetricRegistry& GlobalMetrics();
+
+}  // namespace snapq::obs
+
+#endif  // SNAPQ_OBS_METRIC_REGISTRY_H_

@@ -1,0 +1,51 @@
+#include "obs/span.h"
+
+#include <utility>
+
+namespace snapq::obs {
+
+const std::vector<double>& Span::WallMicrosBounds() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      1, 10, 100, 1000, 10000, 100000, 1000000};
+  return *bounds;
+}
+
+const std::vector<double>& Span::SimTicksBounds() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000};
+  return *bounds;
+}
+
+Span::Span(MetricRegistry* registry, std::string name)
+    : registry_(registry), name_(std::move(name)) {
+  if (registry_ != nullptr) {
+    wall_start_ = std::chrono::steady_clock::now();
+  }
+}
+
+void Span::BeginSim(int64_t sim_now) {
+  sim_start_ = sim_now;
+  sim_start_set_ = true;
+}
+
+void Span::EndSim(int64_t sim_now) {
+  sim_end_ = sim_now;
+  sim_end_set_ = true;
+}
+
+void Span::End() {
+  if (ended_ || registry_ == nullptr) return;
+  ended_ = true;
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double micros =
+      std::chrono::duration<double, std::micro>(wall_end - wall_start_)
+          .count();
+  registry_->GetHistogram(name_ + ".wall_us", WallMicrosBounds())
+      ->Observe(micros);
+  if (sim_start_set_ && sim_end_set_) {
+    registry_->GetHistogram(name_ + ".sim_ticks", SimTicksBounds())
+        ->Observe(static_cast<double>(sim_end_ - sim_start_));
+  }
+}
+
+}  // namespace snapq::obs

@@ -1,0 +1,63 @@
+// RAII phase timers. A Span measures one protocol phase (an election
+// round, a maintenance epoch, a query execution, a model refit) and
+// records its duration into registry histograms on destruction:
+//
+//   {
+//     obs::Span span(&sim.registry(), "election");
+//     span.BeginSim(sim.now());
+//     ... run the phase ...
+//     span.EndSim(sim.now());
+//   }  // records "<name>.wall_us" and "<name>.sim_ticks"
+//
+// Wall time is always recorded (steady_clock); sim-time is recorded only
+// when both BeginSim and EndSim were called (simulated phases advance the
+// event queue, wall-only phases like query planning do not). A Span built
+// on a null registry is inert — safe for code paths where observability
+// is not wired up.
+#ifndef SNAPQ_OBS_SPAN_H_
+#define SNAPQ_OBS_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metric_registry.h"
+
+namespace snapq::obs {
+
+class Span {
+ public:
+  /// Starts the wall clock immediately. `registry` may be null (no-op).
+  Span(MetricRegistry* registry, std::string name);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Marks the simulated start/end time of the phase. Either call may be
+  /// omitted; the sim-ticks histogram is only recorded when both were set.
+  void BeginSim(int64_t sim_now);
+  void EndSim(int64_t sim_now);
+
+  /// Records the histograms early; the destructor then does nothing.
+  void End();
+
+  ~Span() { End(); }
+
+  /// Default bucket bounds (exposed so tests and dashboards agree).
+  static const std::vector<double>& WallMicrosBounds();
+  static const std::vector<double>& SimTicksBounds();
+
+ private:
+  MetricRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point wall_start_;
+  int64_t sim_start_ = 0;
+  int64_t sim_end_ = 0;
+  bool sim_start_set_ = false;
+  bool sim_end_set_ = false;
+  bool ended_ = false;
+};
+
+}  // namespace snapq::obs
+
+#endif  // SNAPQ_OBS_SPAN_H_

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "obs/span.h"
 #include "query/aggregation.h"
 #include "query/parser.h"
 #include "query/predicate.h"
@@ -88,6 +89,7 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
                                          const ExecutionOptions& options) {
   const size_t n = agents_->size();
   SNAPQ_CHECK_LT(options.sink, n);
+  obs::Span span(&sim_->registry(), "query.execute");
   QueryResult result;
 
   // Coverage denominator: every placed node matching the predicate (dead
@@ -139,6 +141,24 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
     if (participates[i]) ++result.participants;
   }
   result.responders = reachable_responders.size();
+
+  obs::MetricRegistry& reg = sim_->registry();
+  reg.GetCounter("query.executions")->Inc();
+  if (use_snapshot) reg.GetCounter("query.snapshot_executions")->Inc();
+  const std::vector<double> node_buckets{0, 1, 2, 5, 10, 20, 50, 100, 200,
+                                         500};
+  reg.GetHistogram("query.participants", node_buckets)
+      ->Observe(static_cast<double>(result.participants));
+  reg.GetHistogram("query.responders", node_buckets)
+      ->Observe(static_cast<double>(result.responders));
+  sim_->journal().Emit("query.plan", sim_->now(), [&](obs::JournalEvent& e) {
+    e.Node(options.sink)
+        .Bool("use_snapshot", use_snapshot)
+        .Bool("passive_sleep", options.passive_nodes_sleep)
+        .Int("matching", static_cast<int64_t>(result.matching_nodes))
+        .Int("responders", static_cast<int64_t>(result.responders))
+        .Int("participants", static_cast<int64_t>(result.participants));
+  });
 
   if (options.charge_energy) {
     // One transmission per participant: its partial aggregate / row batch

@@ -1,25 +1,108 @@
 #include "sim/metrics.h"
 
+#include <cctype>
+
 #include "common/string_util.h"
 
 namespace snapq {
+namespace {
 
-void Metrics::Reset() { *this = Metrics(); }
+/// "Invitation" -> "invitation": registry names are lowercase by
+/// convention (see DESIGN.md, Observability).
+std::string LowerTypeName(MessageType type) {
+  std::string name = MessageTypeName(type);
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name;
+}
+
+}  // namespace
+
+Metrics::Metrics()
+    : owned_(std::make_unique<obs::MetricRegistry>()),
+      registry_(owned_.get()) {
+  BindInstruments();
+}
+
+Metrics::Metrics(obs::MetricRegistry* registry) : registry_(registry) {
+  BindInstruments();
+}
+
+void Metrics::BindInstruments() {
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    const std::string suffix = LowerTypeName(static_cast<MessageType>(i));
+    sent_[i] = registry_->GetCounter("net.sent." + suffix);
+    delivered_[i] = registry_->GetCounter("net.delivered." + suffix);
+    lost_[i] = registry_->GetCounter("net.lost." + suffix);
+    snooped_[i] = registry_->GetCounter("net.snooped." + suffix);
+  }
+  total_sent_ = registry_->GetCounter("net.sent");
+  total_delivered_ = registry_->GetCounter("net.delivered");
+  total_lost_ = registry_->GetCounter("net.lost");
+  cache_ops_ = registry_->GetCounter("net.cache_ops");
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot snap;
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    snap.sent[i] = sent_[i]->value();
+    snap.delivered[i] = delivered_[i]->value();
+    snap.lost[i] = lost_[i]->value();
+    snap.snooped[i] = snooped_[i]->value();
+  }
+  snap.total_sent = total_sent_->value();
+  snap.total_delivered = total_delivered_->value();
+  snap.total_lost = total_lost_->value();
+  snap.cache_ops = cache_ops_->value();
+  return snap;
+}
+
+MetricsSnapshot Metrics::Delta(const MetricsSnapshot& since) const {
+  MetricsSnapshot delta = Snapshot();
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    delta.sent[i] -= since.sent[i];
+    delta.delivered[i] -= since.delivered[i];
+    delta.lost[i] -= since.lost[i];
+    delta.snooped[i] -= since.snooped[i];
+  }
+  delta.total_sent -= since.total_sent;
+  delta.total_delivered -= since.total_delivered;
+  delta.total_lost -= since.total_lost;
+  delta.cache_ops -= since.cache_ops;
+  return delta;
+}
+
+void Metrics::Reset() {
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    sent_[i]->Reset();
+    delivered_[i]->Reset();
+    lost_[i]->Reset();
+    snooped_[i]->Reset();
+  }
+  total_sent_->Reset();
+  total_delivered_->Reset();
+  total_lost_->Reset();
+  cache_ops_->Reset();
+}
 
 std::string Metrics::ToString() const {
   std::string out = StrFormat(
       "messages: sent=%llu delivered=%llu lost=%llu cache_ops=%llu\n",
-      static_cast<unsigned long long>(total_sent_),
-      static_cast<unsigned long long>(total_delivered_),
-      static_cast<unsigned long long>(total_lost_),
-      static_cast<unsigned long long>(cache_ops_));
-  for (size_t i = 0; i < kNumTypes; ++i) {
-    if (sent_[i] == 0 && delivered_[i] == 0 && lost_[i] == 0) continue;
+      static_cast<unsigned long long>(total_sent()),
+      static_cast<unsigned long long>(total_delivered()),
+      static_cast<unsigned long long>(total_lost()),
+      static_cast<unsigned long long>(cache_ops()));
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    if (sent_[i]->value() == 0 && delivered_[i]->value() == 0 &&
+        lost_[i]->value() == 0) {
+      continue;
+    }
     out += StrFormat("  %-15s sent=%-8llu delivered=%-8llu lost=%llu\n",
                      MessageTypeName(static_cast<MessageType>(i)),
-                     static_cast<unsigned long long>(sent_[i]),
-                     static_cast<unsigned long long>(delivered_[i]),
-                     static_cast<unsigned long long>(lost_[i]));
+                     static_cast<unsigned long long>(sent_[i]->value()),
+                     static_cast<unsigned long long>(delivered_[i]->value()),
+                     static_cast<unsigned long long>(lost_[i]->value()));
   }
   return out;
 }

@@ -1,59 +1,115 @@
 // Simulation-wide counters: message traffic by type, energy, cache
 // activity. Experiments read these to report the paper's metrics (messages
 // per node, nodes participating in a query, etc.).
+//
+// Metrics is a thin façade over an obs::MetricRegistry: every count lands
+// in a named registry counter ("net.sent.invitation", "net.lost", ...), so
+// the same numbers show up in the registry's JSON/CSV exports and bench
+// sidecar files. The façade caches the counter handles at construction —
+// a count is one pointer-indirect increment, same order of cost as the
+// plain arrays it replaces.
 #ifndef SNAPQ_SIM_METRICS_H_
 #define SNAPQ_SIM_METRICS_H_
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "net/message.h"
+#include "obs/metric_registry.h"
 
 namespace snapq {
+
+/// Value capture of every Metrics counter, for phase accounting: take one
+/// before a phase, another after (or use Metrics::Delta) and subtract.
+struct MetricsSnapshot {
+  std::array<uint64_t, kNumMessageTypes> sent{};
+  std::array<uint64_t, kNumMessageTypes> delivered{};
+  std::array<uint64_t, kNumMessageTypes> lost{};
+  std::array<uint64_t, kNumMessageTypes> snooped{};
+  uint64_t total_sent = 0;
+  uint64_t total_delivered = 0;
+  uint64_t total_lost = 0;
+  uint64_t cache_ops = 0;
+};
 
 /// Plain counters; reset between experiment phases via snapshots/deltas.
 class Metrics {
  public:
-  void CountSent(MessageType type) { ++sent_[Index(type)]; ++total_sent_; }
+  /// Standalone metrics backed by a private registry (unit tests,
+  /// ad-hoc accounting).
+  Metrics();
+  /// Façade over `registry` (the simulator's). Not owned; must outlive
+  /// this object.
+  explicit Metrics(obs::MetricRegistry* registry);
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void CountSent(MessageType type) {
+    sent_[Index(type)]->Inc();
+    total_sent_->Inc();
+  }
   void CountDelivered(MessageType type) {
-    ++delivered_[Index(type)];
-    ++total_delivered_;
+    delivered_[Index(type)]->Inc();
+    total_delivered_->Inc();
   }
-  void CountLost(MessageType type) { ++lost_[Index(type)]; ++total_lost_; }
-  void CountSnooped(MessageType type) { ++snooped_[Index(type)]; }
-  void CountCacheOp() { ++cache_ops_; }
+  void CountLost(MessageType type) {
+    lost_[Index(type)]->Inc();
+    total_lost_->Inc();
+  }
+  void CountSnooped(MessageType type) { snooped_[Index(type)]->Inc(); }
+  void CountCacheOp() { cache_ops_->Inc(); }
 
-  uint64_t sent(MessageType type) const { return sent_[Index(type)]; }
+  uint64_t sent(MessageType type) const {
+    return sent_[Index(type)]->value();
+  }
   uint64_t delivered(MessageType type) const {
-    return delivered_[Index(type)];
+    return delivered_[Index(type)]->value();
   }
-  uint64_t lost(MessageType type) const { return lost_[Index(type)]; }
-  uint64_t snooped(MessageType type) const { return snooped_[Index(type)]; }
+  uint64_t lost(MessageType type) const {
+    return lost_[Index(type)]->value();
+  }
+  uint64_t snooped(MessageType type) const {
+    return snooped_[Index(type)]->value();
+  }
 
-  uint64_t total_sent() const { return total_sent_; }
-  uint64_t total_delivered() const { return total_delivered_; }
-  uint64_t total_lost() const { return total_lost_; }
-  uint64_t cache_ops() const { return cache_ops_; }
+  uint64_t total_sent() const { return total_sent_->value(); }
+  uint64_t total_delivered() const { return total_delivered_->value(); }
+  uint64_t total_lost() const { return total_lost_->value(); }
+  uint64_t cache_ops() const { return cache_ops_->value(); }
 
+  /// Captures every counter's current value.
+  MetricsSnapshot Snapshot() const;
+  /// Current values minus `since` — the traffic of one experiment phase,
+  /// without resetting anything.
+  MetricsSnapshot Delta(const MetricsSnapshot& since) const;
+
+  /// Zeroes the counters (registrations stay).
   void Reset();
 
   /// Multi-line human-readable dump (used by traces and examples).
   std::string ToString() const;
 
- private:
-  static constexpr size_t kNumTypes =
-      static_cast<size_t>(MessageType::kQueryReply) + 1;
-  static size_t Index(MessageType t) { return static_cast<size_t>(t); }
+  /// The backing registry (the simulator's, or the private one).
+  obs::MetricRegistry& registry() { return *registry_; }
+  const obs::MetricRegistry& registry() const { return *registry_; }
 
-  std::array<uint64_t, kNumTypes> sent_{};
-  std::array<uint64_t, kNumTypes> delivered_{};
-  std::array<uint64_t, kNumTypes> lost_{};
-  std::array<uint64_t, kNumTypes> snooped_{};
-  uint64_t total_sent_ = 0;
-  uint64_t total_delivered_ = 0;
-  uint64_t total_lost_ = 0;
-  uint64_t cache_ops_ = 0;
+ private:
+  static size_t Index(MessageType t) { return static_cast<size_t>(t); }
+  void BindInstruments();
+
+  std::unique_ptr<obs::MetricRegistry> owned_;  // null when external
+  obs::MetricRegistry* registry_;
+  std::array<obs::Counter*, kNumMessageTypes> sent_{};
+  std::array<obs::Counter*, kNumMessageTypes> delivered_{};
+  std::array<obs::Counter*, kNumMessageTypes> lost_{};
+  std::array<obs::Counter*, kNumMessageTypes> snooped_{};
+  obs::Counter* total_sent_ = nullptr;
+  obs::Counter* total_delivered_ = nullptr;
+  obs::Counter* total_lost_ = nullptr;
+  obs::Counter* cache_ops_ = nullptr;
 };
 
 }  // namespace snapq

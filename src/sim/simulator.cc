@@ -11,6 +11,7 @@ Simulator::Simulator(std::vector<Point> positions, std::vector<double> ranges,
     : links_(std::move(positions), std::move(ranges),
              config.loss_probability),
       config_(config),
+      metrics_(&registry_),
       rng_(config.seed) {
   const size_t n = links_.num_nodes();
   batteries_.assign(n, Battery(config_.energy.initial_battery));

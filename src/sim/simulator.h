@@ -22,6 +22,8 @@
 #include "net/link_model.h"
 #include "net/message.h"
 #include "net/node_id.h"
+#include "obs/journal.h"
+#include "obs/metric_registry.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "sim/trace.h"
@@ -101,6 +103,16 @@ class Simulator {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
+  /// The simulation's metric registry: protocol layers register their own
+  /// named instruments here (the Metrics façade above is backed by it).
+  obs::MetricRegistry& registry() { return registry_; }
+  const obs::MetricRegistry& registry() const { return registry_; }
+
+  /// The structured event journal. Disabled (null sink) by default;
+  /// attach a sink to record protocol events as JSONL.
+  obs::EventJournal& journal() { return journal_; }
+  const obs::EventJournal& journal() const { return journal_; }
+
   /// Number of messages node `id` has transmitted (Fig 15 reports the
   /// per-node average during maintenance).
   uint64_t messages_sent_by(NodeId id) const { return sent_by_[id]; }
@@ -124,13 +136,14 @@ class Simulator {
   LinkModel links_;
   SimConfig config_;
   EventQueue queue_;
+  obs::MetricRegistry registry_;  // must precede metrics_ (façade over it)
+  obs::EventJournal journal_;
   Metrics metrics_;
   Rng rng_;
   std::vector<Battery> batteries_;
   std::vector<MessageHandler> handlers_;
   std::vector<uint64_t> sent_by_;
-  std::array<double, static_cast<size_t>(MessageType::kQueryReply) + 1>
-      type_loss_{};
+  std::array<double, kNumMessageTypes> type_loss_{};
   TraceRecorder* trace_ = nullptr;
 };
 

@@ -12,6 +12,7 @@ SnapshotAgent::SnapshotAgent(NodeId id, Simulator* sim,
       models_(id, config.cache), rep_(id) {
   SNAPQ_CHECK(sim != nullptr);
   SNAPQ_CHECK_LT(id, sim->num_nodes());
+  models_.cache().BindObservability(&sim->registry(), &sim->journal(), id);
 }
 
 void SnapshotAgent::Install() {
@@ -71,6 +72,11 @@ void SnapshotAgent::BeginElection(Time t0) {
 
 void SnapshotAgent::BeginLocalReelection() {
   if (electing_ || !sim_->alive(id_)) return;
+  sim_->registry().GetCounter("maintenance.reelections")->Inc();
+  sim_->journal().Emit("maintenance.reelect", sim_->now(),
+                       [this](obs::JournalEvent& e) {
+                         e.Node(id_).Epoch(epoch_);
+                       });
   prior_rep_ = (rep_ != id_) ? rep_ : kInvalidNode;
   StartElectionRound(sim_->now());
 }
@@ -192,6 +198,11 @@ void SnapshotAgent::RunSelection() {
   }
   if (best != kInvalidNode) {
     rep_ = best;
+    sim_->journal().Emit("election.select", sim_->now(),
+                         [&](obs::JournalEvent& e) {
+                           e.Node(id_).Epoch(epoch_).Int(
+                               "rep", static_cast<int64_t>(best));
+                         });
     Message msg;
     msg.type = MessageType::kAccept;
     msg.from = id_;
@@ -287,6 +298,10 @@ void SnapshotAgent::BecomeActive() {
   if (mode_ == NodeMode::kActive) return;
   mode_ = NodeMode::kActive;
   electing_ = false;
+  sim_->journal().Emit("election.mode", sim_->now(),
+                       [this](obs::JournalEvent& e) {
+                         e.Node(id_).Epoch(epoch_).Str("mode", "active");
+                       });
   // Rule-2 follow-through: an ACTIVE node must not be represented.
   if (rep_ != id_ && !recall_sent_) {
     SendRecall(rep_);
@@ -298,6 +313,10 @@ void SnapshotAgent::BecomePassive() {
   if (mode_ == NodeMode::kPassive) return;
   mode_ = NodeMode::kPassive;
   electing_ = false;
+  sim_->journal().Emit("election.mode", sim_->now(),
+                       [this](obs::JournalEvent& e) {
+                         e.Node(id_).Epoch(epoch_).Str("mode", "passive");
+                       });
 }
 
 void SnapshotAgent::SendRecall(NodeId old_rep) {
@@ -410,6 +429,11 @@ void SnapshotAgent::MaintenanceTick() {
       msg.to = kBroadcastId;
       msg.epoch = epoch_;
       for (const auto& [j, e] : represents_) msg.ids.push_back(j);
+      sim_->journal().Emit(
+          "maintenance.resign", sim_->now(), [&](obs::JournalEvent& e) {
+            e.Node(id_).Epoch(epoch_).Str("reason", "rotation").Int(
+                "members", static_cast<int64_t>(represents_.size()));
+          });
       sim_->Send(msg);
       represents_.clear();
       rounds_served_ = 0;
@@ -432,6 +456,11 @@ void SnapshotAgent::MaintenanceTick() {
       msg.to = kBroadcastId;
       msg.epoch = epoch_;
       for (const auto& [j, e] : represents_) msg.ids.push_back(j);
+      sim_->journal().Emit(
+          "maintenance.resign", sim_->now(), [&](obs::JournalEvent& e) {
+            e.Node(id_).Epoch(epoch_).Str("reason", "energy").Int(
+                "members", static_cast<int64_t>(represents_.size()));
+          });
       sim_->Send(msg);
       resigned_ = true;
       represents_.clear();
@@ -601,6 +630,8 @@ void SnapshotAgent::HandleMessage(const Message& msg, bool snooped) {
       // in-network aggregator).
       if (!snooped && query_handler_) query_handler_(msg);
       return;
+    case MessageType::kMessageTypeCount:
+      return;  // sentinel, never sent
   }
 }
 

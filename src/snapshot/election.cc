@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace snapq {
 
@@ -49,6 +50,11 @@ ElectionStats RunGlobalElection(
     const std::vector<std::unique_ptr<SnapshotAgent>>& agents, Time t0,
     const SnapshotConfig& config) {
   SNAPQ_CHECK_GE(t0, sim.now());
+  obs::Span span(&sim.registry(), "election");
+  span.BeginSim(t0);
+  sim.journal().Emit("election.start", t0, [&](obs::JournalEvent& e) {
+    e.Int("nodes", static_cast<int64_t>(agents.size()));
+  });
   sim.ScheduleAt(t0, [&sim] { sim.ResetPerNodeCounters(); });
   for (const auto& agent : agents) {
     agent->BeginElection(t0);
@@ -57,7 +63,36 @@ ElectionStats RunGlobalElection(
   // acknowledgments scheduled on the final tick.
   const Time bound = t0 + 3 + config.max_wait + config.rule4_hard_cap + 2;
   sim.RunUntil(bound);
-  return SummarizeSnapshot(sim, agents);
+  span.EndSim(sim.now());
+
+  const ElectionStats stats = SummarizeSnapshot(sim, agents);
+
+  // Per-node election cost (the paper's §4 bound: at most 6 messages per
+  // node). Gauges so a later election overwrites, and so cross-run merges
+  // keep the high-watermark; the histogram accumulates the distribution.
+  obs::MetricRegistry& reg = sim.registry();
+  reg.GetCounter("election.runs")->Inc();
+  obs::Histogram* per_node = reg.GetHistogram(
+      "election.messages_per_node", {0, 1, 2, 3, 4, 5, 6, 8, 12, 16});
+  for (const auto& agent : agents) {
+    if (!sim.alive(agent->id())) continue;
+    const double sent =
+        static_cast<double>(sim.messages_sent_by(agent->id()));
+    reg.GetGauge("election.messages_sent", agent->id())->Set(sent);
+    per_node->Observe(sent);
+  }
+  reg.GetGauge("election.snapshot_size")
+      ->Set(static_cast<double>(stats.num_active));
+
+  sim.journal().Emit("election.done", sim.now(), [&](obs::JournalEvent& e) {
+    e.Int("active", static_cast<int64_t>(stats.num_active))
+        .Int("passive", static_cast<int64_t>(stats.num_passive))
+        .Int("undefined", static_cast<int64_t>(stats.num_undefined))
+        .Int("spurious", static_cast<int64_t>(stats.num_spurious))
+        .Num("avg_messages_per_node", stats.avg_messages_per_node)
+        .Num("max_messages_per_node", stats.max_messages_per_node);
+  });
+  return stats;
 }
 
 }  // namespace snapq

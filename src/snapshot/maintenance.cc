@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/span.h"
 #include "snapshot/election.h"
 
 namespace snapq {
@@ -47,9 +48,13 @@ void MaintenanceDriver::RunRound(Time round_start, Time /*horizon*/,
                                  RoundCallback callback) {
   sim_->ResetPerNodeCounters();
   const uint64_t sends_before = ProtocolSends(sim_->metrics());
-  for (auto& agent : *agents_) {
-    agent->MaintenanceTick();
+  {
+    obs::Span tick_span(&sim_->registry(), "maintenance.tick");
+    for (auto& agent : *agents_) {
+      agent->MaintenanceTick();
+    }
   }
+  sim_->registry().GetCounter("maintenance.rounds")->Inc();
   if (!callback) return;
   // Measure after the round's re-elections quiesce but before the next
   // round begins.
@@ -69,6 +74,20 @@ void MaintenanceDriver::RunRound(Time round_start, Time /*horizon*/,
     stats.avg_messages_per_node =
         live == 0 ? 0.0
                   : static_cast<double>(delta) / static_cast<double>(live);
+
+    obs::MetricRegistry& reg = sim_->registry();
+    reg.GetGauge("maintenance.snapshot_size")
+        ->Set(static_cast<double>(stats.snapshot_size));
+    reg.GetHistogram("maintenance.messages_per_node",
+                     {0, 0.5, 1, 2, 4, 8, 16, 32})
+        ->Observe(stats.avg_messages_per_node);
+    sim_->journal().Emit(
+        "maintenance.round", sim_->now(), [&](obs::JournalEvent& e) {
+          e.Int("round_start", stats.round_start)
+              .Int("snapshot_size", static_cast<int64_t>(stats.snapshot_size))
+              .Int("spurious", static_cast<int64_t>(stats.num_spurious))
+              .Num("avg_messages_per_node", stats.avg_messages_per_node);
+        });
     callback(stats);
   });
 }

@@ -1,0 +1,140 @@
+// End-to-end observability: run the paper's standard trial and check that
+// the protocol layers actually populated the registry and journal — the
+// per-node election gauges respect the §4 six-message bound, phase spans
+// recorded, and the journal's JSONL parses back with attribution.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/experiment.h"
+#include "obs/journal.h"
+#include "obs/metric_registry.h"
+#include "obs/span.h"
+
+namespace snapq {
+namespace {
+
+SensitivityConfig SmallConfig() {
+  SensitivityConfig config;
+  config.num_nodes = 30;
+  config.num_classes = 3;
+  config.seed = 5;
+  return config;
+}
+
+TEST(ObsIntegrationTest, ElectionPopulatesPerNodeGauges) {
+  SensitivityOutcome outcome = RunSensitivityTrial(SmallConfig());
+  obs::MetricRegistry& reg = outcome.network->sim().registry();
+  EXPECT_EQ(reg.GetCounter("election.runs")->value(), 1u);
+
+  const obs::MetricRegistry::Snapshot snap = reg.TakeSnapshot();
+  size_t node_gauges = 0;
+  for (const auto& [name, value] : snap) {
+    if (name.rfind("election.messages_sent{", 0) != 0) continue;
+    ++node_gauges;
+    // §4: the election costs each node at most six messages.
+    EXPECT_LE(value, 6.0) << name;
+  }
+  EXPECT_EQ(node_gauges, SmallConfig().num_nodes);
+
+  // The election span recorded both wall and sim time.
+  EXPECT_GE(snap.at("election.wall_us.count"), 1.0);
+  EXPECT_GE(snap.at("election.sim_ticks.count"), 1.0);
+  EXPECT_GT(snap.at("election.sim_ticks.sum"), 0.0);
+
+  // The histogram saw every live node.
+  obs::Histogram* per_node = reg.GetHistogram(
+      "election.messages_per_node", {0, 1, 2, 3, 4, 5, 6, 8, 12, 16});
+  EXPECT_EQ(per_node->count(), SmallConfig().num_nodes);
+  EXPECT_LE(per_node->max_seen(), 6.0);
+}
+
+TEST(ObsIntegrationTest, MetricsFacadeSharesTheRegistry) {
+  SensitivityOutcome outcome = RunSensitivityTrial(SmallConfig());
+  Simulator& sim = outcome.network->sim();
+  // The façade's counters and the registry's named instruments are the
+  // same storage.
+  EXPECT_EQ(sim.metrics().total_sent(),
+            sim.registry().GetCounter("net.sent")->value());
+  EXPECT_GT(sim.metrics().total_sent(), 0u);
+  // The election-phase delta captured in the outcome is bounded by the
+  // run's total traffic.
+  EXPECT_GT(outcome.election_traffic.total_sent, 0u);
+  EXPECT_LE(outcome.election_traffic.total_sent,
+            sim.metrics().total_sent());
+  EXPECT_GT(
+      outcome.election_traffic.sent[static_cast<size_t>(
+          MessageType::kInvitation)],
+      0u);
+}
+
+TEST(ObsIntegrationTest, JournalCapturesElectionWithAttribution) {
+  SensitivityConfig config = SmallConfig();
+  auto network = BuildSensitivityNetwork(config);
+  auto* sink = static_cast<obs::MemoryJournalSink*>(
+      network->sim().journal().SetSink(
+          std::make_unique<obs::MemoryJournalSink>()));
+  network->RunUntil(config.discovery_time);
+  network->RunElection(config.discovery_time);
+
+  size_t mode_events = 0;
+  bool saw_done = false;
+  for (const std::string& line : sink->lines()) {
+    const std::optional<obs::JournalEvent> event =
+        obs::JournalEvent::Parse(line);
+    ASSERT_TRUE(event.has_value()) << line;
+    if (event->name() == "election.mode") {
+      ++mode_events;
+      EXPECT_TRUE(event->GetInt("node").has_value());
+      EXPECT_TRUE(event->GetInt("epoch").has_value());
+      const std::optional<std::string> mode = event->GetStr("mode");
+      ASSERT_TRUE(mode.has_value());
+      EXPECT_TRUE(*mode == "active" || *mode == "passive");
+    } else if (event->name() == "election.done") {
+      saw_done = true;
+      EXPECT_LE(event->GetNum("max_messages_per_node").value_or(99.0), 6.0);
+    }
+  }
+  // Every node settles into a mode at least once.
+  EXPECT_GE(mode_events, config.num_nodes);
+  EXPECT_TRUE(saw_done);
+  EXPECT_EQ(network->sim().journal().events_emitted(),
+            sink->lines().size());
+}
+
+TEST(ObsIntegrationTest, TrialsMergeIntoGlobalRegistry) {
+  const uint64_t before =
+      obs::GlobalMetrics().GetCounter("election.runs")->value();
+  RunSensitivityTrial(SmallConfig());
+  RunSensitivityTrial(SmallConfig());
+  obs::MetricRegistry& global = obs::GlobalMetrics();
+  EXPECT_EQ(global.GetCounter("election.runs")->value(), before + 2);
+  // Merged gauges are high-watermarks, so the bound survives aggregation.
+  const obs::MetricRegistry::Snapshot snap = global.TakeSnapshot();
+  for (const auto& [name, value] : snap) {
+    if (name.rfind("election.messages_sent{", 0) == 0) {
+      EXPECT_LE(value, 6.0) << name;
+    }
+  }
+}
+
+TEST(ObsIntegrationTest, QueryExecutionInstrumented) {
+  SensitivityOutcome outcome = RunSensitivityTrial(SmallConfig());
+  SensorNetwork& net = *outcome.network;
+  obs::MetricRegistry& reg = net.sim().registry();
+  const uint64_t before = reg.GetCounter("query.executions")->value();
+
+  ExecutionOptions options;
+  options.sink = 0;
+  const Rect region{0.0, 0.0, 1.0, 1.0};
+  net.executor().ExecuteRegion(region, /*use_snapshot=*/true,
+                               AggregateFunction::kAvg, options);
+  EXPECT_EQ(reg.GetCounter("query.executions")->value(), before + 1);
+  EXPECT_GE(reg.GetCounter("query.snapshot_executions")->value(), 1u);
+  obs::Histogram* participants = reg.GetHistogram(
+      "query.participants", {0, 1, 2, 5, 10, 20, 50, 100, 200, 500});
+  EXPECT_GE(participants->count(), 1u);
+}
+
+}  // namespace
+}  // namespace snapq

@@ -1,0 +1,69 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace snapq::obs {
+namespace {
+
+TEST(ObsSpanTest, RecordsWallTimeOnDestruction) {
+  MetricRegistry reg;
+  { Span span(&reg, "phase"); }
+  const MetricRegistry::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.at("phase.wall_us.count"), 1.0);
+  // No sim marks -> no sim-ticks histogram.
+  EXPECT_EQ(snap.count("phase.sim_ticks.count"), 0u);
+}
+
+TEST(ObsSpanTest, RecordsSimTicksWhenBothMarksSet) {
+  MetricRegistry reg;
+  {
+    Span span(&reg, "election");
+    span.BeginSim(100);
+    span.EndSim(142);
+  }
+  const MetricRegistry::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.at("election.sim_ticks.count"), 1.0);
+  EXPECT_EQ(snap.at("election.sim_ticks.sum"), 42.0);
+}
+
+TEST(ObsSpanTest, ExplicitEndIsIdempotent) {
+  MetricRegistry reg;
+  Span span(&reg, "p");
+  span.BeginSim(0);
+  span.EndSim(7);
+  span.End();
+  span.End();  // second call (and the destructor) must not double-record
+  EXPECT_EQ(reg.GetHistogram("p.sim_ticks", Span::SimTicksBounds())->count(),
+            1u);
+  EXPECT_EQ(
+      reg.GetHistogram("p.wall_us", Span::WallMicrosBounds())->count(), 1u);
+}
+
+TEST(ObsSpanTest, NullRegistryIsInert) {
+  Span span(nullptr, "nothing");
+  span.BeginSim(1);
+  span.EndSim(2);
+  span.End();  // must not crash
+}
+
+TEST(ObsSpanTest, MatchesSimulatorClockAcrossAPhase) {
+  // Drive a real simulator and check the span's sim-ticks equals the
+  // event-queue time that actually elapsed.
+  Simulator sim({{0.0, 0.0}, {1.0, 0.0}}, {1.5, 1.5}, SimConfig{});
+  {
+    Span span(&sim.registry(), "drain");
+    span.BeginSim(sim.now());
+    sim.ScheduleAt(25, [] {});
+    sim.RunUntil(30);
+    span.EndSim(sim.now());
+  }
+  Histogram* h =
+      sim.registry().GetHistogram("drain.sim_ticks", Span::SimTicksBounds());
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_DOUBLE_EQ(h->sum(), 30.0);
+}
+
+}  // namespace
+}  // namespace snapq::obs

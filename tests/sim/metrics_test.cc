@@ -54,5 +54,49 @@ TEST(MetricsTest, ToStringListsActiveTypesOnly) {
   EXPECT_EQ(s.find("Heartbeat"), std::string::npos);
 }
 
+TEST(MetricsTest, SnapshotCapturesCurrentValues) {
+  Metrics m;
+  m.CountSent(MessageType::kInvitation);
+  m.CountDelivered(MessageType::kInvitation);
+  m.CountCacheOp();
+  const MetricsSnapshot snap = m.Snapshot();
+  EXPECT_EQ(snap.sent[static_cast<size_t>(MessageType::kInvitation)], 1u);
+  EXPECT_EQ(snap.total_sent, 1u);
+  EXPECT_EQ(snap.total_delivered, 1u);
+  EXPECT_EQ(snap.cache_ops, 1u);
+  // The snapshot is a value: later counts don't change it.
+  m.CountSent(MessageType::kAccept);
+  EXPECT_EQ(snap.total_sent, 1u);
+}
+
+TEST(MetricsTest, DeltaIsolatesOnePhase) {
+  Metrics m;
+  m.CountSent(MessageType::kData);  // training traffic
+  m.CountSent(MessageType::kData);
+  const MetricsSnapshot before = m.Snapshot();
+  m.CountSent(MessageType::kInvitation);  // the phase under measurement
+  m.CountLost(MessageType::kAccept);
+  m.CountSnooped(MessageType::kHeartbeat);
+  const MetricsSnapshot delta = m.Delta(before);
+  EXPECT_EQ(delta.sent[static_cast<size_t>(MessageType::kData)], 0u);
+  EXPECT_EQ(delta.sent[static_cast<size_t>(MessageType::kInvitation)], 1u);
+  EXPECT_EQ(delta.lost[static_cast<size_t>(MessageType::kAccept)], 1u);
+  EXPECT_EQ(delta.snooped[static_cast<size_t>(MessageType::kHeartbeat)], 1u);
+  EXPECT_EQ(delta.total_sent, 1u);
+  EXPECT_EQ(delta.total_lost, 1u);
+}
+
+TEST(MetricsTest, FacadeOverExternalRegistryExportsNamedCounters) {
+  obs::MetricRegistry registry;
+  Metrics m(&registry);
+  m.CountSent(MessageType::kInvitation);
+  m.CountSent(MessageType::kInvitation);
+  EXPECT_EQ(registry.GetCounter("net.sent.invitation")->value(), 2u);
+  EXPECT_EQ(registry.GetCounter("net.sent")->value(), 2u);
+  // Resetting through the façade clears the registry instruments too.
+  m.Reset();
+  EXPECT_EQ(registry.GetCounter("net.sent.invitation")->value(), 0u);
+}
+
 }  // namespace
 }  // namespace snapq

@@ -71,6 +71,37 @@ TEST(TraceRecorderTest, DumpRespectsLimit) {
   EXPECT_EQ(dump.find("t=14 "), std::string::npos);
 }
 
+TEST(TraceRecorderTest, DumpAndTotalAgreeAfterWraparound) {
+  // Regression guard for the ring buffer: once the buffer has wrapped,
+  // Dump(limit) must still show the newest events and total_recorded()
+  // must keep counting everything ever recorded, not just the retained
+  // window.
+  TraceRecorder trace(4);
+  for (Time t = 0; t < 11; ++t) {
+    trace.Record(Ev(TraceEvent::Kind::kSend, t));
+  }
+  EXPECT_EQ(trace.total_recorded(), 11u);
+  EXPECT_EQ(trace.size(), 4u);
+
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().time, 7);
+  EXPECT_EQ(events.back().time, 10);
+
+  // Dump(limit) returns the `limit` newest retained events, in order.
+  const std::string dump = trace.Dump(2);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+  EXPECT_NE(dump.find("t=9"), std::string::npos);
+  EXPECT_NE(dump.find("t=10"), std::string::npos);
+  EXPECT_EQ(dump.find("t=8"), std::string::npos);
+  // A limit beyond the retained window degrades to the full window, and
+  // the count it can show stays consistent with size(), not
+  // total_recorded().
+  const std::string all = trace.Dump(100);
+  EXPECT_EQ(static_cast<size_t>(std::count(all.begin(), all.end(), '\n')),
+            trace.size());
+}
+
 TEST(SimulatorTraceTest, RecordsSendsDeliveriesAndLosses) {
   SimConfig config;
   Simulator sim({{0, 0}, {1, 0}, {2, 0}}, {1.0, 1.0, 1.0}, config);
