@@ -5,10 +5,14 @@
 #define SNAPQ_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
 #include "obs/metric_registry.h"
+#include "obs/perfetto_export.h"
+#include "obs/tracer.h"
 
 namespace snapq::bench {
 
@@ -23,12 +27,35 @@ inline void PrintHeader(const char* experiment, const char* setup) {
   std::printf("(averages over %d seeded repetitions)\n\n", kRepetitions);
 }
 
+/// Where a driver's `<name><suffix>` sidecar goes. The name is always the
+/// binary's basename (argv0 is canonicalized first, so a relative
+/// invocation from another CWD or a symlinked driver cannot mislabel the
+/// file); the directory is `SNAPQ_METRICS_DIR` when set, else the
+/// directory the binary resolves to.
+inline std::string SidecarPath(const char* argv0, const char* suffix) {
+  namespace fs = std::filesystem;
+  fs::path exe(argv0 != nullptr && *argv0 != '\0' ? argv0 : "driver");
+  std::error_code ec;
+  const fs::path resolved = fs::weakly_canonical(exe, ec);
+  if (!ec && !resolved.empty()) exe = resolved;
+  std::string name = exe.filename().string();
+  if (name.empty()) name = "driver";
+  fs::path dir = exe.parent_path();
+  if (const char* env = std::getenv("SNAPQ_METRICS_DIR");
+      env != nullptr && *env != '\0') {
+    dir = env;
+  }
+  if (dir.empty()) dir = ".";
+  return (dir / (name + suffix)).string();
+}
+
 /// Writes the process-wide metric registry (every trial merges its
-/// simulation registry into it) as a machine-readable sidecar next to the
-/// binary: `<argv0>.metrics.json`. Called at the end of every driver's
-/// main() so each table/figure run leaves its instruments on disk.
+/// simulation registry into it) as a machine-readable sidecar:
+/// `<basename(argv0)>.metrics.json` (see SidecarPath). Called at the end
+/// of every driver's main() so each table/figure run leaves its
+/// instruments on disk.
 inline void WriteMetricsSidecar(const char* argv0) {
-  const std::string path = std::string(argv0) + ".metrics.json";
+  const std::string path = SidecarPath(argv0, ".metrics.json");
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -36,6 +63,20 @@ inline void WriteMetricsSidecar(const char* argv0) {
   }
   out << obs::GlobalMetrics().ToJson() << '\n';
   std::printf("\nmetrics sidecar: %s\n", path.c_str());
+}
+
+/// Writes `tracer`'s spans as Chrome trace-event JSON to
+/// `<basename(argv0)>.trace.json` — drag it into ui.perfetto.dev to see
+/// per-node tracks with message arrows.
+inline void WriteTraceSidecar(const char* argv0, const obs::Tracer& tracer) {
+  const std::string path = SidecarPath(argv0, ".trace.json");
+  if (!obs::WriteChromeTraceFile(tracer, path)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf("trace sidecar: %s (%zu spans, %llu traces)\n", path.c_str(),
+              tracer.spans().size(),
+              static_cast<unsigned long long>(tracer.num_traces()));
 }
 
 }  // namespace snapq::bench

@@ -33,5 +33,15 @@ int main(int, char** argv) {
   }
   table.Print(std::cout);
   snapq::bench::WriteMetricsSidecar(argv[0]);
+
+  // One fully-traced repetition (K = 10, the paper's default) for the
+  // `.trace.json` sidecar — the election's causal tree in Perfetto.
+  {
+    SensitivityConfig config;
+    config.seed = bench::kBaseSeed;
+    config.trace_sampling = 1.0;
+    const SensitivityOutcome outcome = RunSensitivityTrial(config);
+    bench::WriteTraceSidecar(argv[0], *outcome.network->tracer());
+  }
   return 0;
 }

@@ -39,5 +39,20 @@ int main(int, char** argv) {
   }
   table.Print(std::cout);
   snapq::bench::WriteMetricsSidecar(argv[0]);
+
+  // One fully-traced repetition at heavy loss for the `.trace.json`
+  // sidecar: the causal trees behind the spurious-representative counts
+  // (violation roots, re-elections, lost recalls) viewable in Perfetto.
+  {
+    SensitivityConfig config;
+    config.workload = WorkloadKind::kWeather;
+    config.threshold = 0.1;
+    config.transmission_range = 0.2;
+    config.loss_probability = 0.5;
+    config.seed = bench::kBaseSeed;
+    config.trace_sampling = 1.0;
+    const SensitivityOutcome outcome = RunSensitivityTrial(config);
+    bench::WriteTraceSidecar(argv[0], *outcome.network->tracer());
+  }
   return 0;
 }

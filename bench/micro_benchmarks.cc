@@ -121,6 +121,34 @@ void BM_ObsCounterInc(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsCounterInc);
 
+// The Send hot path with tracing in its three states: detached, attached
+// at sampling 0 (every cost must hide behind one branch — the acceptance
+// bar is "no extra heap allocations", enforced by trace_alloc_test), and
+// fully sampled (span + delivery records per transmission).
+void BM_SimulatorSendTraced(benchmark::State& state) {
+  Simulator sim({{0, 0}, {1, 0}, {2, 0}}, {1.5, 1.5, 1.5}, SimConfig{});
+  obs::TracerConfig config;
+  config.sampling = static_cast<double>(state.range(0)) / 100.0;
+  config.max_spans = 1u << 20;
+  obs::Tracer tracer(config);
+  if (state.range(0) >= 0) sim.SetTracer(&tracer);
+  Message m;
+  m.type = MessageType::kData;
+  m.from = 0;
+  m.to = kBroadcastId;
+  m.value = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Send(m));
+    sim.RunAll();
+    if (tracer.spans().size() > (1u << 19)) tracer.Clear();
+  }
+}
+BENCHMARK(BM_SimulatorSendTraced)
+    ->Arg(-1)   // no tracer attached
+    ->Arg(0)    // tracer attached, sampling 0 (must match -1)
+    ->Arg(100)  // sampling 1.0
+    ->ArgNames({"sampling_pct"});
+
 void BM_ObsJournalEmitDisabled(benchmark::State& state) {
   obs::EventJournal journal;  // no sink: disabled
   int64_t t = 0;

@@ -15,7 +15,10 @@
 
 #include "api/network.h"
 #include "data/random_walk.h"
+#include "obs/health_monitor.h"
 #include "obs/journal.h"
+#include "obs/trace_analyzer.h"
+#include "obs/tracer.h"
 
 using namespace snapq;
 
@@ -57,6 +60,10 @@ void PrintHelp() {
       "  \\regions              list named regions\n"
       "  \\metrics              dump the metric registry (CSV)\n"
       "  \\journal [n]          show the last n journal events (default 20)\n"
+      "  \\health               sample snapshot health (coverage, violation\n"
+      "                        rate, spurious reps, model staleness)\n"
+      "  \\trace [id]           list recorded causal traces, or show one\n"
+      "                        trace's report with invariant verdicts\n"
       "  \\help                 this text\n"
       "  \\quit                 exit\n");
 }
@@ -91,6 +98,9 @@ int main(int argc, char** argv) {
   auto* journal_sink = static_cast<obs::MemoryJournalSink*>(
       net.sim().journal().SetSink(
           std::make_unique<obs::MemoryJournalSink>(10000)));
+  // Trace every protocol root cause from the start so the initial election
+  // (and later re-elections / queries) shows up under \trace.
+  obs::Tracer& tracer = net.EnableTracing();
   const Time horizon = static_cast<Time>(data->horizon());
   if (Status s = net.AttachDataset(std::move(*data)); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -125,6 +135,37 @@ int main(int argc, char** argv) {
       }
     } else if (line == "\\metrics") {
       std::printf("%s", net.sim().registry().ToCsv().c_str());
+    } else if (line == "\\health") {
+      net.SampleHealth();
+      std::printf("%s", net.health_monitor()->ToString().c_str());
+    } else if (line.rfind("\\trace", 0) == 0) {
+      const obs::TraceAnalyzer analyzer(&tracer);
+      uint64_t id = 0;
+      if (line.size() > 7) {
+        id = std::strtoull(line.c_str() + 7, nullptr, 10);
+      }
+      if (id == 0) {
+        for (const obs::TraceReport& report : analyzer.AnalyzeAll()) {
+          std::printf("  trace %llu  %-14s  %zu spans, %zu msgs, "
+                      "[%lld..%lld]  %s\n",
+                      static_cast<unsigned long long>(report.trace_id),
+                      obs::TraceRootKindName(report.root_kind),
+                      report.num_spans, report.num_messages,
+                      static_cast<long long>(report.sim_start),
+                      static_cast<long long>(report.sim_end),
+                      report.AllPass() ? "PASS" : "FAIL");
+        }
+        std::printf("-- %llu traces, %zu spans (%llu dropped); "
+                    "\\trace <id> for details\n",
+                    static_cast<unsigned long long>(tracer.num_traces()),
+                    tracer.spans().size(),
+                    static_cast<unsigned long long>(tracer.dropped_spans()));
+      } else if (std::optional<obs::TraceReport> report = analyzer.Analyze(id);
+                 report.has_value()) {
+        std::printf("%s", report->ToString().c_str());
+      } else {
+        std::printf("no trace %llu\n", static_cast<unsigned long long>(id));
+      }
     } else if (line.rfind("\\journal", 0) == 0) {
       size_t limit = 20;
       if (line.size() > 9) {

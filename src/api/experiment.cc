@@ -21,6 +21,12 @@ std::unique_ptr<SensorNetwork> BuildSensitivityNetwork(
   net_config.seed = config.seed;
 
   auto network = std::make_unique<SensorNetwork>(net_config);
+  if (config.trace_sampling > 0.0) {
+    obs::TracerConfig tracer_config;
+    tracer_config.sampling = config.trace_sampling;
+    tracer_config.seed = config.seed;
+    network->EnableTracing(tracer_config);
+  }
 
   Rng data_rng = Rng(config.seed).SplitNamed("data");
   std::vector<TimeSeries> series;

@@ -42,6 +42,10 @@ struct SensitivityConfig {
   Time discovery_time = 100;
   WorkloadKind workload = WorkloadKind::kRandomWalk;
   uint64_t seed = 1;
+  /// When > 0, BuildSensitivityNetwork enables causal tracing with this
+  /// sampling rate (bench drivers use it on their final repetition to
+  /// write a `.trace.json` sidecar).
+  double trace_sampling = 0.0;
 };
 
 /// A finished trial: the election stats plus the still-live network (for

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "net/topology.h"
+#include "snapshot/health_probe.h"
 
 namespace snapq {
 
@@ -91,6 +92,30 @@ void SensorNetwork::ScheduleMaintenance(
   maintenance_ =
       std::make_unique<MaintenanceDriver>(sim_.get(), &agents_, interval);
   maintenance_->ScheduleRounds(first, horizon, std::move(callback));
+}
+
+obs::Tracer& SensorNetwork::EnableTracing(const obs::TracerConfig& config) {
+  tracer_ = std::make_unique<obs::Tracer>(config);
+  sim_->SetTracer(tracer_.get());
+  return *tracer_;
+}
+
+obs::HealthSample SensorNetwork::SampleHealth() {
+  if (monitor_ == nullptr) {
+    monitor_ = std::make_unique<obs::SnapshotHealthMonitor>(&sim_->registry(),
+                                                            &sim_->journal());
+  }
+  const obs::HealthSample sample = ProbeSnapshotHealth(*sim_, agents_);
+  monitor_->Observe(sample, sim_->now());
+  return sample;
+}
+
+void SensorNetwork::ScheduleHealthSampling(Time first, Time horizon,
+                                           Time interval) {
+  SNAPQ_CHECK_GT(interval, 0);
+  for (Time t = first; t < horizon; t += interval) {
+    sim_->ScheduleAt(t, [this] { SampleHealth(); });
+  }
 }
 
 Result<QueryResult> SensorNetwork::Query(const std::string& sql,

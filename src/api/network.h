@@ -23,6 +23,8 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "net/energy.h"
+#include "obs/health_monitor.h"
+#include "obs/tracer.h"
 #include "query/catalog.h"
 #include "query/continuous.h"
 #include "query/executor.h"
@@ -97,6 +99,24 @@ class SensorNetwork {
   SnapshotView Snapshot() const { return CaptureSnapshot(agents_); }
   ElectionStats SnapshotStats() { return SummarizeSnapshot(*sim_, agents_); }
 
+  // -- Observability ----------------------------------------------------------
+
+  /// Enables causal tracing: creates the tracer (owned) and attaches it to
+  /// the simulator. Subsequent elections, maintenance rounds, queries and
+  /// violations mint traces per `config.sampling`. Idempotent per network
+  /// (a second call replaces the tracer and drops recorded spans).
+  obs::Tracer& EnableTracing(const obs::TracerConfig& config = {});
+  /// The attached tracer, or nullptr when tracing was never enabled.
+  obs::Tracer* tracer() { return tracer_.get(); }
+
+  /// Probes snapshot health right now and feeds the sample into the
+  /// monitor (created on first use, gauges in sim().registry()).
+  obs::HealthSample SampleHealth();
+  /// Samples health every `interval` ticks in [first, horizon).
+  void ScheduleHealthSampling(Time first, Time horizon, Time interval);
+  /// The health monitor, or nullptr before the first sample.
+  obs::SnapshotHealthMonitor* health_monitor() { return monitor_.get(); }
+
   // -- Queries ----------------------------------------------------------------
 
   /// Parses and runs one round of `sql` (sink defaults to node 0).
@@ -135,6 +155,8 @@ class SensorNetwork {
   std::unique_ptr<ContinuousQueryRunner> continuous_;
   std::unique_ptr<MaintenanceDriver> maintenance_;
   std::optional<Dataset> dataset_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::SnapshotHealthMonitor> monitor_;
 };
 
 }  // namespace snapq

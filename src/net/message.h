@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/node_id.h"
+#include "net/trace_context.h"
 
 namespace snapq {
 
@@ -79,6 +80,12 @@ struct Message {
   /// answers all of a round's heartbeats with one broadcast carrying each
   /// member's estimate — the same batching §5 applies to acknowledgments).
   std::vector<double> values;
+  /// Causal context. Senders normally leave this default-initialized: the
+  /// simulator stamps each delivered copy with the message's span so
+  /// handlers inherit the sender's trace. Not counted in SizeBytes() —
+  /// real deployments ship trace ids only when sampling, and the paper's
+  /// byte accounting predates tracing.
+  TraceContext trace;
 
   /// Approximate wire size, for byte-level accounting: a TinyOS-style 7-byte
   /// header + payload (4-byte floats per the paper's cache accounting,

@@ -1,0 +1,88 @@
+#include "obs/health_monitor.h"
+
+#include "common/string_util.h"
+
+namespace snapq::obs {
+
+SnapshotHealthMonitor::SnapshotHealthMonitor(MetricRegistry* registry,
+                                             EventJournal* journal)
+    : registry_(registry),
+      journal_(journal),
+      coverage_gauge_(registry->GetGauge("health.coverage")),
+      violation_rate_gauge_(registry->GetGauge("health.violation_rate")),
+      reelection_rate_gauge_(registry->GetGauge("health.reelection_rate")),
+      spurious_gauge_(registry->GetGauge("health.spurious_reps")),
+      staleness_gauge_(registry->GetGauge("health.model_staleness")),
+      samples_counter_(registry->GetCounter("health.samples")) {}
+
+void SnapshotHealthMonitor::Observe(const HealthSample& sample, Time t) {
+  if (num_samples_ > 0) {
+    violation_rate_ =
+        static_cast<double>(sample.violations - last_.violations);
+    reelection_rate_ =
+        static_cast<double>(sample.reelections - last_.reelections);
+  } else {
+    // First sample: the cumulative counts are the first epoch's rates.
+    violation_rate_ = static_cast<double>(sample.violations);
+    reelection_rate_ = static_cast<double>(sample.reelections);
+  }
+  last_ = sample;
+  last_time_ = t;
+  ++num_samples_;
+
+  coverage_gauge_->Set(coverage());
+  violation_rate_gauge_->Set(violation_rate_);
+  reelection_rate_gauge_->Set(reelection_rate_);
+  spurious_gauge_->Set(static_cast<double>(sample.num_spurious));
+  staleness_gauge_->Set(sample.mean_model_staleness);
+  samples_counter_->Inc();
+
+  if (journal_ != nullptr) {
+    journal_->Emit("health.sample", t, [&](JournalEvent& e) {
+      e.Int("live", static_cast<int64_t>(sample.num_live))
+          .Int("active", static_cast<int64_t>(sample.num_active))
+          .Int("passive", static_cast<int64_t>(sample.num_passive))
+          .Int("undefined", static_cast<int64_t>(sample.num_undefined))
+          .Int("spurious", static_cast<int64_t>(sample.num_spurious))
+          .Num("coverage", coverage())
+          .Num("violation_rate", violation_rate_)
+          .Num("reelection_rate", reelection_rate_)
+          .Num("staleness", sample.mean_model_staleness);
+    });
+  }
+}
+
+double SnapshotHealthMonitor::coverage() const {
+  if (last_.num_live == 0) return 1.0;
+  return static_cast<double>(last_.num_active + last_.num_passive) /
+         static_cast<double>(last_.num_live);
+}
+
+std::string SnapshotHealthMonitor::ToString() const {
+  if (num_samples_ == 0) return "health: no samples yet\n";
+  std::string out = StrFormat(
+      "health @t=%lld (%llu samples)\n",
+      static_cast<long long>(last_time_),
+      static_cast<unsigned long long>(num_samples_));
+  out += StrFormat(
+      "  coverage      %.3f (%llu active + %llu passive / %llu live, "
+      "%llu undefined)\n",
+      coverage(), static_cast<unsigned long long>(last_.num_active),
+      static_cast<unsigned long long>(last_.num_passive),
+      static_cast<unsigned long long>(last_.num_live),
+      static_cast<unsigned long long>(last_.num_undefined));
+  out += StrFormat("  violations    %.0f this epoch (%llu total)\n",
+                   violation_rate_,
+                   static_cast<unsigned long long>(last_.violations));
+  out += StrFormat("  re-elections  %.0f this epoch (%llu total)\n",
+                   reelection_rate_,
+                   static_cast<unsigned long long>(last_.reelections));
+  out += StrFormat("  spurious reps %llu\n",
+                   static_cast<unsigned long long>(last_.num_spurious));
+  out += StrFormat("  staleness     %.1f ticks (mean, per represented "
+                   "member)\n",
+                   last_.mean_model_staleness);
+  return out;
+}
+
+}  // namespace snapq::obs

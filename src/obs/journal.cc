@@ -77,6 +77,31 @@ std::optional<bool> JournalEvent::GetBool(std::string_view key) const {
   return f->b;
 }
 
+std::vector<std::pair<std::string, std::string>> JournalEvent::Fields()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    const char* type = "?";
+    switch (f.kind) {
+      case Field::Kind::kInt:
+        type = "int";
+        break;
+      case Field::Kind::kNum:
+        type = "num";
+        break;
+      case Field::Kind::kStr:
+        type = "str";
+        break;
+      case Field::Kind::kBool:
+        type = "bool";
+        break;
+    }
+    out.emplace_back(f.key, type);
+  }
+  return out;
+}
+
 std::string JournalEvent::ToJsonLine() const {
   std::string out = "{\"event\":\"";
   out += JsonEscape(name_);

@@ -58,6 +58,13 @@ class JournalEvent {
   std::optional<bool> GetBool(std::string_view key) const;
   size_t num_fields() const { return fields_.size(); }
 
+  /// (key, type) view of the fields in emission order, with type one of
+  /// "int", "num", "str", "bool". For schema-stability tests: asserts on
+  /// field names/types without widening the per-kind lookup API. Note a
+  /// parsed-back event reports integral JSON numbers as "int" regardless
+  /// of the writer-side kind (JSON does not distinguish them).
+  std::vector<std::pair<std::string, std::string>> Fields() const;
+
   /// The JSONL form, no trailing newline.
   std::string ToJsonLine() const;
 

@@ -207,4 +207,174 @@ std::optional<std::map<std::string, JsonValue>> ParseFlatJsonObject(
   return out;
 }
 
+namespace {
+
+/// Recursive-descent syntax check over the full JSON grammar. `depth`
+/// guards against stack exhaustion on adversarial input.
+bool CheckValue(std::string_view text, size_t& i, int depth);
+
+bool CheckSpace(std::string_view text, size_t& i) {
+  while (i < text.size() &&
+         (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' ||
+          text[i] == '\r')) {
+    ++i;
+  }
+  return true;
+}
+
+bool CheckLiteral(std::string_view text, size_t& i, std::string_view lit) {
+  if (text.substr(i, lit.size()) != lit) return false;
+  i += lit.size();
+  return true;
+}
+
+bool CheckString(std::string_view text, size_t& i) {
+  if (i >= text.size() || text[i] != '"') return false;
+  ++i;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+    if (c == '\\') {
+      ++i;
+      if (i >= text.size()) return false;
+      const char esc = text[i];
+      if (esc == 'u') {
+        if (i + 4 >= text.size()) return false;
+        for (int k = 1; k <= 4; ++k) {
+          const char h = text[i + static_cast<size_t>(k)];
+          const bool hex = (h >= '0' && h <= '9') || (h >= 'a' && h <= 'f') ||
+                           (h >= 'A' && h <= 'F');
+          if (!hex) return false;
+        }
+        i += 4;
+      } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                 esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+        return false;
+      }
+    }
+    ++i;
+  }
+  return false;  // unterminated
+}
+
+bool CheckNumber(std::string_view text, size_t& i) {
+  const size_t start = i;
+  if (i < text.size() && text[i] == '-') ++i;
+  size_t digits = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    ++i;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  if (digits > 1 && text[start + (text[start] == '-' ? 1u : 0u)] == '0') {
+    return false;  // leading zero
+  }
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    size_t frac = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      ++i;
+      ++frac;
+    }
+    if (frac == 0) return false;
+  }
+  if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+    ++i;
+    if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+    size_t exp = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      ++i;
+      ++exp;
+    }
+    if (exp == 0) return false;
+  }
+  return true;
+}
+
+bool CheckObject(std::string_view text, size_t& i, int depth) {
+  ++i;  // consume '{'
+  CheckSpace(text, i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    CheckSpace(text, i);
+    if (!CheckString(text, i)) return false;
+    CheckSpace(text, i);
+    if (i >= text.size() || text[i] != ':') return false;
+    ++i;
+    if (!CheckValue(text, i, depth)) return false;
+    CheckSpace(text, i);
+    if (i >= text.size()) return false;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool CheckArray(std::string_view text, size_t& i, int depth) {
+  ++i;  // consume '['
+  CheckSpace(text, i);
+  if (i < text.size() && text[i] == ']') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    if (!CheckValue(text, i, depth)) return false;
+    CheckSpace(text, i);
+    if (i >= text.size()) return false;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == ']') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool CheckValue(std::string_view text, size_t& i, int depth) {
+  if (depth > 64) return false;
+  CheckSpace(text, i);
+  if (i >= text.size()) return false;
+  switch (text[i]) {
+    case '{':
+      return CheckObject(text, i, depth + 1);
+    case '[':
+      return CheckArray(text, i, depth + 1);
+    case '"':
+      return CheckString(text, i);
+    case 't':
+      return CheckLiteral(text, i, "true");
+    case 'f':
+      return CheckLiteral(text, i, "false");
+    case 'n':
+      return CheckLiteral(text, i, "null");
+    default:
+      return CheckNumber(text, i);
+  }
+}
+
+}  // namespace
+
+bool ValidateJson(std::string_view text) {
+  size_t i = 0;
+  if (!CheckValue(text, i, 0)) return false;
+  CheckSpace(text, i);
+  return i == text.size();
+}
+
 }  // namespace snapq::obs

@@ -38,6 +38,13 @@ struct JsonValue {
 std::optional<std::map<std::string, JsonValue>> ParseFlatJsonObject(
     std::string_view text);
 
+/// Validates that `text` is one complete JSON value under the full grammar
+/// (objects, arrays, strings, numbers, booleans, null) with only trailing
+/// whitespace after it. A syntax check only — no DOM is built. Used to
+/// sanity-check nested documents our flat parser cannot read (the Perfetto
+/// export, metric sidecars). Nesting deeper than 64 levels is rejected.
+bool ValidateJson(std::string_view text);
+
 }  // namespace snapq::obs
 
 #endif  // SNAPQ_OBS_JSON_H_

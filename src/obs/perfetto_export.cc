@@ -1,0 +1,140 @@
+#include "obs/perfetto_export.h"
+
+#include <fstream>
+#include <set>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace snapq::obs {
+namespace {
+
+/// Sim ticks → trace-event microseconds (1 tick rendered as 1 ms).
+constexpr int64_t kTickUs = 1000;
+
+/// Track id for a span: node tracks are tid = node + 1; node-less spans
+/// (whole-network roots and phases) land on the "protocol" track, tid 0.
+int64_t TidFor(NodeId node) {
+  return node == kInvalidNode ? 0 : static_cast<int64_t>(node) + 1;
+}
+
+std::string ArgsJson(const TraceSpan& span) {
+  std::string args = StrFormat(
+      "{\"trace\":%llu,\"span\":%llu,\"parent\":%llu",
+      static_cast<unsigned long long>(span.trace_id),
+      static_cast<unsigned long long>(span.span_id),
+      static_cast<unsigned long long>(span.parent_span_id));
+  if (span.value != 0) {
+    args += StrFormat(",\"value\":%lld", static_cast<long long>(span.value));
+  }
+  if (span.link_trace_id != 0) {
+    args += StrFormat(",\"link_trace\":%llu,\"link_span\":%llu",
+                      static_cast<unsigned long long>(span.link_trace_id),
+                      static_cast<unsigned long long>(span.link_span_id));
+  }
+  args += '}';
+  return args;
+}
+
+void AppendEvent(std::string* out, const std::string& event, bool* first) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  *out += event;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const Tracer& tracer) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Thread-name metadata for every track we will emit events on.
+  std::set<int64_t> tids;
+  for (const TraceSpan& span : tracer.spans()) {
+    tids.insert(TidFor(span.node));
+    for (const TraceDelivery& d : span.deliveries) tids.insert(TidFor(d.node));
+  }
+  AppendEvent(&out,
+              "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+              "\"args\":{\"name\":\"snapq\"}}",
+              &first);
+  for (int64_t tid : tids) {
+    const std::string name =
+        tid == 0 ? "protocol"
+                 : StrFormat("node %lld", static_cast<long long>(tid - 1));
+    AppendEvent(&out,
+                StrFormat("{\"ph\":\"M\",\"pid\":0,\"tid\":%lld,"
+                          "\"name\":\"thread_name\","
+                          "\"args\":{\"name\":\"%s\"}}",
+                          static_cast<long long>(tid),
+                          JsonEscape(name).c_str()),
+                &first);
+  }
+
+  for (const TraceSpan& span : tracer.spans()) {
+    const int64_t ts = span.start * kTickUs;
+    const int64_t dur =
+        span.end > span.start ? (span.end - span.start) * kTickUs : 1;
+    AppendEvent(
+        &out,
+        StrFormat("{\"ph\":\"X\",\"pid\":0,\"tid\":%lld,\"ts\":%lld,"
+                  "\"dur\":%lld,\"name\":\"%s\",\"cat\":\"%s\","
+                  "\"args\":%s}",
+                  static_cast<long long>(TidFor(span.node)),
+                  static_cast<long long>(ts), static_cast<long long>(dur),
+                  JsonEscape(span.name).c_str(),
+                  TraceSpanKindName(span.kind), ArgsJson(span).c_str()),
+        &first);
+    if (span.kind != TraceSpanKind::kMessage) continue;
+    // One flow arrow per successful delivery/snoop; losses become instants
+    // on the would-be receiver's track (no arrow — the message never
+    // arrived). Flow ids pack (span, delivery ordinal) to stay unique.
+    for (size_t i = 0; i < span.deliveries.size(); ++i) {
+      const TraceDelivery& d = span.deliveries[i];
+      const int64_t dts = d.t * kTickUs;
+      if (d.outcome == RadioEventKind::kLoss) {
+        AppendEvent(
+            &out,
+            StrFormat("{\"ph\":\"i\",\"pid\":0,\"tid\":%lld,\"ts\":%lld,"
+                      "\"s\":\"t\",\"name\":\"loss %s\",\"cat\":\"radio\"}",
+                      static_cast<long long>(TidFor(d.node)),
+                      static_cast<long long>(dts),
+                      JsonEscape(span.name).c_str()),
+            &first);
+        continue;
+      }
+      const unsigned long long flow_id =
+          (static_cast<unsigned long long>(span.span_id) << 12) |
+          (static_cast<unsigned long long>(i) & 0xfffu);
+      AppendEvent(
+          &out,
+          StrFormat("{\"ph\":\"s\",\"pid\":0,\"tid\":%lld,\"ts\":%lld,"
+                    "\"id\":%llu,\"name\":\"%s\",\"cat\":\"radio\"}",
+                    static_cast<long long>(TidFor(span.node)),
+                    static_cast<long long>(ts), flow_id,
+                    JsonEscape(span.name).c_str()),
+          &first);
+      AppendEvent(
+          &out,
+          StrFormat("{\"ph\":\"f\",\"pid\":0,\"tid\":%lld,\"ts\":%lld,"
+                    "\"id\":%llu,\"bp\":\"e\",\"name\":\"%s\","
+                    "\"cat\":\"radio\"}",
+                    static_cast<long long>(TidFor(d.node)),
+                    static_cast<long long>(dts), flow_id,
+                    JsonEscape(span.name).c_str()),
+          &first);
+    }
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) return false;
+  file << ExportChromeTrace(tracer);
+  return file.good();
+}
+
+}  // namespace snapq::obs

@@ -1,0 +1,28 @@
+// Chrome trace-event JSON export of a Tracer's spans, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Layout: one process ("snapq"),
+// one thread track per node (tid = node + 1) plus a "protocol" track
+// (tid 0) for node-less root/phase spans. Each span becomes an "X"
+// duration event; each message delivery becomes an "s"/"f" flow-event pair
+// drawing an arrow from the sender's transmission to the receiver; losses
+// become instant events on the would-be receiver's track. Sim ticks are
+// rendered as milliseconds (ts is microseconds, scaled ×1000).
+#ifndef SNAPQ_OBS_PERFETTO_EXPORT_H_
+#define SNAPQ_OBS_PERFETTO_EXPORT_H_
+
+#include <string>
+
+#include "obs/tracer.h"
+
+namespace snapq::obs {
+
+/// Serializes all recorded spans as a Chrome trace-event JSON document
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}). One event per line,
+/// so the output is also greppable.
+std::string ExportChromeTrace(const Tracer& tracer);
+
+/// Writes ExportChromeTrace(tracer) to `path`. Returns false on I/O error.
+bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path);
+
+}  // namespace snapq::obs
+
+#endif  // SNAPQ_OBS_PERFETTO_EXPORT_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/tracer.h"
+
 namespace snapq::obs {
 
 const std::vector<double>& Span::WallMicrosBounds() {
@@ -33,9 +35,19 @@ void Span::EndSim(int64_t sim_now) {
   sim_end_set_ = true;
 }
 
+void Span::AttachTrace(Tracer* tracer, const TraceContext& ctx) {
+  tracer_ = tracer;
+  trace_ctx_ = ctx;
+}
+
 void Span::End() {
-  if (ended_ || registry_ == nullptr) return;
+  if (ended_) return;
   ended_ = true;
+  if (tracer_ != nullptr && trace_ctx_.sampled() && sim_start_set_ &&
+      sim_end_set_) {
+    tracer_->RecordPhase(trace_ctx_, name_, sim_start_, sim_end_);
+  }
+  if (registry_ == nullptr) return;
   const auto wall_end = std::chrono::steady_clock::now();
   const double micros =
       std::chrono::duration<double, std::micro>(wall_end - wall_start_)

@@ -21,9 +21,12 @@
 #include <cstdint>
 #include <string>
 
+#include "net/trace_context.h"
 #include "obs/metric_registry.h"
 
 namespace snapq::obs {
+
+class Tracer;
 
 class Span {
  public:
@@ -38,6 +41,11 @@ class Span {
   void BeginSim(int64_t sim_now);
   void EndSim(int64_t sim_now);
 
+  /// Also records this phase into `tracer` as a kPhase trace span under
+  /// `ctx` when the span ends (needs both BeginSim and EndSim marks).
+  /// Null tracer or unsampled ctx: no-op.
+  void AttachTrace(Tracer* tracer, const TraceContext& ctx);
+
   /// Records the histograms early; the destructor then does nothing.
   void End();
 
@@ -49,6 +57,8 @@ class Span {
 
  private:
   MetricRegistry* registry_;
+  Tracer* tracer_ = nullptr;
+  TraceContext trace_ctx_{};
   std::string name_;
   std::chrono::steady_clock::time_point wall_start_;
   int64_t sim_start_ = 0;

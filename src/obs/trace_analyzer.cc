@@ -1,0 +1,226 @@
+#include "obs/trace_analyzer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace snapq::obs {
+namespace {
+
+/// Longest root-to-leaf chain (in edges) of the trace's span tree.
+size_t TreeDepth(const std::vector<const TraceSpan*>& spans) {
+  std::unordered_map<uint64_t, const TraceSpan*> by_id;
+  by_id.reserve(spans.size());
+  for (const TraceSpan* s : spans) by_id[s->span_id] = s;
+  std::unordered_map<uint64_t, size_t> memo;
+  size_t max_depth = 0;
+  for (const TraceSpan* s : spans) {
+    // Walk up to the nearest memoized ancestor (or the root), then unwind.
+    std::vector<uint64_t> chain;
+    const TraceSpan* cur = s;
+    size_t base = 0;
+    while (cur != nullptr) {
+      const auto it = memo.find(cur->span_id);
+      if (it != memo.end()) {
+        // The memoized ancestor is not in `chain`, so the first unwound
+        // span sits one level below it.
+        base = it->second + 1;
+        break;
+      }
+      chain.push_back(cur->span_id);
+      if (cur->parent_span_id == 0) break;
+      const auto pit = by_id.find(cur->parent_span_id);
+      cur = pit == by_id.end() ? nullptr : pit->second;
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      memo[*it] = base;
+      ++base;
+    }
+    if (base > 0) max_depth = std::max(max_depth, base - 1);
+  }
+  return max_depth;
+}
+
+}  // namespace
+
+bool TraceReport::AllPass() const {
+  for (const InvariantVerdict& v : verdicts) {
+    if (!v.pass) return false;
+  }
+  return true;
+}
+
+std::string TraceReport::ToString() const {
+  std::string out = StrFormat(
+      "trace %llu (%s", static_cast<unsigned long long>(trace_id),
+      TraceRootKindName(root_kind));
+  if (root_node != kInvalidNode) out += StrFormat(" @node %u", root_node);
+  out += StrFormat(
+      ") t=[%lld,%lld] dur=%lld spans=%zu messages=%zu depth=%zu\n",
+      static_cast<long long>(sim_start), static_cast<long long>(sim_end),
+      static_cast<long long>(sim_duration()), num_spans, num_messages,
+      max_depth);
+  if (link_trace_id != 0) {
+    out += StrFormat("  caused by trace %llu span %llu\n",
+                     static_cast<unsigned long long>(link_trace_id),
+                     static_cast<unsigned long long>(link_span_id));
+  }
+  if (num_messages > 0) {
+    out += "  messages:";
+    for (size_t i = 0; i < kNumMessageTypes; ++i) {
+      if (messages_by_type[i] == 0) continue;
+      out += StrFormat(
+          " %s=%llu", MessageTypeName(static_cast<MessageType>(i)),
+          static_cast<unsigned long long>(messages_by_type[i]));
+    }
+    out += '\n';
+    out += StrFormat(
+        "  radio: deliveries=%zu snoops=%zu losses=%zu; busiest node %u "
+        "sent %llu\n",
+        deliveries, snoops, losses, busiest_node,
+        static_cast<unsigned long long>(max_messages_per_node));
+  }
+  for (const InvariantVerdict& v : verdicts) {
+    out += StrFormat("  [%s] %s: %s\n", v.pass ? "PASS" : "FAIL",
+                     v.invariant.c_str(), v.detail.c_str());
+  }
+  return out;
+}
+
+std::optional<TraceReport> TraceAnalyzer::Analyze(uint64_t trace_id) const {
+  const std::vector<const TraceSpan*> spans = tracer_->SpansOfTrace(trace_id);
+  if (spans.empty()) return std::nullopt;
+
+  TraceReport report;
+  report.trace_id = trace_id;
+  report.sim_start = spans.front()->start;
+  report.sim_end = spans.front()->end;
+  const TraceSpan* root = nullptr;
+  bool model_updated = false;
+  uint64_t passive_responders = 0;
+  uint64_t responders = 0;
+  for (const TraceSpan* s : spans) {
+    ++report.num_spans;
+    report.sim_start = std::min(report.sim_start, s->start);
+    report.sim_end = std::max(report.sim_end, s->end);
+    switch (s->kind) {
+      case TraceSpanKind::kRoot:
+        root = s;
+        break;
+      case TraceSpanKind::kMessage: {
+        ++report.num_messages;
+        ++report.messages_by_type[static_cast<size_t>(s->msg_type)];
+        ++report.messages_by_node[s->node];
+        for (const TraceDelivery& d : s->deliveries) {
+          switch (d.outcome) {
+            case RadioEventKind::kDeliver:
+              ++report.deliveries;
+              break;
+            case RadioEventKind::kSnoop:
+              ++report.snoops;
+              break;
+            case RadioEventKind::kLoss:
+              ++report.losses;
+              break;
+            case RadioEventKind::kSend:
+              break;  // not a receiver-side outcome
+          }
+        }
+        break;
+      }
+      case TraceSpanKind::kInstant:
+        if (s->name == "query.respond") {
+          ++responders;
+          if (s->value != 0) ++passive_responders;
+        } else if (s->name == "model.update") {
+          model_updated = true;
+        }
+        break;
+      case TraceSpanKind::kPhase:
+        break;
+    }
+  }
+  for (const auto& [node, count] : report.messages_by_node) {
+    if (count > report.max_messages_per_node) {
+      report.max_messages_per_node = count;
+      report.busiest_node = node;
+    }
+  }
+  report.max_depth = TreeDepth(spans);
+  if (root != nullptr) {
+    report.root_kind = root->root_kind;
+    report.root_node = root->node;
+    report.link_trace_id = root->link_trace_id;
+    report.link_span_id = root->link_span_id;
+  }
+
+  // Invariant verdicts (only the checks that apply to this root kind).
+  if (root != nullptr) {
+    switch (root->root_kind) {
+      case TraceRootKind::kElection:
+      case TraceRootKind::kReelection: {
+        InvariantVerdict v;
+        v.invariant = "election.message_bound";
+        v.pass = report.max_messages_per_node <= kElectionMessageBound;
+        v.detail = StrFormat(
+            "max %llu msgs/node (node %u), bound %llu",
+            static_cast<unsigned long long>(report.max_messages_per_node),
+            report.busiest_node,
+            static_cast<unsigned long long>(kElectionMessageBound));
+        report.verdicts.push_back(std::move(v));
+        break;
+      }
+      case TraceRootKind::kQuery: {
+        if (root->value != 0) {  // USE SNAPSHOT
+          InvariantVerdict v;
+          v.invariant = "query.snapshot_responders";
+          v.pass = passive_responders == 0;
+          v.detail = StrFormat(
+              "%llu of %llu responders were passive",
+              static_cast<unsigned long long>(passive_responders),
+              static_cast<unsigned long long>(responders));
+          report.verdicts.push_back(std::move(v));
+        }
+        break;
+      }
+      case TraceRootKind::kViolation: {
+        InvariantVerdict v;
+        v.invariant = "violation.termination";
+        const uint64_t invitations = report.messages_by_type[static_cast<
+            size_t>(MessageType::kInvitation)];
+        v.pass = model_updated || invitations > 0;
+        v.detail = StrFormat(
+            "%s%llu re-election invitation(s)",
+            model_updated ? "model updated; " : "",
+            static_cast<unsigned long long>(invitations));
+        report.verdicts.push_back(std::move(v));
+        break;
+      }
+      case TraceRootKind::kHeartbeatRound:
+        break;  // no standalone invariant; feeds the health monitor
+    }
+  }
+  return report;
+}
+
+std::vector<TraceReport> TraceAnalyzer::AnalyzeAll() const {
+  std::vector<TraceReport> reports;
+  for (uint64_t id : tracer_->TraceIds()) {
+    if (auto report = Analyze(id)) reports.push_back(std::move(*report));
+  }
+  return reports;
+}
+
+std::vector<const TraceSpan*> TraceAnalyzer::FindOrphans() const {
+  std::vector<const TraceSpan*> orphans;
+  for (const TraceSpan& span : tracer_->spans()) {
+    if (span.parent_span_id == 0) continue;  // root
+    if (tracer_->FindSpan(span.parent_span_id) == nullptr) {
+      orphans.push_back(&span);
+    }
+  }
+  return orphans;
+}
+
+}  // namespace snapq::obs

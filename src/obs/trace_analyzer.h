@@ -1,0 +1,90 @@
+// Causal-tree analysis over a Tracer's recorded spans. The analyzer
+// reconstructs each trace's span tree and produces a per-trace report:
+// message counts by type and by node, tree depth, sim duration, radio
+// outcome totals — plus verdicts on the paper's causal invariants:
+//
+//   election.message_bound   an election/re-election trace costs no
+//                            participating node more than 6 messages (§4);
+//   query.snapshot_responders  a USE SNAPSHOT query is answered only by
+//                            nodes that are not PASSIVE at respond time;
+//   violation.termination    a model-violation trace ends in a model
+//                            update or a re-election (invitations sent).
+#ifndef SNAPQ_OBS_TRACE_ANALYZER_H_
+#define SNAPQ_OBS_TRACE_ANALYZER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/node_id.h"
+#include "obs/tracer.h"
+
+namespace snapq::obs {
+
+/// Outcome of one invariant check on one trace.
+struct InvariantVerdict {
+  std::string invariant;
+  bool pass = false;
+  std::string detail;
+};
+
+/// Per-trace causal report.
+struct TraceReport {
+  uint64_t trace_id = 0;
+  TraceRootKind root_kind = TraceRootKind::kElection;
+  NodeId root_node = kInvalidNode;
+  uint64_t link_trace_id = 0;
+  uint64_t link_span_id = 0;
+  size_t num_spans = 0;     ///< all spans of the trace, root included
+  size_t num_messages = 0;  ///< kMessage spans (radio transmissions)
+  std::array<uint64_t, kNumMessageTypes> messages_by_type{};
+  std::map<NodeId, uint64_t> messages_by_node;  ///< sends per sender
+  uint64_t max_messages_per_node = 0;
+  NodeId busiest_node = kInvalidNode;
+  size_t max_depth = 0;  ///< longest root-to-leaf chain, in edges
+  Time sim_start = 0;
+  Time sim_end = 0;
+  size_t deliveries = 0;
+  size_t snoops = 0;
+  size_t losses = 0;
+  std::vector<InvariantVerdict> verdicts;
+
+  Time sim_duration() const { return sim_end - sim_start; }
+  bool AllPass() const;
+  /// Multi-line human-readable summary (shell `\trace <id>`).
+  std::string ToString() const;
+};
+
+class TraceAnalyzer {
+ public:
+  /// §4: a clean election costs each node at most 6 messages (invitation,
+  /// cand-list, accept/recall/stay-active traffic, rep-ack).
+  static constexpr uint64_t kElectionMessageBound = 6;
+
+  /// `tracer` must outlive the analyzer. Not owned.
+  explicit TraceAnalyzer(const Tracer* tracer) : tracer_(tracer) {}
+
+  std::vector<uint64_t> TraceIds() const { return tracer_->TraceIds(); }
+
+  /// Full report for one trace; nullopt for an unknown trace id.
+  std::optional<TraceReport> Analyze(uint64_t trace_id) const;
+
+  /// Reports for every recorded trace, in minting order.
+  std::vector<TraceReport> AnalyzeAll() const;
+
+  /// Context-propagation health: recorded non-root spans whose parent span
+  /// was never recorded. Empty unless propagation is broken (the tracer's
+  /// drop policy keeps budget exhaustion from orphaning spans).
+  std::vector<const TraceSpan*> FindOrphans() const;
+
+ private:
+  const Tracer* tracer_;
+};
+
+}  // namespace snapq::obs
+
+#endif  // SNAPQ_OBS_TRACE_ANALYZER_H_

@@ -90,6 +90,13 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
   const size_t n = agents_->size();
   SNAPQ_CHECK_LT(options.sink, n);
   obs::Span span(&sim_->registry(), "query.execute");
+  // Root cause: the injected query. `value` records the USE SNAPSHOT flag
+  // so the analyzer knows which invariant applies.
+  const TraceContext qroot = sim_->MintTraceRoot(
+      obs::TraceRootKind::kQuery, options.sink, use_snapshot ? 1 : 0);
+  span.AttachTrace(sim_->tracer(), qroot);
+  span.BeginSim(sim_->now());
+  Simulator::TraceScope trace_scope(*sim_, qroot);
   QueryResult result;
 
   // Coverage denominator: every placed node matching the predicate (dead
@@ -141,6 +148,15 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
     if (participates[i]) ++result.participants;
   }
   result.responders = reachable_responders.size();
+  if (qroot.sampled()) {
+    // One instant per responder; `value` flags a PASSIVE responder, which
+    // breaks the snapshot invariant (representatives answer for members).
+    for (NodeId r : reachable_responders) {
+      const bool passive = (*agents_)[r]->mode() == NodeMode::kPassive;
+      sim_->tracer()->RecordInstant(qroot, "query.respond", r, sim_->now(),
+                                    passive ? 1 : 0);
+    }
+  }
 
   obs::MetricRegistry& reg = sim_->registry();
   reg.GetCounter("query.executions")->Inc();
@@ -219,6 +235,7 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
           QueryRow{j, claim.reporter, claim.value, claim.estimated});
     }
   }
+  span.EndSim(sim_->now());
   return result;
 }
 

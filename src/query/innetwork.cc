@@ -47,8 +47,15 @@ InNetworkResult InNetworkAggregator::Execute(const Rect& region,
   const uint64_t replies_before =
       sim_->metrics().sent(MessageType::kQueryReply);
 
+  // Root cause: the injected in-network query. The request flood, reply
+  // slots and replies all descend from this context (the re-flooded
+  // requests chain through each hop's message span).
+  const TraceContext qroot = sim_->MintTraceRoot(
+      obs::TraceRootKind::kQuery, sink, use_snapshot ? 1 : 0);
+
   InNetworkResult result;
   if (sim_->alive(sink)) {
+    Simulator::TraceScope scope(*sim_, qroot);
     // The sink roots the tree and floods the request.
     NodeState& root = states_[sink];
     root.saw_request = true;
@@ -74,6 +81,9 @@ InNetworkResult InNetworkAggregator::Execute(const Rect& region,
 
   NodeState& root = states_[sink];
   if (sim_->alive(sink) && root.partial != nullptr) {
+    // The sink finalizes outside any delivered-message context; restore
+    // the query root so its contribution instants join the trace.
+    Simulator::TraceScope scope(*sim_, qroot);
     ContributeLocal(sink);
     if (root.readings > 0) {
       result.aggregate = root.partial->Finalize();
@@ -158,26 +168,38 @@ void InNetworkAggregator::ContributeLocal(NodeId self) {
   NodeState& state = states_[self];
   const SnapshotAgent& agent = *(*agents_)[self];
   const bool in_region = region_.Contains(sim_->links().position(self));
+  const size_t readings_before = state.readings;
   if (!use_snapshot_) {
     if (in_region) {
       state.partial->AddValue(agent.measurement());
       ++state.readings;
     }
-    return;
-  }
-  // Snapshot rule (§3.1): self-report when unrepresented and matching...
-  if (in_region && agent.mode() != NodeMode::kPassive) {
-    state.partial->AddValue(agent.measurement());
-    ++state.readings;
-  }
-  // ...and estimates for represented matching nodes.
-  for (const auto& [member, epoch] : agent.represents()) {
-    if (!region_.Contains(sim_->links().position(member))) continue;
-    const std::optional<double> estimate = agent.EstimateFor(member);
-    if (estimate.has_value()) {
-      state.partial->AddValue(*estimate);
+  } else {
+    // Snapshot rule (§3.1): self-report when unrepresented and matching...
+    if (in_region && agent.mode() != NodeMode::kPassive) {
+      state.partial->AddValue(agent.measurement());
       ++state.readings;
     }
+    // ...and estimates for represented matching nodes.
+    for (const auto& [member, epoch] : agent.represents()) {
+      if (!region_.Contains(sim_->links().position(member))) continue;
+      const std::optional<double> estimate = agent.EstimateFor(member);
+      if (estimate.has_value()) {
+        state.partial->AddValue(*estimate);
+        ++state.readings;
+      }
+    }
+  }
+  // Trace annotation mirroring the analytic executor: this node answered
+  // (from own reading or on behalf of members); a PASSIVE responder breaks
+  // the snapshot invariant.
+  const TraceContext& ctx = sim_->current_trace();
+  if (state.readings > readings_before && ctx.sampled() &&
+      sim_->tracer() != nullptr) {
+    const bool passive =
+        use_snapshot_ && agent.mode() == NodeMode::kPassive;
+    sim_->tracer()->RecordInstant(ctx, "query.respond", self, sim_->now(),
+                                  passive ? 1 : 0);
   }
 }
 

@@ -25,12 +25,32 @@ void Simulator::SetHandler(NodeId id, MessageHandler handler) {
 }
 
 void Simulator::ScheduleAt(Time t, std::function<void()> action) {
+  // Thread the scheduler's causal context into the deferred action so
+  // trace trees span timer hops (heartbeat timeouts, query reply slots).
+  // The capture only happens when tracing is live *and* the current event
+  // is sampled — otherwise this is the same single move as before.
+  if (tracer_ != nullptr && tracer_->enabled() && current_trace_.sampled()) {
+    queue_.ScheduleAt(t, [this, ctx = current_trace_,
+                          inner = std::move(action)]() {
+      TraceScope scope(*this, ctx);
+      inner();
+    });
+    return;
+  }
   queue_.ScheduleAt(t, std::move(action));
 }
 
 void Simulator::ScheduleAfter(Time delta, std::function<void()> action) {
   SNAPQ_CHECK_GE(delta, 0);
-  queue_.ScheduleAt(queue_.now() + delta, std::move(action));
+  ScheduleAt(queue_.now() + delta, std::move(action));
+}
+
+TraceContext Simulator::MintTraceRoot(obs::TraceRootKind kind, NodeId node,
+                                      int64_t value) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return current_trace_;
+  const TraceContext root =
+      tracer_->StartTrace(kind, node, queue_.now(), value, current_trace_);
+  return root.sampled() ? root : current_trace_;
 }
 
 bool Simulator::Send(const Message& msg) {
@@ -41,9 +61,22 @@ bool Simulator::Send(const Message& msg) {
   batteries_[from].Consume(config_.energy.tx_cost);
   metrics_.CountSent(msg.type);
   ++sent_by_[from];
+  // Causal tracing: this transmission becomes a span under the sender's
+  // context — the message's own stamp when the sender forwarded a traced
+  // message verbatim, else the ambient context of the executing event.
+  TraceContext span_ctx;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const TraceContext& parent =
+        msg.trace.sampled() ? msg.trace : current_trace_;
+    if (parent.sampled()) {
+      span_ctx = tracer_->BeginMessageSpan(parent, msg.type, from,
+                                           queue_.now());
+    }
+  }
   if (trace_ != nullptr) {
     trace_->Record(TraceEvent{TraceEvent::Kind::kSend, queue_.now(),
-                              msg.type, from, kInvalidNode, msg.epoch});
+                              msg.type, from, kInvalidNode, msg.epoch,
+                              span_ctx.trace_id, span_ctx.span_id});
   }
 
   for (NodeId receiver : links_.Reachable(from)) {
@@ -62,15 +95,22 @@ bool Simulator::Send(const Message& msg) {
     if (links_.SampleLoss(from, receiver, rng_) ||
         (type_loss > 0.0 && rng_.Bernoulli(type_loss))) {
       if (addressed) metrics_.CountLost(msg.type);
+      if (span_ctx.sampled()) {
+        tracer_->RecordDelivery(span_ctx, receiver, queue_.now(),
+                                RadioEventKind::kLoss);
+      }
       if (trace_ != nullptr) {
         trace_->Record(TraceEvent{TraceEvent::Kind::kLoss, queue_.now(),
-                                  msg.type, from, receiver, msg.epoch});
+                                  msg.type, from, receiver, msg.epoch,
+                                  span_ctx.trace_id, span_ctx.span_id});
       }
       continue;
     }
     // Copy the message into the delivery event; the sender may mutate or
-    // destroy its copy after Send returns.
+    // destroy its copy after Send returns. The copy carries the message
+    // span so the receiver's handler inherits this transmission's context.
     Message copy = msg;
+    copy.trace = span_ctx;
     queue_.ScheduleAt(queue_.now(),
                       [this, receiver, m = std::move(copy), snooped]() {
                         Deliver(receiver, m, snooped);
@@ -87,13 +127,20 @@ void Simulator::Deliver(NodeId to, const Message& msg, bool snooped) {
   } else {
     metrics_.CountDelivered(msg.type);
   }
+  if (msg.trace.sampled() && tracer_ != nullptr) {
+    tracer_->RecordDelivery(
+        msg.trace, to, queue_.now(),
+        snooped ? RadioEventKind::kSnoop : RadioEventKind::kDeliver);
+  }
   if (trace_ != nullptr) {
     trace_->Record(TraceEvent{snooped ? TraceEvent::Kind::kSnoop
                                       : TraceEvent::Kind::kDeliver,
                               queue_.now(), msg.type, msg.from, to,
-                              msg.epoch});
+                              msg.epoch, msg.trace.trace_id,
+                              msg.trace.span_id});
   }
   if (handlers_[to]) {
+    TraceScope scope(*this, msg.trace);
     handlers_[to](msg, snooped);
   }
 }

@@ -22,8 +22,10 @@
 #include "net/link_model.h"
 #include "net/message.h"
 #include "net/node_id.h"
+#include "net/trace_context.h"
 #include "obs/journal.h"
 #include "obs/metric_registry.h"
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "sim/trace.h"
@@ -124,6 +126,48 @@ class Simulator {
   /// Attaches an event tracer (nullptr detaches). Not owned.
   void SetTrace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Attaches a causal tracer (nullptr detaches). Not owned. With a tracer
+  /// attached, Send mints a message span per transmission (child of the
+  /// sender's context), stamps it on every delivered copy, and records
+  /// deliver/snoop/loss outcomes; handlers and ScheduleAt callbacks run
+  /// under the causal context that scheduled them.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() { return tracer_; }
+
+  /// True when a tracer is attached and its sampling is non-zero.
+  bool tracing_enabled() const {
+    return tracer_ != nullptr && tracer_->enabled();
+  }
+
+  /// The causal context of the event currently executing (unsampled when
+  /// tracing is off or the current event has no traced cause).
+  const TraceContext& current_trace() const { return current_trace_; }
+
+  /// Mints a trace root at now() with the current context recorded as a
+  /// causal link. Returns the new root context — or, when the root was not
+  /// sampled (tracing off / sampling draw failed / budget gone), the
+  /// *current* context unchanged, so callers can scope it unconditionally
+  /// without severing an enclosing trace.
+  TraceContext MintTraceRoot(obs::TraceRootKind kind, NodeId node,
+                             int64_t value = 0);
+
+  /// RAII: installs `ctx` as the simulator's current causal context for
+  /// the scope's lifetime (plain POD swap — safe to use unconditionally).
+  class TraceScope {
+   public:
+    TraceScope(Simulator& sim, const TraceContext& ctx)
+        : sim_(sim), saved_(sim.current_trace_) {
+      sim.current_trace_ = ctx;
+    }
+    ~TraceScope() { sim_.current_trace_ = saved_; }
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+   private:
+    Simulator& sim_;
+    TraceContext saved_;
+  };
+
   // Event loop control.
   bool RunNext() { return queue_.RunNext(); }
   void RunUntil(Time t) { queue_.RunUntil(t); }
@@ -145,6 +189,8 @@ class Simulator {
   std::vector<uint64_t> sent_by_;
   std::array<double, kNumMessageTypes> type_loss_{};
   TraceRecorder* trace_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  TraceContext current_trace_{};
 };
 
 }  // namespace snapq

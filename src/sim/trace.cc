@@ -5,31 +5,25 @@
 
 namespace snapq {
 
-const char* TraceEventKindName(TraceEvent::Kind kind) {
-  switch (kind) {
-    case TraceEvent::Kind::kSend:
-      return "send";
-    case TraceEvent::Kind::kDeliver:
-      return "deliver";
-    case TraceEvent::Kind::kSnoop:
-      return "snoop";
-    case TraceEvent::Kind::kLoss:
-      return "loss";
-  }
-  return "?";
-}
-
 std::string TraceEvent::ToString() const {
+  std::string out;
   if (kind == Kind::kSend) {
-    return StrFormat("t=%-5lld %-7s %-14s from=%u epoch=%lld",
-                     static_cast<long long>(time), TraceEventKindName(kind),
-                     MessageTypeName(type), from,
-                     static_cast<long long>(epoch));
+    out = StrFormat("t=%-5lld %-7s %-14s from=%u epoch=%lld",
+                    static_cast<long long>(time), TraceEventKindName(kind),
+                    MessageTypeName(type), from,
+                    static_cast<long long>(epoch));
+  } else {
+    out = StrFormat("t=%-5lld %-7s %-14s from=%u to=%u epoch=%lld",
+                    static_cast<long long>(time), TraceEventKindName(kind),
+                    MessageTypeName(type), from, node,
+                    static_cast<long long>(epoch));
   }
-  return StrFormat("t=%-5lld %-7s %-14s from=%u to=%u epoch=%lld",
-                   static_cast<long long>(time), TraceEventKindName(kind),
-                   MessageTypeName(type), from, node,
-                   static_cast<long long>(epoch));
+  if (trace_id != 0) {
+    out += StrFormat(" trace=%llu:%llu",
+                     static_cast<unsigned long long>(trace_id),
+                     static_cast<unsigned long long>(span_id));
+  }
+  return out;
 }
 
 TraceRecorder::TraceRecorder(size_t capacity) : buffer_(capacity) {

@@ -11,12 +11,15 @@
 
 #include "net/message.h"
 #include "net/node_id.h"
+#include "net/trace_context.h"
 
 namespace snapq {
 
 /// One traced radio event.
 struct TraceEvent {
-  enum class Kind { kSend, kDeliver, kSnoop, kLoss };
+  /// The shared radio-event taxonomy (net/trace_context.h); `Kind` remains
+  /// as an alias so existing call sites keep compiling.
+  using Kind = RadioEventKind;
   Kind kind = Kind::kSend;
   Time time = 0;
   MessageType type = MessageType::kData;
@@ -24,11 +27,17 @@ struct TraceEvent {
   /// Receiver for deliver/snoop/loss; kInvalidNode for sends.
   NodeId node = kInvalidNode;
   int64_t epoch = 0;
+  /// Causal ids stamped by the attached obs::Tracer; 0 when the event was
+  /// not part of a sampled trace.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 
   std::string ToString() const;
 };
 
-const char* TraceEventKindName(TraceEvent::Kind kind);
+inline const char* TraceEventKindName(TraceEvent::Kind kind) {
+  return RadioEventKindName(kind);
+}
 
 /// Fixed-capacity ring buffer of trace events; old events are overwritten.
 class TraceRecorder {

@@ -77,6 +77,13 @@ void SnapshotAgent::BeginLocalReelection() {
                        [this](obs::JournalEvent& e) {
                          e.Node(id_).Epoch(epoch_);
                        });
+  // Keep the causal chain when a traced event (heartbeat round, violation,
+  // resignation) triggered us; otherwise this re-election is its own root.
+  TraceContext ctx = sim_->current_trace();
+  if (!ctx.sampled()) {
+    ctx = sim_->MintTraceRoot(obs::TraceRootKind::kReelection, id_);
+  }
+  Simulator::TraceScope scope(*sim_, ctx);
   prior_rep_ = (rep_ != id_) ? rep_ : kInvalidNode;
   StartElectionRound(sim_->now());
 }
@@ -559,9 +566,23 @@ void SnapshotAgent::OnHeartbeatReply(const Message& msg) {
     awaiting_reply_ = false;
     heartbeat_misses_ = 0;
     // An out-of-bounds estimate means the model failed (data drift), not
-    // the channel: re-elect immediately (§3).
+    // the channel: re-elect immediately (§3). The violation becomes its
+    // own trace root, causally linked to the heartbeat exchange that
+    // detected it, so the analyzer can tie re-election traffic back to the
+    // model breach (fig13-style spurious-reconfiguration forensics).
     if (config_.metric.Distance(heartbeat_value_, msg.values[i]) >
         config_.threshold) {
+      sim_->registry().GetCounter("model.violations")->Inc();
+      sim_->journal().Emit(
+          "model.violation", sim_->now(), [&](obs::JournalEvent& e) {
+            e.Node(id_).Epoch(epoch_)
+                .Int("rep", static_cast<int64_t>(msg.from))
+                .Num("reported", heartbeat_value_)
+                .Num("estimate", msg.values[i]);
+          });
+      const TraceContext vctx =
+          sim_->MintTraceRoot(obs::TraceRootKind::kViolation, id_);
+      Simulator::TraceScope scope(*sim_, vctx);
       BeginLocalReelection();
     }
     return;

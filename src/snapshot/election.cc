@@ -55,9 +55,17 @@ ElectionStats RunGlobalElection(
   sim.journal().Emit("election.start", t0, [&](obs::JournalEvent& e) {
     e.Int("nodes", static_cast<int64_t>(agents.size()));
   });
-  sim.ScheduleAt(t0, [&sim] { sim.ResetPerNodeCounters(); });
-  for (const auto& agent : agents) {
-    agent->BeginElection(t0);
+  // Root cause: the whole discovery (every invitation, candidate list and
+  // refinement message) hangs off this trace.
+  const TraceContext root =
+      sim.MintTraceRoot(obs::TraceRootKind::kElection, kInvalidNode);
+  span.AttachTrace(sim.tracer(), root);
+  {
+    Simulator::TraceScope scope(sim, root);
+    sim.ScheduleAt(t0, [&sim] { sim.ResetPerNodeCounters(); });
+    for (const auto& agent : agents) {
+      agent->BeginElection(t0);
+    }
   }
   // Refinement ends by the Rule-4 hard cap; two extra units cover in-flight
   // acknowledgments scheduled on the final tick.

@@ -1,0 +1,57 @@
+#include "snapshot/health_probe.h"
+
+#include "model/cache_line.h"
+#include "snapshot/election.h"
+#include "snapshot/node_state.h"
+
+namespace snapq {
+
+obs::HealthSample ProbeSnapshotHealth(
+    Simulator& sim,
+    const std::vector<std::unique_ptr<SnapshotAgent>>& agents) {
+  obs::HealthSample sample;
+  sample.num_nodes = agents.size();
+
+  const SnapshotView view = CaptureSnapshot(agents);
+  for (const auto& agent : agents) {
+    if (!sim.alive(agent->id())) continue;
+    ++sample.num_live;
+    switch (agent->mode()) {
+      case NodeMode::kActive:
+        ++sample.num_active;
+        break;
+      case NodeMode::kPassive:
+        ++sample.num_passive;
+        break;
+      case NodeMode::kUndefined:
+        ++sample.num_undefined;
+        break;
+    }
+  }
+  sample.num_spurious = view.CountSpurious();
+  sample.violations = sim.registry().GetCounter("model.violations")->value();
+  sample.reelections =
+      sim.registry().GetCounter("maintenance.reelections")->value();
+
+  // Mean staleness of the models backing current representations.
+  const Time now = sim.now();
+  double total_staleness = 0.0;
+  uint64_t pairs = 0;
+  for (const auto& agent : agents) {
+    if (!sim.alive(agent->id())) continue;
+    for (const auto& [member, epoch] : agent->represents()) {
+      (void)epoch;
+      if (!view.RepresentsCurrently(agent->id(), member)) continue;
+      const CacheLine* line = agent->models().cache().Line(member);
+      const Time seen =
+          (line != nullptr && !line->empty()) ? line->newest().time : 0;
+      total_staleness += static_cast<double>(now - seen);
+      ++pairs;
+    }
+  }
+  sample.mean_model_staleness =
+      pairs > 0 ? total_staleness / static_cast<double>(pairs) : 0.0;
+  return sample;
+}
+
+}  // namespace snapq

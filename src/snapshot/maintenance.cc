@@ -48,11 +48,19 @@ void MaintenanceDriver::RunRound(Time round_start, Time /*horizon*/,
                                  RoundCallback callback) {
   sim_->ResetPerNodeCounters();
   const uint64_t sends_before = ProtocolSends(sim_->metrics());
+  // Root cause: this round's heartbeats, replies, timeout re-elections and
+  // resignations all trace back here.
+  const TraceContext round_ctx =
+      sim_->MintTraceRoot(obs::TraceRootKind::kHeartbeatRound, kInvalidNode);
   {
     obs::Span tick_span(&sim_->registry(), "maintenance.tick");
+    tick_span.AttachTrace(sim_->tracer(), round_ctx);
+    tick_span.BeginSim(round_start);
+    Simulator::TraceScope scope(*sim_, round_ctx);
     for (auto& agent : *agents_) {
       agent->MaintenanceTick();
     }
+    tick_span.EndSim(sim_->now());
   }
   sim_->registry().GetCounter("maintenance.rounds")->Inc();
   if (!callback) return;

@@ -1,0 +1,161 @@
+// Perfetto/Chrome trace-event export tests: the JSON is syntactically
+// valid (full-grammar check), every event carries the keys its phase
+// requires, flow arrows pair up, and a real 20-node protocol run exports
+// cleanly end to end.
+#include "obs/perfetto_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+#include "obs/json.h"
+#include "obs/tracer.h"
+
+namespace snapq::obs {
+namespace {
+
+/// Splits the export into one string per trace event (the exporter writes
+/// one event per line with ",\n" separators).
+std::vector<std::string> EventLines(const std::string& json) {
+  std::vector<std::string> events;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    if (line.rfind("{\"traceEvents\"", 0) == 0) continue;
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    events.push_back(line);
+  }
+  return events;
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(PerfettoExportTest, EmptyTracerProducesValidEnvelope) {
+  Tracer tracer;
+  const std::string json = ExportChromeTrace(tracer);
+  EXPECT_TRUE(ValidateJson(json));
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(PerfettoExportTest, SpansBecomeDurationEventsWithFlows) {
+  TracerConfig config;
+  config.sampling = 1.0;
+  Tracer tracer(config);
+  const TraceContext root =
+      tracer.StartTrace(TraceRootKind::kElection, kInvalidNode, 10);
+  const TraceContext msg =
+      tracer.BeginMessageSpan(root, MessageType::kInvitation, 1, 10);
+  tracer.RecordDelivery(msg, 2, 10, RadioEventKind::kDeliver);
+  tracer.RecordDelivery(msg, 3, 11, RadioEventKind::kSnoop);
+  tracer.RecordDelivery(msg, 4, 11, RadioEventKind::kLoss);
+
+  const std::string json = ExportChromeTrace(tracer);
+  ASSERT_TRUE(ValidateJson(json));
+  // Metadata: the process plus one named track per participant (protocol
+  // track for the node-less root, nodes 1-4).
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"snapq\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"protocol\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 4\""), std::string::npos);
+  // Two duration events (root + message), one flow pair per successful
+  // delivery/snoop, one instant for the loss.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"s\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"f\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"i\""), 1u);
+  EXPECT_NE(json.find("loss Invitation"), std::string::npos);
+  // Span/parent ids are exposed as args for trace-tree reconstruction.
+  EXPECT_NE(json.find("\"span\":"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":"), std::string::npos);
+}
+
+TEST(PerfettoExportTest, EveryEventCarriesItsPhaseRequiredKeys) {
+  TracerConfig config;
+  config.sampling = 1.0;
+  Tracer tracer(config);
+  const TraceContext root = tracer.StartTrace(TraceRootKind::kQuery, 0, 3, 1);
+  const TraceContext msg =
+      tracer.BeginMessageSpan(root, MessageType::kQueryRequest, 0, 3);
+  tracer.RecordDelivery(msg, 1, 3, RadioEventKind::kDeliver);
+  tracer.RecordInstant(root, "query.respond", 1, 4);
+
+  const std::string json = ExportChromeTrace(tracer);
+  ASSERT_TRUE(ValidateJson(json));
+  const std::vector<std::string> events = EventLines(json);
+  ASSERT_FALSE(events.empty());
+  for (const std::string& event : events) {
+    EXPECT_TRUE(ValidateJson(event)) << event;
+    ASSERT_NE(event.find("\"ph\":\""), std::string::npos) << event;
+    const char ph = event[event.find("\"ph\":\"") + 6];
+    EXPECT_NE(event.find("\"pid\":"), std::string::npos) << event;
+    EXPECT_NE(event.find("\"name\":"), std::string::npos) << event;
+    if (ph != 'M') {
+      EXPECT_NE(event.find("\"ts\":"), std::string::npos) << event;
+      EXPECT_NE(event.find("\"tid\":"), std::string::npos) << event;
+    }
+    if (ph == 'X') {
+      EXPECT_NE(event.find("\"dur\":"), std::string::npos) << event;
+    }
+    if (ph == 's' || ph == 'f') {
+      EXPECT_NE(event.find("\"id\":"), std::string::npos) << event;
+    }
+  }
+}
+
+TEST(PerfettoExportTest, TwentyNodeRunExportsValidChromeTraceJson) {
+  SensitivityConfig config;
+  config.num_nodes = 20;
+  config.num_classes = 4;
+  config.trace_sampling = 1.0;
+  const SensitivityOutcome outcome = RunSensitivityTrial(config);
+  const Tracer* tracer = outcome.network->tracer();
+  ASSERT_NE(tracer, nullptr);
+  ASSERT_FALSE(tracer->spans().empty());
+
+  const std::string json = ExportChromeTrace(*tracer);
+  EXPECT_TRUE(ValidateJson(json));
+  EXPECT_GT(CountOccurrences(json, "\"ph\":\"X\""), 10u);
+  // With P_loss = 0 every send delivers: flow starts and ends must pair.
+  const size_t starts = CountOccurrences(json, "\"ph\":\"s\"");
+  EXPECT_EQ(starts, CountOccurrences(json, "\"ph\":\"f\""));
+  EXPECT_GT(starts, 0u);
+  for (const std::string& event : EventLines(json)) {
+    EXPECT_TRUE(ValidateJson(event)) << event;
+  }
+}
+
+TEST(PerfettoExportTest, WriteChromeTraceFileRoundTrips) {
+  TracerConfig config;
+  config.sampling = 1.0;
+  Tracer tracer(config);
+  tracer.StartTrace(TraceRootKind::kElection, kInvalidNode, 0);
+  const std::string path =
+      testing::TempDir() + "/perfetto_export_test.trace.json";
+  ASSERT_TRUE(WriteChromeTraceFile(tracer, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), ExportChromeTrace(tracer));
+  EXPECT_TRUE(ValidateJson(buffer.str()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace snapq::obs

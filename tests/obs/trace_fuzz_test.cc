@@ -1,0 +1,137 @@
+// Property test for context propagation: across random interleavings —
+// heavy random loss, snooping, forced per-type loss, mid-run data drift,
+// maintenance rounds, queries, node death, and a starved span budget — the
+// tracer must never record an orphan span (a span whose recorded parent is
+// missing). The drop policy guarantees it: when the budget rejects a span,
+// the *parent* context keeps propagating instead.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/trace_analyzer.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+#include "snapshot/election.h"
+#include "snapshot/maintenance.h"
+
+namespace snapq {
+namespace {
+
+struct FuzzNet {
+  std::unique_ptr<Simulator> sim;
+  std::vector<std::unique_ptr<SnapshotAgent>> agents;
+  SnapshotConfig config;
+
+  FuzzNet(size_t n, const SimConfig& sim_config) {
+    config.threshold = 1.0;
+    config.max_wait = 4;
+    config.rule4_hard_cap = 8;
+    config.heartbeat_timeout = 2;
+    config.heartbeat_miss_limit = 1;
+    std::vector<Point> positions;
+    for (size_t i = 0; i < n; ++i) {
+      positions.push_back({0.05 * static_cast<double>(i), 0.0});
+    }
+    sim = std::make_unique<Simulator>(std::move(positions),
+                                      std::vector<double>(n, 10.0),
+                                      sim_config);
+    for (NodeId i = 0; i < n; ++i) {
+      agents.push_back(
+          std::make_unique<SnapshotAgent>(i, sim.get(), config, 900 + i));
+      agents.back()->Install();
+    }
+  }
+
+  void Teach(double base) {
+    for (NodeId i = 0; i < agents.size(); ++i) {
+      agents[i]->SetMeasurement(base + i);
+    }
+    for (NodeId i = 0; i < agents.size(); ++i) {
+      for (NodeId j = 0; j < agents.size(); ++j) {
+        if (i == j) continue;
+        const double vi = agents[i]->measurement();
+        const double vj = agents[j]->measurement();
+        agents[i]->models().cache().Observe(j, vi - 1, vj - 1, 0);
+        agents[i]->models().cache().Observe(j, vi + 1, vj + 1, 0);
+      }
+    }
+  }
+};
+
+void ExpectNoOrphansAndRootedChains(const obs::Tracer& tracer) {
+  const obs::TraceAnalyzer analyzer(&tracer);
+  const auto orphans = analyzer.FindOrphans();
+  EXPECT_TRUE(orphans.empty()) << orphans.size() << " orphan spans, first: "
+                               << orphans.front()->name;
+  // Every span's parent chain must terminate at its trace's root without
+  // cycles or cross-trace hops.
+  for (const obs::TraceSpan& span : tracer.spans()) {
+    const obs::TraceSpan* cur = &span;
+    size_t hops = 0;
+    while (cur->parent_span_id != 0) {
+      ASSERT_LE(++hops, tracer.spans().size()) << "parent cycle";
+      const obs::TraceSpan* parent = tracer.FindSpan(cur->parent_span_id);
+      ASSERT_NE(parent, nullptr);
+      ASSERT_EQ(parent->trace_id, cur->trace_id);
+      cur = parent;
+    }
+    EXPECT_EQ(cur->kind, obs::TraceSpanKind::kRoot);
+  }
+}
+
+TEST(TraceFuzzTest, RandomInterleavingsWithForcedLossNeverOrphanSpans) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE(static_cast<int>(seed));
+    Rng rng(seed * 7919);
+    SimConfig sim_config;
+    sim_config.loss_probability = 0.2 + 0.5 * rng.NextDouble();
+    sim_config.snoop_probability = 0.3 * rng.NextDouble();
+    sim_config.seed = seed;
+    const size_t n = 5 + static_cast<size_t>(rng.UniformInt(0, 6));
+    FuzzNet net(n, sim_config);
+    net.Teach(10.0);
+
+    obs::TracerConfig tracer_config;
+    tracer_config.sampling = 1.0;
+    // Half the runs starve the span budget to exercise the drop/fallback
+    // path; the other half record everything.
+    tracer_config.max_spans = (seed % 2 == 0) ? 48 : 65536;
+    tracer_config.seed = seed;
+    obs::Tracer tracer(tracer_config);
+    net.sim->SetTracer(&tracer);
+
+    // Sever one protocol path entirely at random — recovery rules must
+    // still leave a well-formed trace forest.
+    const MessageType victims[] = {MessageType::kAccept,
+                                   MessageType::kRepAck,
+                                   MessageType::kHeartbeatReply};
+    net.sim->SetTypeLoss(victims[seed % 3], 0.5);
+
+    RunGlobalElection(*net.sim, net.agents, net.sim->now(), net.config);
+
+    // Random drift + a node death between maintenance rounds.
+    for (NodeId i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3)) {
+        net.agents[i]->SetMeasurement(5000.0 + 17.0 * i);
+      }
+    }
+    if (rng.Bernoulli(0.5)) {
+      net.sim->Kill(static_cast<NodeId>(rng.UniformInt(
+          0, static_cast<int>(n) - 1)));
+    }
+    MaintenanceDriver driver(net.sim.get(), &net.agents, /*interval=*/20);
+    driver.ScheduleRounds(net.sim->now() + 1, net.sim->now() + 60,
+                          [](const MaintenanceRoundStats&) {});
+    net.sim->RunAll();
+
+    if (tracer_config.max_spans == 48) {
+      EXPECT_GT(tracer.dropped_spans(), 0u);  // the starved path was hit
+    }
+    ExpectNoOrphansAndRootedChains(tracer);
+  }
+}
+
+}  // namespace
+}  // namespace snapq

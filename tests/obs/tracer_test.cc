@@ -1,0 +1,181 @@
+// Unit tests for the causal trace store: root minting, span parenting,
+// sampling, the bounded-memory drop policy, and id-stream stability.
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "net/message.h"
+
+namespace snapq::obs {
+namespace {
+
+TracerConfig Config(double sampling, size_t max_spans = 65536) {
+  TracerConfig config;
+  config.sampling = sampling;
+  config.max_spans = max_spans;
+  return config;
+}
+
+TEST(TracerTest, SamplingZeroDisablesEverything) {
+  Tracer tracer(Config(0.0));
+  EXPECT_FALSE(tracer.enabled());
+  const TraceContext root =
+      tracer.StartTrace(TraceRootKind::kElection, kInvalidNode, 10);
+  EXPECT_FALSE(root.sampled());
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_EQ(tracer.num_traces(), 0u);
+}
+
+TEST(TracerTest, StartTraceMintsRootSpan) {
+  Tracer tracer(Config(1.0));
+  const TraceContext root =
+      tracer.StartTrace(TraceRootKind::kQuery, 5, 42, /*value=*/1);
+  ASSERT_TRUE(root.sampled());
+  EXPECT_EQ(root.parent_span_id, 0u);
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  const TraceSpan& span = tracer.spans().front();
+  EXPECT_EQ(span.kind, TraceSpanKind::kRoot);
+  EXPECT_EQ(span.root_kind, TraceRootKind::kQuery);
+  EXPECT_EQ(span.name, "query");
+  EXPECT_EQ(span.node, 5u);
+  EXPECT_EQ(span.start, 42);
+  EXPECT_EQ(span.value, 1);
+  EXPECT_EQ(tracer.num_traces(), 1u);
+  EXPECT_EQ(tracer.TraceIds(), std::vector<uint64_t>{root.trace_id});
+}
+
+TEST(TracerTest, RootRecordsCausalLink) {
+  Tracer tracer(Config(1.0));
+  const TraceContext cause =
+      tracer.StartTrace(TraceRootKind::kHeartbeatRound, kInvalidNode, 1);
+  const TraceContext effect =
+      tracer.StartTrace(TraceRootKind::kViolation, 3, 2, 0, cause);
+  ASSERT_TRUE(effect.sampled());
+  const TraceSpan* root = tracer.FindSpan(effect.span_id);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->link_trace_id, cause.trace_id);
+  EXPECT_EQ(root->link_span_id, cause.span_id);
+}
+
+TEST(TracerTest, MessageSpanChainsUnderParent) {
+  Tracer tracer(Config(1.0));
+  const TraceContext root =
+      tracer.StartTrace(TraceRootKind::kElection, kInvalidNode, 0);
+  const TraceContext hop1 =
+      tracer.BeginMessageSpan(root, MessageType::kInvitation, 1, 0);
+  const TraceContext hop2 =
+      tracer.BeginMessageSpan(hop1, MessageType::kInvitation, 2, 1);
+  ASSERT_TRUE(hop2.sampled());
+  EXPECT_EQ(hop1.trace_id, root.trace_id);
+  EXPECT_EQ(hop1.parent_span_id, root.span_id);
+  EXPECT_EQ(hop2.parent_span_id, hop1.span_id);
+  const TraceSpan* span = tracer.FindSpan(hop2.span_id);
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->kind, TraceSpanKind::kMessage);
+  EXPECT_EQ(span->msg_type, MessageType::kInvitation);
+  EXPECT_EQ(span->node, 2u);
+}
+
+TEST(TracerTest, UnsampledParentYieldsNoMessageSpan) {
+  Tracer tracer(Config(1.0));
+  const TraceContext ctx =
+      tracer.BeginMessageSpan(TraceContext{}, MessageType::kData, 0, 0);
+  EXPECT_FALSE(ctx.sampled());
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(TracerTest, RecordDeliveryExtendsSpanAndRoot) {
+  Tracer tracer(Config(1.0));
+  const TraceContext root =
+      tracer.StartTrace(TraceRootKind::kElection, kInvalidNode, 0);
+  const TraceContext msg =
+      tracer.BeginMessageSpan(root, MessageType::kData, 1, 0);
+  tracer.RecordDelivery(msg, 2, 3, RadioEventKind::kDeliver);
+  tracer.RecordDelivery(msg, 3, 4, RadioEventKind::kLoss);
+  const TraceSpan* span = tracer.FindSpan(msg.span_id);
+  ASSERT_NE(span, nullptr);
+  ASSERT_EQ(span->deliveries.size(), 2u);
+  EXPECT_EQ(span->deliveries[0].node, 2u);
+  EXPECT_EQ(span->deliveries[0].outcome, RadioEventKind::kDeliver);
+  EXPECT_EQ(span->deliveries[1].outcome, RadioEventKind::kLoss);
+  EXPECT_EQ(span->end, 4);
+  // Root coverage extends to the latest delivery time.
+  EXPECT_EQ(tracer.FindSpan(root.span_id)->end, 4);
+}
+
+TEST(TracerTest, InstantAndPhaseSpans) {
+  Tracer tracer(Config(1.0));
+  const TraceContext root = tracer.StartTrace(TraceRootKind::kQuery, 0, 5, 1);
+  tracer.RecordInstant(root, "query.respond", 7, 6, /*value=*/1);
+  tracer.RecordPhase(root, "query.exec", 5, 9);
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  const TraceSpan& instant = tracer.spans()[1];
+  EXPECT_EQ(instant.kind, TraceSpanKind::kInstant);
+  EXPECT_EQ(instant.name, "query.respond");
+  EXPECT_EQ(instant.node, 7u);
+  EXPECT_EQ(instant.value, 1);
+  const TraceSpan& phase = tracer.spans()[2];
+  EXPECT_EQ(phase.kind, TraceSpanKind::kPhase);
+  EXPECT_EQ(phase.start, 5);
+  EXPECT_EQ(phase.end, 9);
+  EXPECT_EQ(tracer.FindSpan(root.span_id)->end, 9);
+}
+
+TEST(TracerTest, BudgetExhaustionDropsSpansButKeepsAttachment) {
+  Tracer tracer(Config(1.0, /*max_spans=*/2));
+  const TraceContext root =
+      tracer.StartTrace(TraceRootKind::kElection, kInvalidNode, 0);
+  const TraceContext kept =
+      tracer.BeginMessageSpan(root, MessageType::kData, 0, 0);
+  EXPECT_NE(kept.span_id, root.span_id);
+  // Budget gone: the next message span falls back to its parent context,
+  // so downstream spans would still attach to a *recorded* ancestor.
+  const TraceContext dropped =
+      tracer.BeginMessageSpan(kept, MessageType::kData, 1, 1);
+  EXPECT_EQ(dropped.span_id, kept.span_id);
+  EXPECT_EQ(dropped.trace_id, kept.trace_id);
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
+  // Dropped roots mean the whole trace is unsampled.
+  const TraceContext root2 =
+      tracer.StartTrace(TraceRootKind::kQuery, 0, 2);
+  EXPECT_FALSE(root2.sampled());
+  EXPECT_EQ(tracer.spans().size(), 2u);
+}
+
+TEST(TracerTest, PartialSamplingKeepsSomeTraces) {
+  Tracer tracer(Config(0.5));
+  int sampled = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (tracer.StartTrace(TraceRootKind::kQuery, 0, i).sampled()) ++sampled;
+  }
+  EXPECT_GT(sampled, 0);
+  EXPECT_LT(sampled, 200);
+  EXPECT_EQ(tracer.num_traces(), static_cast<uint64_t>(sampled));
+}
+
+TEST(TracerTest, ClearKeepsIdStreamsAdvancing) {
+  Tracer tracer(Config(1.0));
+  const TraceContext first =
+      tracer.StartTrace(TraceRootKind::kElection, kInvalidNode, 0);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  const TraceContext second =
+      tracer.StartTrace(TraceRootKind::kElection, kInvalidNode, 1);
+  EXPECT_GT(second.trace_id, first.trace_id);
+  EXPECT_GT(second.span_id, first.span_id);
+}
+
+TEST(TracerTest, SpansOfTraceFiltersByTraceId) {
+  Tracer tracer(Config(1.0));
+  const TraceContext a =
+      tracer.StartTrace(TraceRootKind::kElection, kInvalidNode, 0);
+  const TraceContext b = tracer.StartTrace(TraceRootKind::kQuery, 0, 0);
+  tracer.BeginMessageSpan(a, MessageType::kData, 0, 1);
+  EXPECT_EQ(tracer.SpansOfTrace(a.trace_id).size(), 2u);
+  EXPECT_EQ(tracer.SpansOfTrace(b.trace_id).size(), 1u);
+  EXPECT_TRUE(tracer.SpansOfTrace(999).empty());
+  EXPECT_EQ(tracer.FindSpan(12345), nullptr);
+}
+
+}  // namespace
+}  // namespace snapq::obs
