@@ -15,8 +15,9 @@ namespace {
 
 using namespace snapq;
 
-double MeanReps(size_t num_classes, PenaltyCurrency currency) {
-  return MeanOverSeeds(bench::kRepetitions, bench::kBaseSeed,
+double MeanReps(size_t num_classes, PenaltyCurrency currency,
+                size_t repetitions) {
+  return MeanOverSeeds(repetitions, bench::kBaseSeed,
                        [&](uint64_t seed) {
                          SensitivityConfig config;
                          config.num_classes = num_classes;
@@ -30,23 +31,25 @@ double MeanReps(size_t num_classes, PenaltyCurrency currency) {
 
 }  // namespace
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(ablation_cache_penalty,
+                "Ablation: eviction-penalty currency (total vs averaged)") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Ablation: eviction-penalty currency (DESIGN.md §6, item 2)",
+  bench::Driver driver(
+      ctx, "Ablation: eviction-penalty currency (DESIGN.md §6, item 2)",
       "Fig 6 setup; representatives elected with total-benefit vs literal "
       "per-pair-average penalties");
 
+  const size_t reps = static_cast<size_t>(ctx.repetitions);
   TablePrinter table({"K", "total-benefit penalty (ours)",
                       "averaged penalty (literal §4)"});
   for (size_t k : {1u, 5u, 10u, 50u}) {
-    table.AddRow({std::to_string(k),
-                  TablePrinter::Num(MeanReps(k, PenaltyCurrency::kTotalBenefit), 1),
-                  TablePrinter::Num(MeanReps(k, PenaltyCurrency::kAverageBenefit), 1)});
+    table.AddRow(
+        {std::to_string(k),
+         TablePrinter::Num(MeanReps(k, PenaltyCurrency::kTotalBenefit, reps), 1),
+         TablePrinter::Num(MeanReps(k, PenaltyCurrency::kAverageBenefit, reps),
+                           1)});
   }
   table.Print(std::cout);
   std::printf("\n(the paper reports 1 representative at K=1; the averaged "
               "formula cannot sustain it)\n");
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

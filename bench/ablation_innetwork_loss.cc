@@ -16,8 +16,9 @@ namespace {
 
 using namespace snapq;
 
-/// Mean relative error of SUM over the whole network, 50 queries.
-double MeanRelativeError(double loss, bool use_snapshot, uint64_t seed) {
+/// Mean relative error of SUM over the whole network.
+double MeanRelativeError(double loss, bool use_snapshot, uint64_t seed,
+                         int queries) {
   SensitivityConfig config;
   config.num_classes = 1;
   config.transmission_range = 0.35;  // multi-hop trees
@@ -29,7 +30,7 @@ double MeanRelativeError(double loss, bool use_snapshot, uint64_t seed) {
   InNetworkAggregator aggregator(&net.sim(), &net.agents());
   Rng rng(seed ^ 0xA66E55ULL);
   RunningStats err;
-  for (int q = 0; q < 50; ++q) {
+  for (int q = 0; q < queries; ++q) {
     const NodeId sink = static_cast<NodeId>(rng.UniformInt(0, 99));
     double truth = 0.0;
     for (NodeId i = 0; i < net.num_nodes(); ++i) {
@@ -47,26 +48,27 @@ double MeanRelativeError(double loss, bool use_snapshot, uint64_t seed) {
 
 }  // namespace
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(ablation_innetwork_loss,
+                "Extension: in-network SUM error under loss") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Extension: in-network SUM error under loss (message-level TAG)",
+  bench::Driver driver(
+      ctx, "Extension: in-network SUM error under loss (message-level TAG)",
       "N=100, K=1, range=0.35 (multi-hop), whole-network SUM, 50 queries; "
       "relative error vs ground truth");
 
+  const int reps = static_cast<int>(ctx.Scaled(5));
+  const int queries = static_cast<int>(ctx.Scaled(50));
   TablePrinter table({"P_loss", "regular rel. error", "snapshot rel. error"});
   for (double loss : {0.0, 0.05, 0.1, 0.2, 0.3}) {
     RunningStats regular, snapshot;
-    for (int r = 0; r < 5; ++r) {
+    for (int r = 0; r < reps; ++r) {
       const uint64_t seed = bench::kBaseSeed + static_cast<uint64_t>(r);
-      regular.Add(MeanRelativeError(loss, false, seed));
-      snapshot.Add(MeanRelativeError(loss, true, seed));
+      regular.Add(MeanRelativeError(loss, false, seed, queries));
+      snapshot.Add(MeanRelativeError(loss, true, seed, queries));
     }
     table.AddRow({TablePrinter::Num(loss, 2),
                   TablePrinter::Num(100.0 * regular.mean(), 1) + "%",
                   TablePrinter::Num(100.0 * snapshot.mean(), 1) + "%"});
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

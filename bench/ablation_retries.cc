@@ -12,8 +12,8 @@ namespace {
 
 using namespace snapq;
 
-double MeanReps(double loss, bool retries) {
-  return MeanOverSeeds(bench::kRepetitions, bench::kBaseSeed,
+double MeanReps(double loss, bool retries, size_t repetitions) {
+  return MeanOverSeeds(repetitions, bench::kBaseSeed,
                        [&](uint64_t seed) {
                          NetworkConfig nc;
                          nc.loss_probability = loss;
@@ -45,20 +45,21 @@ double MeanReps(double loss, bool retries) {
 
 }  // namespace
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(ablation_retries,
+                "Ablation: refinement retries under message loss") {
   using namespace snapq;
-  bench::PrintHeader(
+  bench::Driver driver(
+      ctx,
       "Ablation: refinement retries under message loss (DESIGN.md §6, "
       "item 3)",
       "Fig 7 setup (K=1); StayActive retry + re-acknowledgment on vs off");
 
+  const size_t reps = static_cast<size_t>(ctx.repetitions);
   TablePrinter table({"P_loss", "with retries", "without retries"});
   for (double loss : {0.0, 0.2, 0.4, 0.6, 0.8}) {
     table.AddRow({TablePrinter::Num(loss, 1),
-                  TablePrinter::Num(MeanReps(loss, true), 1),
-                  TablePrinter::Num(MeanReps(loss, false), 1)});
+                  TablePrinter::Num(MeanReps(loss, true, reps), 1),
+                  TablePrinter::Num(MeanReps(loss, false, reps), 1)});
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

@@ -15,11 +15,13 @@ namespace {
 
 using namespace snapq;
 
-constexpr Time kHorizon = 9000;
+constexpr Time kFullHorizon = 9000;
 constexpr Time kQueryStart = 90;
 constexpr int kBuckets = 10;
+constexpr int kFullRepetitions = 3;
 
-std::vector<double> RunCoverageCurve(int rotation_rounds, uint64_t seed) {
+std::vector<double> RunCoverageCurve(int rotation_rounds, uint64_t seed,
+                                     Time horizon) {
   NetworkConfig config;
   config.num_nodes = 100;
   config.transmission_range = 0.7;
@@ -34,7 +36,7 @@ std::vector<double> RunCoverageCurve(int rotation_rounds, uint64_t seed) {
   RandomWalkConfig walk;
   walk.num_nodes = 100;
   walk.num_classes = 1;
-  walk.horizon = static_cast<size_t>(kHorizon) + 1;
+  walk.horizon = static_cast<size_t>(horizon) + 1;
   Result<Dataset> dataset =
       Dataset::Create(GenerateRandomWalk(walk, data_rng).series);
   SNAPQ_CHECK(dataset.ok());
@@ -42,12 +44,12 @@ std::vector<double> RunCoverageCurve(int rotation_rounds, uint64_t seed) {
   net.ScheduleTrainingBroadcasts(0, 10);
   net.RunUntil(20);
   net.RunElection(20);
-  net.ScheduleMaintenance(net.now() + 100, kHorizon, 100);
+  net.ScheduleMaintenance(net.now() + 100, horizon, 100);
 
   Rng query_rng = Rng(seed).SplitNamed("queries");
   const double w = std::sqrt(0.1);
   std::vector<RunningStats> buckets(kBuckets);
-  for (Time t = kQueryStart; t < kHorizon; ++t) {
+  for (Time t = kQueryStart; t < horizon; ++t) {
     net.RunUntil(t);
     ExecutionOptions options;
     NodeId sink = static_cast<NodeId>(query_rng.UniformInt(0, 99));
@@ -62,7 +64,7 @@ std::vector<double> RunCoverageCurve(int rotation_rounds, uint64_t seed) {
         AggregateFunction::kSum, options);
     if (result.matching_nodes > 0) {
       const size_t b = static_cast<size_t>(
-          (t - kQueryStart) * kBuckets / (kHorizon - kQueryStart));
+          (t - kQueryStart) * kBuckets / (horizon - kQueryStart));
       buckets[std::min<size_t>(b, kBuckets - 1)].Add(result.coverage);
     }
   }
@@ -75,18 +77,23 @@ std::vector<double> RunCoverageCurve(int rotation_rounds, uint64_t seed) {
 
 }  // namespace
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(ablation_rotation,
+                "Extension: LEACH-style representative rotation") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Extension: LEACH-style representative rotation (§5.1)",
+  bench::Driver driver(
+      ctx, "Extension: LEACH-style representative rotation (§5.1)",
       "Fig 10 snapshot run; representatives rotate every 3 maintenance "
       "rounds vs never");
 
+  const Time horizon =
+      std::max<Time>(ctx.Scaled(kFullHorizon), kQueryStart + kBuckets);
+  const int reps = static_cast<int>(ctx.Scaled(kFullRepetitions));
+
   std::vector<RunningStats> off(kBuckets), on(kBuckets);
-  for (int r = 0; r < 3; ++r) {
+  for (int r = 0; r < reps; ++r) {
     const uint64_t seed = bench::kBaseSeed + static_cast<uint64_t>(r);
-    const auto a = RunCoverageCurve(0, seed);
-    const auto b = RunCoverageCurve(3, seed);
+    const auto a = RunCoverageCurve(0, seed, horizon);
+    const auto b = RunCoverageCurve(3, seed, horizon);
     for (int k = 0; k < kBuckets; ++k) {
       off[static_cast<size_t>(k)].Add(a[static_cast<size_t>(k)]);
       on[static_cast<size_t>(k)].Add(b[static_cast<size_t>(k)]);
@@ -105,6 +112,4 @@ int main(int, char** argv) {
   table.Print(std::cout);
   std::printf("\narea under curve: no rotation=%.2f rotation=%.2f (of %d)\n",
               area_off, area_on, kBuckets);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

@@ -19,9 +19,9 @@ namespace {
 using namespace snapq;
 
 double SavingsFor(size_t num_classes, double range, double w_squared,
-                  bool favor_reps) {
+                  bool favor_reps, int repetitions, int queries) {
   RunningStats savings;
-  for (int r = 0; r < bench::kRepetitions; ++r) {
+  for (int r = 0; r < repetitions; ++r) {
     SensitivityConfig config;
     config.num_classes = num_classes;
     config.transmission_range = range;
@@ -33,7 +33,7 @@ double SavingsFor(size_t num_classes, double range, double w_squared,
     const double w = std::sqrt(w_squared);
     uint64_t regular_total = 0;
     uint64_t snapshot_total = 0;
-    for (int q = 0; q < 200; ++q) {
+    for (int q = 0; q < queries; ++q) {
       ExecutionOptions options;
       options.sink = static_cast<NodeId>(
           rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
@@ -59,24 +59,30 @@ double SavingsFor(size_t num_classes, double range, double w_squared,
 
 }  // namespace
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(ablation_routing_bias,
+                "Ablation: routing biased toward representatives") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Ablation: routing biased toward representatives (§3.1)",
+  bench::Driver driver(
+      ctx, "Ablation: routing biased toward representatives (§3.1)",
       "Table-3 measurement (K=1, 200 queries) with plain vs "
       "representative-favoring aggregation trees");
 
+  const int queries = static_cast<int>(ctx.Scaled(200));
   TablePrinter table({"query range", "range", "plain savings",
                       "rep-biased savings"});
   for (double w2 : {0.1, 0.5}) {
     for (double range : {0.2, 0.7}) {
-      table.AddRow({"W^2 = " + TablePrinter::Num(w2, 1),
-                    TablePrinter::Num(range, 1),
-                    TablePrinter::Num(100.0 * SavingsFor(1, range, w2, false), 0) + "%",
-                    TablePrinter::Num(100.0 * SavingsFor(1, range, w2, true), 0) + "%"});
+      table.AddRow(
+          {"W^2 = " + TablePrinter::Num(w2, 1), TablePrinter::Num(range, 1),
+           TablePrinter::Num(
+               100.0 * SavingsFor(1, range, w2, false, ctx.repetitions,
+                                  queries),
+               0) + "%",
+           TablePrinter::Num(
+               100.0 * SavingsFor(1, range, w2, true, ctx.repetitions,
+                                  queries),
+               0) + "%"});
     }
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

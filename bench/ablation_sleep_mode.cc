@@ -20,9 +20,9 @@ struct SleepOutcome {
   double coverage = 0.0;  // average coverage of the snapshot queries
 };
 
-SleepOutcome Measure(double range, bool sleep) {
+SleepOutcome Measure(double range, bool sleep, int repetitions, int queries) {
   RunningStats savings, coverage;
-  for (int r = 0; r < bench::kRepetitions; ++r) {
+  for (int r = 0; r < repetitions; ++r) {
     SensitivityConfig config;
     config.num_classes = 1;
     config.transmission_range = range;
@@ -32,7 +32,7 @@ SleepOutcome Measure(double range, bool sleep) {
     Rng rng(config.seed ^ 0x517EEBULL);
     uint64_t regular_total = 0;
     uint64_t snapshot_total = 0;
-    for (int q = 0; q < 200; ++q) {
+    for (int q = 0; q < queries; ++q) {
       ExecutionOptions options;
       options.sink = static_cast<NodeId>(rng.UniformInt(0, 99));
       options.passive_nodes_sleep = sleep;
@@ -56,18 +56,20 @@ SleepOutcome Measure(double range, bool sleep) {
 
 }  // namespace
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(ablation_sleep_mode,
+                "Extension: passive nodes sleeping through queries") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Extension: passive nodes sleeping through queries (§5)",
+  bench::Driver driver(
+      ctx, "Extension: passive nodes sleeping through queries (§5)",
       "K=1, W^2=0.1, 200 queries; snapshot execution with passive nodes "
       "routing (default) vs sleeping");
 
+  const int queries = static_cast<int>(ctx.Scaled(200));
   TablePrinter table({"range", "savings (routing)", "savings (sleeping)",
                       "coverage (routing)", "coverage (sleeping)"});
   for (double range : {0.3, 0.5, 0.7}) {
-    const SleepOutcome awake = Measure(range, false);
-    const SleepOutcome asleep = Measure(range, true);
+    const SleepOutcome awake = Measure(range, false, ctx.repetitions, queries);
+    const SleepOutcome asleep = Measure(range, true, ctx.repetitions, queries);
     table.AddRow({TablePrinter::Num(range, 1),
                   TablePrinter::Num(100.0 * awake.savings, 0) + "%",
                   TablePrinter::Num(100.0 * asleep.savings, 0) + "%",
@@ -75,6 +77,4 @@ int main(int, char** argv) {
                   TablePrinter::Num(100.0 * asleep.coverage, 0) + "%"});
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

@@ -16,9 +16,9 @@ namespace {
 
 using namespace snapq;
 
-double MeanReps(double correlation_length, double range) {
+double MeanReps(double correlation_length, double range, int repetitions) {
   RunningStats reps;
-  for (int r = 0; r < bench::kRepetitions; ++r) {
+  for (int r = 0; r < repetitions; ++r) {
     const uint64_t seed = bench::kBaseSeed + static_cast<uint64_t>(r);
     NetworkConfig config;
     config.num_nodes = 100;
@@ -47,21 +47,21 @@ double MeanReps(double correlation_length, double range) {
 
 }  // namespace
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(ablation_spatial_correlation,
+                "Extension: representatives vs spatial correlation length") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Extension: representatives vs spatial correlation length",
+  bench::Driver driver(
+      ctx, "Extension: representatives vs spatial correlation length",
       "N=100, T=1, sse, distance-decaying low-rank field; longer "
       "correlation length = smoother field = fewer representatives");
 
   TablePrinter table({"correlation length", "reps (range=0.4)",
                       "reps (range=sqrt(2))"});
   for (double length : {0.05, 0.1, 0.2, 0.4, 0.8, 2.0}) {
-    table.AddRow({TablePrinter::Num(length, 2),
-                  TablePrinter::Num(MeanReps(length, 0.4), 1),
-                  TablePrinter::Num(MeanReps(length, 1.4142), 1)});
+    table.AddRow(
+        {TablePrinter::Num(length, 2),
+         TablePrinter::Num(MeanReps(length, 0.4, ctx.repetitions), 1),
+         TablePrinter::Num(MeanReps(length, 1.4142, ctx.repetitions), 1)});
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

@@ -28,8 +28,9 @@ struct Row {
   RunningStats messages;  // data messages per query
 };
 
-void Measure(double loss, Row* tree, Row* sketch, Row* snapshot) {
-  for (int r = 0; r < 5; ++r) {
+void Measure(double loss, int repetitions, int queries, Row* tree, Row* sketch,
+             Row* snapshot) {
+  for (int r = 0; r < repetitions; ++r) {
     SensitivityConfig config;
     config.workload = WorkloadKind::kWeather;  // non-negative readings,
                                                // as FM sum sketches need
@@ -50,7 +51,7 @@ void Measure(double loss, Row* tree, Row* sketch, Row* snapshot) {
       row->messages.Add(static_cast<double>(msgs));
     };
 
-    for (int q = 0; q < 20; ++q) {
+    for (int q = 0; q < queries; ++q) {
       const NodeId sink = static_cast<NodeId>(rng.UniformInt(0, 99));
       {
         InNetworkAggregator agg(&net.sim(), &net.agents());
@@ -72,19 +73,22 @@ void Measure(double loss, Row* tree, Row* sketch, Row* snapshot) {
 
 }  // namespace
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(baseline_sketches,
+                "Baseline: TAG tree vs multipath sketches vs snapshot") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Baseline: TAG tree vs multipath sketches [3] vs snapshot queries",
+  bench::Driver driver(
+      ctx, "Baseline: TAG tree vs multipath sketches [3] vs snapshot queries",
       "N=100, weather workload, T=0.5, range=0.35 (multi-hop), "
       "whole-network SUM; relative error and data messages per query. "
       "The sketch sums ceil(v), a ~+5%% systematic bias at wind scale.");
 
+  const int reps = static_cast<int>(ctx.Scaled(5));
+  const int queries = static_cast<int>(ctx.Scaled(20));
   TablePrinter table({"P_loss", "tree err", "sketch err", "snapshot err",
                       "tree msgs", "sketch msgs", "snapshot msgs"});
   for (double loss : {0.0, 0.1, 0.2, 0.3}) {
     Row tree, sketch, snapshot;
-    Measure(loss, &tree, &sketch, &snapshot);
+    Measure(loss, reps, queries, &tree, &sketch, &snapshot);
     table.AddRow({TablePrinter::Num(loss, 1),
                   TablePrinter::Num(100.0 * tree.error.mean(), 1) + "%",
                   TablePrinter::Num(100.0 * sketch.error.mean(), 1) + "%",
@@ -97,6 +101,4 @@ int main(int, char** argv) {
   std::printf("\n(data messages only; all three pay ~N request/flood "
               "messages per epoch. The snapshot additionally amortizes its "
               "election over the query stream.)\n");
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

@@ -1,0 +1,65 @@
+#include "bench_registry.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+
+namespace snapq::bench {
+
+Registry& Registry::Instance() {
+  static Registry instance;
+  return instance;
+}
+
+bool Registry::Add(const char* name, const char* description, BenchFn fn) {
+  const auto pos = std::lower_bound(
+      benchmarks_.begin(), benchmarks_.end(), name,
+      [](const BenchInfo& info, const char* n) {
+        return std::strcmp(info.name, n) < 0;
+      });
+  benchmarks_.insert(pos, BenchInfo{name, description, fn});
+  return true;
+}
+
+const BenchInfo* Registry::Find(const std::string& name) const {
+  for (const BenchInfo& info : benchmarks_) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+int StandaloneMain(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--quick]\n", argv[0]);
+      for (const BenchInfo& info : Registry::Instance().benchmarks()) {
+        std::printf("  %s: %s\n", info.name, info.description);
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (Registry::Instance().benchmarks().empty()) {
+    std::fprintf(stderr, "no benchmarks registered\n");
+    return 1;
+  }
+  for (const BenchInfo& info : Registry::Instance().benchmarks()) {
+    RunContext ctx;
+    ctx.name = info.name;
+    ctx.argv0 = argv[0] != nullptr ? argv[0] : "";
+    ctx.quick = quick;
+    ctx.repetitions = quick ? 1 : Repetitions();
+    ctx.write_sidecars = true;
+    info.fn(ctx);
+  }
+  return 0;
+}
+
+}  // namespace snapq::bench

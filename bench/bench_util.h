@@ -1,6 +1,7 @@
 // Shared helpers for the experiment drivers in bench/. Each driver
 // regenerates one table or figure of the paper and prints the same
-// rows/series the paper reports (averaged over the paper's 10 repetitions).
+// rows/series the paper reports (averaged over the paper's 10 repetitions,
+// overridable via SNAPQ_REPETITIONS or --quick).
 #ifndef SNAPQ_BENCH_BENCH_UTIL_H_
 #define SNAPQ_BENCH_BENCH_UTIL_H_
 
@@ -10,6 +11,7 @@
 #include <fstream>
 #include <string>
 
+#include "bench_registry.h"
 #include "obs/metric_registry.h"
 #include "obs/perfetto_export.h"
 #include "obs/tracer.h"
@@ -21,10 +23,22 @@ namespace snapq::bench {
 inline constexpr int kRepetitions = 10;
 inline constexpr uint64_t kBaseSeed = 1;
 
-inline void PrintHeader(const char* experiment, const char* setup) {
+/// kRepetitions unless the SNAPQ_REPETITIONS environment variable names a
+/// positive integer — CI quick passes set it instead of editing sources.
+inline int Repetitions() {
+  if (const char* env = std::getenv("SNAPQ_REPETITIONS");
+      env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<int>(parsed);
+  }
+  return kRepetitions;
+}
+
+inline void PrintHeader(const char* experiment, const char* setup,
+                        int repetitions) {
   std::printf("=== %s ===\n", experiment);
   std::printf("%s\n", setup);
-  std::printf("(averages over %d seeded repetitions)\n\n", kRepetitions);
+  std::printf("(averages over %d seeded repetitions)\n\n", repetitions);
 }
 
 /// Where a driver's `<name><suffix>` sidecar goes. The name is always the
@@ -51,9 +65,9 @@ inline std::string SidecarPath(const char* argv0, const char* suffix) {
 
 /// Writes the process-wide metric registry (every trial merges its
 /// simulation registry into it) as a machine-readable sidecar:
-/// `<basename(argv0)>.metrics.json` (see SidecarPath). Called at the end
-/// of every driver's main() so each table/figure run leaves its
-/// instruments on disk.
+/// `<basename(argv0)>.metrics.json` (see SidecarPath). Called by
+/// Driver's destructor so each table/figure run leaves its instruments on
+/// disk.
 inline void WriteMetricsSidecar(const char* argv0) {
   const std::string path = SidecarPath(argv0, ".metrics.json");
   std::ofstream out(path);
@@ -78,6 +92,43 @@ inline void WriteTraceSidecar(const char* argv0, const obs::Tracer& tracer) {
               tracer.spans().size(),
               static_cast<unsigned long long>(tracer.num_traces()));
 }
+
+/// RAII frame around one driver body: prints the standard header on entry
+/// and writes the metrics sidecar on exit (when the context asks for
+/// sidecars), replacing the PrintHeader/WriteMetricsSidecar pairs every
+/// driver used to repeat. Trace sidecars go through WriteTrace so only
+/// the drivers that trace pay for it.
+class Driver {
+ public:
+  Driver(const RunContext& ctx, const char* experiment, const char* setup)
+      : ctx_(ctx) {
+    PrintHeader(experiment, setup, ctx.repetitions);
+    if (ctx.quick) {
+      std::printf("(quick mode: repetitions and horizons scaled down)\n\n");
+    }
+  }
+
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  ~Driver() {
+    if (ctx_.write_sidecars) WriteMetricsSidecar(SidecarBase().c_str());
+  }
+
+  void WriteTrace(const obs::Tracer& tracer) const {
+    if (ctx_.write_sidecars) WriteTraceSidecar(SidecarBase().c_str(), tracer);
+  }
+
+ private:
+  /// Standalone runs label sidecars by binary path; harness runs (empty
+  /// argv0) fall back to the benchmark name, resolved against the CWD or
+  /// SNAPQ_METRICS_DIR by SidecarPath.
+  std::string SidecarBase() const {
+    return ctx_.argv0.empty() ? ctx_.name : ctx_.argv0;
+  }
+
+  const RunContext& ctx_;
+};
 
 }  // namespace snapq::bench
 

@@ -11,16 +11,19 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(fig06_classes,
+                "Figure 6: representatives vs number of classes K") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Figure 6: representatives vs number of classes K",
-      "N=100, range=sqrt(2), P_loss=0, cache=2048B, T=1, sse");
+  bench::Driver driver(ctx,
+                       "Figure 6: representatives vs number of classes K",
+                       "N=100, range=sqrt(2), P_loss=0, cache=2048B, T=1, "
+                       "sse");
 
   TablePrinter table({"K", "representatives (n1)", "min", "max"});
   for (size_t k : {1u, 2u, 5u, 10u, 15u, 20u, 30u, 50u, 75u, 100u}) {
     const RunningStats reps = MeanOverSeeds(
-        bench::kRepetitions, bench::kBaseSeed, [&](uint64_t seed) {
+        static_cast<size_t>(ctx.repetitions), bench::kBaseSeed,
+        [&](uint64_t seed) {
           SensitivityConfig config;
           config.num_classes = k;
           config.seed = seed;
@@ -32,16 +35,14 @@ int main(int, char** argv) {
                   TablePrinter::Num(reps.max(), 0)});
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
 
   // One fully-traced repetition (K = 10, the paper's default) for the
   // `.trace.json` sidecar — the election's causal tree in Perfetto.
-  {
+  if (ctx.write_sidecars) {
     SensitivityConfig config;
     config.seed = bench::kBaseSeed;
     config.trace_sampling = 1.0;
     const SensitivityOutcome outcome = RunSensitivityTrial(config);
-    bench::WriteTraceSidecar(argv[0], *outcome.network->tracer());
+    driver.WriteTrace(*outcome.network->tracer());
   }
-  return 0;
 }

@@ -11,17 +11,18 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(fig07_message_loss,
+                "Figure 7: representatives vs message loss (K=1)") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Figure 7: representatives vs message loss (K=1)",
-      "N=100, range=sqrt(2), cache=2048B, T=1, sse, K=1");
+  bench::Driver driver(ctx, "Figure 7: representatives vs message loss (K=1)",
+                       "N=100, range=sqrt(2), cache=2048B, T=1, sse, K=1");
 
   TablePrinter table({"P_loss", "representatives (n1)", "min", "max"});
   for (double loss : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
                       0.95}) {
     const RunningStats reps = MeanOverSeeds(
-        bench::kRepetitions, bench::kBaseSeed, [&](uint64_t seed) {
+        static_cast<size_t>(ctx.repetitions), bench::kBaseSeed,
+        [&](uint64_t seed) {
           SensitivityConfig config;
           config.num_classes = 1;
           config.loss_probability = loss;
@@ -35,6 +36,4 @@ int main(int, char** argv) {
                   TablePrinter::Num(reps.max(), 0)});
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

@@ -12,15 +12,16 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(fig08_cache_size,
+                "Figure 8: representatives vs cache size (K=10)") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Figure 8: representatives vs cache size (K=10)",
-      "N=100, range=sqrt(2), P_loss=0, T=1, sse, K=10; model-aware vs "
-      "round-robin replacement");
+  bench::Driver driver(ctx, "Figure 8: representatives vs cache size (K=10)",
+                       "N=100, range=sqrt(2), P_loss=0, T=1, sse, K=10; "
+                       "model-aware vs round-robin replacement");
 
-  auto mean_reps = [](size_t cache_bytes, CachePolicy policy) {
-    return MeanOverSeeds(bench::kRepetitions, bench::kBaseSeed,
+  auto mean_reps = [&](size_t cache_bytes, CachePolicy policy) {
+    return MeanOverSeeds(static_cast<size_t>(ctx.repetitions),
+                         bench::kBaseSeed,
                          [&](uint64_t seed) {
                            SensitivityConfig config;
                            config.num_classes = 10;
@@ -41,6 +42,4 @@ int main(int, char** argv) {
                   TablePrinter::Num(mean_reps(bytes, CachePolicy::kRoundRobin), 1)});
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

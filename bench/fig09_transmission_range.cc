@@ -10,11 +10,12 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(fig09_transmission_range,
+                "Figure 9: representatives vs transmission range") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Figure 9: representatives vs transmission range",
-      "N=100, P_loss=0, cache=2048B, T=1, sse; one line per K");
+  bench::Driver driver(ctx, "Figure 9: representatives vs transmission range",
+                       "N=100, P_loss=0, cache=2048B, T=1, sse; one line "
+                       "per K");
 
   const std::vector<size_t> ks = {1, 5, 10, 20};
   std::vector<std::string> header = {"range"};
@@ -25,7 +26,8 @@ int main(int, char** argv) {
     std::vector<std::string> row = {TablePrinter::Num(range, 1)};
     for (size_t k : ks) {
       const RunningStats reps = MeanOverSeeds(
-          bench::kRepetitions, bench::kBaseSeed, [&](uint64_t seed) {
+          static_cast<size_t>(ctx.repetitions), bench::kBaseSeed,
+          [&](uint64_t seed) {
             SensitivityConfig config;
             config.num_classes = k;
             config.transmission_range = range;
@@ -38,6 +40,4 @@ int main(int, char** argv) {
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

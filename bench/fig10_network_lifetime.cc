@@ -29,7 +29,8 @@ constexpr Time kDiscovery = 20;
 /// First query tick: after the snapshot run's election window has settled
 /// (the same instant is used for the regular run, for comparability).
 constexpr Time kQueryStart = 90;
-constexpr Time kHorizon = 9000;
+constexpr Time kFullHorizon = 9000;
+constexpr int kFullRepetitions = 5;
 // The paper's "simple maintenance protocol that replaced representative
 // nodes as they died out": heartbeats every 100 units (the paper's update
 // cadence, Fig 14) with single-miss failover.
@@ -41,7 +42,8 @@ struct LifetimeCurve {
   LifetimeCurve() : coverage(kBuckets) {}
 };
 
-void RunLifetime(bool use_snapshot, uint64_t seed, LifetimeCurve* curve) {
+void RunLifetime(bool use_snapshot, uint64_t seed, Time horizon,
+                 LifetimeCurve* curve) {
   NetworkConfig config;
   config.num_nodes = 100;
   config.transmission_range = 0.7;
@@ -56,7 +58,7 @@ void RunLifetime(bool use_snapshot, uint64_t seed, LifetimeCurve* curve) {
   RandomWalkConfig walk;
   walk.num_nodes = 100;
   walk.num_classes = 1;
-  walk.horizon = static_cast<size_t>(kHorizon) + 1;
+  walk.horizon = static_cast<size_t>(horizon) + 1;
   Result<Dataset> dataset =
       Dataset::Create(GenerateRandomWalk(walk, data_rng).series);
   SNAPQ_CHECK(dataset.ok());
@@ -68,13 +70,13 @@ void RunLifetime(bool use_snapshot, uint64_t seed, LifetimeCurve* curve) {
     net.ScheduleTrainingBroadcasts(0, kTrainTicks);
     net.RunUntil(kDiscovery);
     net.RunElection(kDiscovery);
-    net.ScheduleMaintenance(net.now() + kMaintenanceInterval, kHorizon,
+    net.ScheduleMaintenance(net.now() + kMaintenanceInterval, horizon,
                             kMaintenanceInterval);
   }
 
   Rng query_rng = Rng(seed).SplitNamed("queries");
   const double w = std::sqrt(0.1);
-  for (Time t = kQueryStart; t < kHorizon; ++t) {
+  for (Time t = kQueryStart; t < horizon; ++t) {
     net.RunUntil(t);
     ExecutionOptions options;
     // The query attaches to a live gateway node (a user would not pick a
@@ -91,7 +93,7 @@ void RunLifetime(bool use_snapshot, uint64_t seed, LifetimeCurve* curve) {
         AggregateFunction::kSum, options);
     if (result.matching_nodes > 0) {
       const size_t bucket = static_cast<size_t>(
-          (t - kQueryStart) * kBuckets / (kHorizon - kQueryStart));
+          (t - kQueryStart) * kBuckets / (horizon - kQueryStart));
       curve->coverage[std::min<size_t>(bucket, kBuckets - 1)].Add(
           result.coverage);
     }
@@ -101,18 +103,25 @@ void RunLifetime(bool use_snapshot, uint64_t seed, LifetimeCurve* curve) {
 
 }  // namespace
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(fig10_network_lifetime,
+                "Figure 10: network coverage over time (K=1, range=0.7)") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Figure 10: network coverage over time (K=1, range=0.7)",
+  bench::Driver driver(
+      ctx, "Figure 10: network coverage over time (K=1, range=0.7)",
       "battery=500 tx, cache op=0.1 tx, continuous random queries of area "
       "0.1; coverage = available measurements / ideal measurements");
 
+  // Quick mode keeps the bucket structure but shortens the horizon; the
+  // paper's full run is 9,000 time units x 5 repetitions.
+  const Time horizon =
+      std::max<Time>(ctx.Scaled(kFullHorizon), kQueryStart + kBuckets);
+  const int reps = static_cast<int>(ctx.Scaled(kFullRepetitions));
+
   LifetimeCurve regular, snapshot;
-  for (int r = 0; r < 5; ++r) {
-    RunLifetime(false, bench::kBaseSeed + static_cast<uint64_t>(r),
+  for (int r = 0; r < reps; ++r) {
+    RunLifetime(false, bench::kBaseSeed + static_cast<uint64_t>(r), horizon,
                 &regular);
-    RunLifetime(true, bench::kBaseSeed + static_cast<uint64_t>(r),
+    RunLifetime(true, bench::kBaseSeed + static_cast<uint64_t>(r), horizon,
                 &snapshot);
   }
 
@@ -120,7 +129,7 @@ int main(int, char** argv) {
   double area_regular = 0.0;
   double area_snapshot = 0.0;
   for (int b = 0; b < kBuckets; ++b) {
-    const Time t = kQueryStart + (kHorizon - kQueryStart) * (b + 1) / kBuckets;
+    const Time t = kQueryStart + (horizon - kQueryStart) * (b + 1) / kBuckets;
     area_regular += regular.coverage[static_cast<size_t>(b)].mean();
     area_snapshot += snapshot.coverage[static_cast<size_t>(b)].mean();
     table.AddRow(
@@ -131,6 +140,4 @@ int main(int, char** argv) {
   table.Print(std::cout);
   std::printf("\narea under curve: regular=%.2f snapshot=%.2f (of %d)\n",
               area_regular, area_snapshot, kBuckets);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

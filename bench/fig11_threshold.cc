@@ -12,17 +12,19 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(fig11_threshold,
+                "Figure 11: representatives vs error threshold T (weather)") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Figure 11: representatives vs error threshold T (weather data)",
+  bench::Driver driver(
+      ctx, "Figure 11: representatives vs error threshold T (weather data)",
       "N=100, range=sqrt(2), P_loss=0, cache=2048B, sse; synthetic wind "
       "substitute for the UW station data");
 
   TablePrinter table({"T", "representatives (n1)", "% of N"});
   for (double t : {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0}) {
     const RunningStats reps = MeanOverSeeds(
-        bench::kRepetitions, bench::kBaseSeed, [&](uint64_t seed) {
+        static_cast<size_t>(ctx.repetitions), bench::kBaseSeed,
+        [&](uint64_t seed) {
           SensitivityConfig config;
           config.workload = WorkloadKind::kWeather;
           config.threshold = t;
@@ -34,6 +36,4 @@ int main(int, char** argv) {
                   TablePrinter::Num(reps.mean(), 1) + "%"});
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

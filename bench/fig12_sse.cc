@@ -8,17 +8,19 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(fig12_sse,
+                "Figure 12: average sse of representative estimates") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Figure 12: average sse of representative estimates (weather data)",
+  bench::Driver driver(
+      ctx, "Figure 12: average sse of representative estimates (weather data)",
       "same runs as Figure 11; sse measured at discovery time over all "
       "represented nodes");
 
   TablePrinter table({"T", "avg sse", "sse / T"});
   for (double t : {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0}) {
     const RunningStats sse = MeanOverSeeds(
-        bench::kRepetitions, bench::kBaseSeed, [&](uint64_t seed) {
+        static_cast<size_t>(ctx.repetitions), bench::kBaseSeed,
+        [&](uint64_t seed) {
           SensitivityConfig config;
           config.workload = WorkloadKind::kWeather;
           config.threshold = t;
@@ -30,6 +32,4 @@ int main(int, char** argv) {
                   TablePrinter::Num(sse.mean() / t, 3)});
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

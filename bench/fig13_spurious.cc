@@ -12,17 +12,18 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(fig13_spurious,
+                "Figure 13: spurious representatives vs message loss") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Figure 13: spurious representatives vs message loss (weather data)",
+  bench::Driver driver(
+      ctx, "Figure 13: spurious representatives vs message loss (weather data)",
       "N=100, T=0.1, sse, range=0.2, cache=2048B");
 
   TablePrinter table({"P_loss", "total representatives", "spurious"});
   for (double loss :
        {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
     RunningStats total, spurious;
-    for (int r = 0; r < bench::kRepetitions; ++r) {
+    for (int r = 0; r < ctx.repetitions; ++r) {
       SensitivityConfig config;
       config.workload = WorkloadKind::kWeather;
       config.threshold = 0.1;
@@ -38,12 +39,11 @@ int main(int, char** argv) {
                   TablePrinter::Num(spurious.mean(), 1)});
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
 
   // One fully-traced repetition at heavy loss for the `.trace.json`
   // sidecar: the causal trees behind the spurious-representative counts
   // (violation roots, re-elections, lost recalls) viewable in Perfetto.
-  {
+  if (ctx.write_sidecars) {
     SensitivityConfig config;
     config.workload = WorkloadKind::kWeather;
     config.threshold = 0.1;
@@ -52,7 +52,6 @@ int main(int, char** argv) {
     config.seed = bench::kBaseSeed;
     config.trace_sampling = 1.0;
     const SensitivityOutcome outcome = RunSensitivityTrial(config);
-    bench::WriteTraceSidecar(argv[0], *outcome.network->tracer());
+    driver.WriteTrace(*outcome.network->tracer());
   }
-  return 0;
 }

@@ -13,20 +13,24 @@
 #include "common/table_printer.h"
 #include "longrun_common.h"
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(fig14_snapshot_overtime,
+                "Figure 14: snapshot size over time (weather data)") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Figure 14: snapshot size over time (weather data)",
+  bench::Driver driver(
+      ctx, "Figure 14: snapshot size over time (weather data)",
       "N=100, T=0.1, sse, update every 100 units, snoop=5%; 5,000 time "
       "units");
+
+  const Time horizon = ctx.Scaled(bench::kLongHorizon);
+  const int reps = static_cast<int>(ctx.Scaled(bench::kLongRepetitions));
 
   // round start -> range -> stats over repetitions
   std::map<Time, std::map<double, RunningStats>> by_round;
   std::map<double, RunningStats> overall;
   for (double range : {0.2, 0.7}) {
-    for (int r = 0; r < bench::kLongRepetitions; ++r) {
+    for (int r = 0; r < reps; ++r) {
       const auto rounds = bench::RunLongMaintenance(
-          range, bench::kBaseSeed + static_cast<uint64_t>(r));
+          range, bench::kBaseSeed + static_cast<uint64_t>(r), horizon);
       for (const MaintenanceRoundStats& s : rounds) {
         by_round[s.round_start][range].Add(
             static_cast<double>(s.snapshot_size));
@@ -51,6 +55,4 @@ int main(int, char** argv) {
   table.Print(std::cout);
   std::printf("\naverage snapshot size: range 0.2 -> %.1f, range 0.7 -> %.1f\n",
               overall[0.2].mean(), overall[0.7].mean());
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

@@ -13,19 +13,23 @@
 #include "common/table_printer.h"
 #include "longrun_common.h"
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(fig15_maintenance_messages,
+                "Figure 15: messages per node per snapshot update") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Figure 15: messages per node per snapshot update (weather data)",
+  bench::Driver driver(
+      ctx, "Figure 15: messages per node per snapshot update (weather data)",
       "same runs as Figure 14; protocol messages only");
+
+  const Time horizon = ctx.Scaled(bench::kLongHorizon);
+  const int reps = static_cast<int>(ctx.Scaled(bench::kLongRepetitions));
 
   TablePrinter table(
       {"range", "avg msgs/node/update", "max round avg", "min round avg"});
   for (double range : {0.2, 0.7}) {
     RunningStats per_round;
-    for (int r = 0; r < bench::kLongRepetitions; ++r) {
+    for (int r = 0; r < reps; ++r) {
       const auto rounds = bench::RunLongMaintenance(
-          range, bench::kBaseSeed + static_cast<uint64_t>(r));
+          range, bench::kBaseSeed + static_cast<uint64_t>(r), horizon);
       for (const MaintenanceRoundStats& s : rounds) {
         per_round.Add(s.avg_messages_per_node);
       }
@@ -38,6 +42,4 @@ int main(int, char** argv) {
   table.Print(std::cout);
   std::printf("\n(§5.1 bound: at most six protocol messages per maintained "
               "node per update)\n");
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

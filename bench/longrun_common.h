@@ -21,9 +21,10 @@ constexpr int kLongRepetitions = 5;
 
 /// Runs the §6.3 long experiment at the given transmission range and
 /// returns the per-update maintenance stats (snapshot size, messages per
-/// node, spurious count).
+/// node, spurious count). `horizon` defaults to the paper's 5,000 time
+/// units; quick harness passes shrink it (ctx.Scaled(kLongHorizon)).
 inline std::vector<MaintenanceRoundStats> RunLongMaintenance(
-    double transmission_range, uint64_t seed) {
+    double transmission_range, uint64_t seed, Time horizon = kLongHorizon) {
   NetworkConfig config;
   config.num_nodes = 100;
   config.transmission_range = transmission_range;
@@ -34,7 +35,7 @@ inline std::vector<MaintenanceRoundStats> RunLongMaintenance(
 
   Rng data_rng = Rng(seed).SplitNamed("weather-long");
   Result<Dataset> dataset = Dataset::Create(GenerateWeatherWindows(
-      WeatherConfig{}, 100, static_cast<size_t>(kLongHorizon) + 1,
+      WeatherConfig{}, 100, static_cast<size_t>(horizon) + 1,
       data_rng));
   SNAPQ_CHECK(dataset.ok());
   SNAPQ_CHECK(net.AttachDataset(std::move(*dataset)).ok());
@@ -49,7 +50,7 @@ inline std::vector<MaintenanceRoundStats> RunLongMaintenance(
   // neighbors snoop these messages with probability 5%.
   Rng query_rng = Rng(seed).SplitNamed("queries-long");
   const double w = std::sqrt(0.1);
-  for (Time t = net.now() + 1; t < kLongHorizon; ++t) {
+  for (Time t = net.now() + 1; t < horizon; ++t) {
     net.sim().ScheduleAt(t, [&net, &query_rng, w] {
       const Point center{query_rng.NextDouble(), query_rng.NextDouble()};
       const Rect region = Rect::CenteredSquare(center, w);
@@ -69,7 +70,7 @@ inline std::vector<MaintenanceRoundStats> RunLongMaintenance(
 
   std::vector<MaintenanceRoundStats> rounds;
   net.ScheduleMaintenance(
-      net.now() + kUpdateInterval, kLongHorizon, kUpdateInterval,
+      net.now() + kUpdateInterval, horizon, kUpdateInterval,
       [&rounds](const MaintenanceRoundStats& s) { rounds.push_back(s); });
   net.RunAll();
   obs::GlobalMetrics().MergeFrom(net.sim().registry());

@@ -1,0 +1,288 @@
+// The unified benchmark harness: every experiment driver registered via
+// SNAPQ_BENCHMARK in one binary, timed under the hot-path profiler, with
+// results written to the canonical BENCH.json (bench_report.h). Typical
+// uses:
+//
+//   snapq_bench --list                   # what is registered
+//   snapq_bench --filter fig0 --quick    # fast subset, scaled-down work
+//   snapq_bench --out BENCH.json         # full run for the trajectory
+//   tools/bench_compare.py old.json new.json
+//
+// Each benchmark runs `--reps` times (default 3, 1 in quick mode) after
+// one discarded warmup; the median repetition is the headline number so a
+// cold cache or a descheduled run cannot fake a regression. Driver stdout
+// (the paper tables) is routed to /dev/null unless --verbose, so the
+// harness output stays a readable progress log.
+#include <fcntl.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "bench_util.h"
+#include "obs/metric_registry.h"
+#include "obs/profiler.h"
+
+namespace snapq::bench {
+namespace {
+
+struct Options {
+  bool list = false;
+  bool quick = false;
+  bool verbose = false;
+  bool warmup = true;
+  bool sidecars = false;
+  int harness_reps = 0;  // 0 = default (3, or 1 when quick)
+  std::string out = "BENCH.json";
+  std::vector<std::string> filters;
+};
+
+int Usage(const char* argv0, int code) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --list            list registered benchmarks and exit\n"
+      "  --filter SUBSTR   run only benchmarks whose name contains SUBSTR\n"
+      "                    (repeatable; any match selects)\n"
+      "  --quick           ~10x less work per benchmark, 1 harness rep\n"
+      "  --reps N          timed repetitions per benchmark (default 3;\n"
+      "                    1 with --quick)\n"
+      "  --out FILE        where to write BENCH.json (default BENCH.json)\n"
+      "  --sidecars        let drivers write their .metrics/.trace sidecars\n"
+      "  --verbose         do not silence driver stdout\n"
+      "  --no-warmup       skip the discarded warmup repetition\n",
+      argv0);
+  return code;
+}
+
+double ProcessCpuMicros() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) / 1e3;
+}
+
+/// Redirects fd 1 to /dev/null for the lifetime of the object. Works below
+/// stdio/iostream so both printf drivers and std::cout drivers go quiet.
+class StdoutSilencer {
+ public:
+  StdoutSilencer() {
+    std::fflush(stdout);
+    std::cout.flush();
+    saved_ = dup(1);
+    const int devnull = open("/dev/null", O_WRONLY);
+    if (saved_ >= 0 && devnull >= 0) dup2(devnull, 1);
+    if (devnull >= 0) close(devnull);
+  }
+  ~StdoutSilencer() {
+    std::fflush(stdout);
+    std::cout.flush();
+    if (saved_ >= 0) {
+      dup2(saved_, 1);
+      close(saved_);
+    }
+  }
+  StdoutSilencer(const StdoutSilencer&) = delete;
+  StdoutSilencer& operator=(const StdoutSilencer&) = delete;
+
+ private:
+  int saved_ = -1;
+};
+
+bool Selected(const BenchInfo& info, const Options& opt) {
+  if (opt.filters.empty()) return true;
+  for (const std::string& f : opt.filters) {
+    if (std::strstr(info.name, f.c_str()) != nullptr) return true;
+  }
+  return false;
+}
+
+BenchmarkResult RunOne(const BenchInfo& info, const Options& opt,
+                       int harness_reps, int driver_reps) {
+  RunContext ctx;
+  ctx.name = info.name;
+  ctx.argv0.clear();  // sidecars (if any) labeled by benchmark name
+  ctx.quick = opt.quick;
+  ctx.repetitions = driver_reps;
+  ctx.write_sidecars = opt.sidecars;
+
+  using obs::HotOp;
+  using obs::LogHistogram;
+  using obs::ProfPhase;
+  using obs::Profiler;
+
+  auto run_once = [&]() {
+    if (opt.verbose) {
+      info.fn(ctx);
+    } else {
+      StdoutSilencer quiet;
+      info.fn(ctx);
+    }
+  };
+
+  if (opt.warmup) {
+    obs::GlobalMetrics().Reset();
+    run_once();
+  }
+
+  std::vector<double> wall_ms, cpu_ms;
+  std::array<uint64_t, obs::kNumHotOps> counters{};
+  std::array<LogHistogram, obs::kNumProfPhases> merged_wall{};
+  for (int rep = 0; rep < harness_reps; ++rep) {
+    obs::GlobalMetrics().Reset();
+    Profiler::Global().Reset();
+    Profiler::Enable();
+    const auto wall_start = std::chrono::steady_clock::now();
+    const double cpu_start = ProcessCpuMicros();
+    run_once();
+    const double cpu_end = ProcessCpuMicros();
+    const auto wall_end = std::chrono::steady_clock::now();
+    Profiler::Disable();
+
+    wall_ms.push_back(
+        std::chrono::duration<double, std::milli>(wall_end - wall_start)
+            .count());
+    cpu_ms.push_back((cpu_end - cpu_start) / 1e3);
+    // The drivers are fully seeded, so hot-op counts are identical across
+    // repetitions; keeping the last is keeping all of them.
+    for (size_t op = 0; op < obs::kNumHotOps; ++op) {
+      counters[op] = Profiler::Global().count(static_cast<HotOp>(op));
+    }
+    for (size_t ph = 0; ph < obs::kNumProfPhases; ++ph) {
+      merged_wall[ph].MergeFrom(
+          Profiler::Global().wall_us(static_cast<ProfPhase>(ph)));
+    }
+  }
+
+  BenchmarkResult result;
+  result.name = info.name;
+  result.wall_ms = StatSummary::FromSamples(wall_ms);
+  result.cpu_ms = StatSummary::FromSamples(cpu_ms);
+  const double median_sec = result.wall_ms.median / 1e3;
+  for (size_t op = 0; op < obs::kNumHotOps; ++op) {
+    const char* name = obs::HotOpName(static_cast<HotOp>(op));
+    result.counters.emplace_back(name, counters[op]);
+    result.throughput.emplace_back(
+        std::string(name) + "_per_sec",
+        median_sec > 0.0 ? static_cast<double>(counters[op]) / median_sec
+                         : 0.0);
+  }
+  for (size_t ph = 0; ph < obs::kNumProfPhases; ++ph) {
+    const LogHistogram& h = merged_wall[ph];
+    PhaseLatency lat;
+    lat.phase = obs::ProfPhaseName(static_cast<ProfPhase>(ph));
+    lat.count = h.count();
+    lat.p50 = h.Percentile(50);
+    lat.p95 = h.Percentile(95);
+    lat.p99 = h.Percentile(99);
+    lat.max = h.max_seen();
+    result.latency_us.push_back(std::move(lat));
+  }
+  result.peak_rss_kb = PeakRssKb();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--no-warmup") {
+      opt.warmup = false;
+    } else if (arg == "--sidecars") {
+      opt.sidecars = true;
+    } else if (arg == "--filter") {
+      opt.filters.emplace_back(value("--filter"));
+    } else if (arg == "--reps") {
+      opt.harness_reps = std::atoi(value("--reps"));
+      if (opt.harness_reps <= 0) {
+        std::fprintf(stderr, "--reps wants a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--out") {
+      opt.out = value("--out");
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage(argv[0], 2);
+    }
+  }
+
+  const auto& all = Registry::Instance().benchmarks();
+  if (opt.list) {
+    for (const BenchInfo& info : all) {
+      std::printf("%-32s %s\n", info.name, info.description);
+    }
+    return 0;
+  }
+
+  std::vector<const BenchInfo*> selected;
+  for (const BenchInfo& info : all) {
+    if (Selected(info, opt)) selected.push_back(&info);
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "no benchmark matches the filter (of %zu; see "
+                 "--list)\n",
+                 all.size());
+    return 1;
+  }
+
+  const int harness_reps =
+      opt.harness_reps > 0 ? opt.harness_reps : (opt.quick ? 1 : 3);
+  const int driver_reps = opt.quick ? 1 : Repetitions();
+
+  BenchReport report;
+  report.git_sha = GitSha();
+  report.timestamp = IsoTimestamp();
+  report.quick = opt.quick;
+  report.harness_repetitions = harness_reps;
+  report.driver_repetitions = driver_reps;
+
+  std::printf("running %zu benchmark(s), %d timed rep(s) each%s\n",
+              selected.size(), harness_reps,
+              opt.quick ? " (quick)" : "");
+  int index = 0;
+  for (const BenchInfo* info : selected) {
+    ++index;
+    std::printf("[%2d/%zu] %-32s ", index, selected.size(), info->name);
+    std::fflush(stdout);
+    BenchmarkResult r = RunOne(*info, opt, harness_reps, driver_reps);
+    std::printf("wall %.1f ms  cpu %.1f ms  rss %lld KB\n", r.wall_ms.median,
+                r.cpu_ms.median, static_cast<long long>(r.peak_rss_kb));
+    report.benchmarks.push_back(std::move(r));
+  }
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  out << report.ToJson() << '\n';
+  std::printf("wrote %s (%zu benchmarks, git %s)\n", opt.out.c_str(),
+              report.benchmarks.size(), report.git_sha.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace snapq::bench
+
+int main(int argc, char** argv) { return snapq::bench::Main(argc, argv); }

@@ -1,0 +1,9 @@
+// main() for the per-figure driver binaries: each one links exactly one
+// SNAPQ_BENCHMARK translation unit plus this file, so StandaloneMain runs
+// that single benchmark with full repetitions and sidecars — the
+// pre-registry behavior of `./build/bench/fig06_classes` et al.
+#include "bench_registry.h"
+
+int main(int argc, char** argv) {
+  return snapq::bench::StandaloneMain(argc, argv);
+}

@@ -25,7 +25,7 @@ using namespace snapq;
 /// Average savings of snapshot over regular execution, for one Table-3
 /// cell, over `repetitions` independently elected networks.
 double SavingsFor(size_t num_classes, double range, double w_squared,
-                  int repetitions, uint64_t base_seed) {
+                  int repetitions, uint64_t base_seed, int queries) {
   RunningStats savings;
   for (int r = 0; r < repetitions; ++r) {
     SensitivityConfig config;
@@ -39,7 +39,7 @@ double SavingsFor(size_t num_classes, double range, double w_squared,
     const double w = std::sqrt(w_squared);
     uint64_t regular_total = 0;
     uint64_t snapshot_total = 0;
-    for (int q = 0; q < 200; ++q) {
+    for (int q = 0; q < queries; ++q) {
       ExecutionOptions options;
       options.sink = static_cast<NodeId>(
           rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
@@ -62,21 +62,23 @@ double SavingsFor(size_t num_classes, double range, double w_squared,
 
 }  // namespace
 
-int main(int, char** argv) {
+SNAPQ_BENCHMARK(table3_query_savings,
+                "Table 3: participation savings of snapshot queries") {
   using namespace snapq;
-  bench::PrintHeader(
-      "Table 3: participation savings of snapshot queries",
+  bench::Driver driver(
+      ctx, "Table 3: participation savings of snapshot queries",
       "N=100, T=1, sse; 200 random aggregate queries per cell, random "
       "sinks, TAG aggregation trees; savings = 1 - N_snapshot/N_regular");
 
+  const int queries = static_cast<int>(ctx.Scaled(200));
   TablePrinter table({"query range", "K=1 r=0.2", "K=1 r=0.7", "K=100 r=0.2",
                       "K=100 r=0.7"});
   for (double w2 : {0.01, 0.1, 0.5}) {
     std::vector<std::string> row = {"W^2 = " + TablePrinter::Num(w2, 2)};
     for (size_t k : {1u, 100u}) {
       for (double range : {0.2, 0.7}) {
-        const double s =
-            SavingsFor(k, range, w2, bench::kRepetitions, bench::kBaseSeed);
+        const double s = SavingsFor(k, range, w2, ctx.repetitions,
+                                    bench::kBaseSeed, queries);
         row.push_back(TablePrinter::Num(100.0 * s, 0) + "%");
       }
     }
@@ -85,6 +87,4 @@ int main(int, char** argv) {
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
-  snapq::bench::WriteMetricsSidecar(argv[0]);
-  return 0;
 }

@@ -17,6 +17,7 @@
 #include "data/random_walk.h"
 #include "obs/health_monitor.h"
 #include "obs/journal.h"
+#include "obs/profiler.h"
 #include "obs/trace_analyzer.h"
 #include "obs/tracer.h"
 
@@ -64,6 +65,8 @@ void PrintHelp() {
       "                        rate, spurious reps, model staleness)\n"
       "  \\trace [id]           list recorded causal traces, or show one\n"
       "                        trace's report with invariant verdicts\n"
+      "  \\profile              hot-path profile since startup: operation\n"
+      "                        counts/rates and phase latency percentiles\n"
       "  \\help                 this text\n"
       "  \\quit                 exit\n");
 }
@@ -101,6 +104,9 @@ int main(int argc, char** argv) {
   // Trace every protocol root cause from the start so the initial election
   // (and later re-elections / queries) shows up under \trace.
   obs::Tracer& tracer = net.EnableTracing();
+  // Profile from the start too, so \profile covers the initial election
+  // and every interactive query.
+  obs::Profiler::Enable();
   const Time horizon = static_cast<Time>(data->horizon());
   if (Status s = net.AttachDataset(std::move(*data)); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -135,6 +141,8 @@ int main(int argc, char** argv) {
       }
     } else if (line == "\\metrics") {
       std::printf("%s", net.sim().registry().ToCsv().c_str());
+    } else if (line == "\\profile") {
+      std::printf("%s", obs::Profiler::Global().ToTable().c_str());
     } else if (line == "\\health") {
       net.SampleHealth();
       std::printf("%s", net.health_monitor()->ToString().c_str());

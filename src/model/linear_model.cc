@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 
 namespace snapq {
 
@@ -30,6 +31,7 @@ void RegressionStats::Remove(double x, double y) {
 }
 
 LinearModel RegressionStats::Fit() const {
+  obs::ProfCount(obs::HotOp::kModelFits);
   if (n_ == 0) return LinearModel{0.0, 0.0};
   const double dn = static_cast<double>(n_);
   const double mean_y = sy_ / dn;

@@ -1,0 +1,216 @@
+// The hot-path profiler: log-bucketed latency histograms with fixed
+// memory, scoped CPU+wall timers, and operation counters for the rates
+// the ROADMAP's perf work cares about (messages simulated/sec, model
+// fits/sec, election rounds/sec). Complements the MetricRegistry the same
+// way a sampling profiler complements accounting ledgers:
+//
+//  * the registry is per-simulation and answers "how many protocol
+//    messages did this trial send" — experiment semantics;
+//  * the profiler is process-wide and answers "how fast does the
+//    simulator itself run" — engine performance, fed into BENCH.json by
+//    the snapq_bench harness.
+//
+// Design constraints, in order:
+//  * disabled cost: instrumentation sites call Profiler::Active(), a
+//    single relaxed pointer load; when no profiler is enabled that is the
+//    entire cost — no allocation, no lock, no histogram touch (enforced
+//    by the allocation-counting test, like the tracer's);
+//  * enabled cost: counters are fixed arrays indexed by enum (one add),
+//    histograms are fixed arrays bucketed with frexp (no log call, no
+//    sorting, no allocation ever after construction);
+//  * fixed memory: a LogHistogram is ~1.7 KB regardless of how many
+//    observations it absorbs (quantile-sketch style: Medians and Beyond /
+//    HDR histogram lineage).
+//
+// Thread-compatibility matches MetricRegistry: the simulator is
+// single-threaded; parallel runs each enable at most one profiler
+// process-wide (Enable/Disable are not thread-safe).
+#ifndef SNAPQ_OBS_PROFILER_H_
+#define SNAPQ_OBS_PROFILER_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace snapq::obs {
+
+class MetricRegistry;
+
+/// Log-bucketed histogram with exact count/sum/min/max and percentile
+/// estimates accurate to one bucket (buckets grow by 2^(1/4) ~ 19%, so a
+/// reported p50/p95/p99 is within 19% of the exact order statistic, and
+/// exact for single-valued buckets). Fixed memory, no sorting, values
+/// outside the covered range saturate into the edge buckets (never UB).
+class LogHistogram {
+ public:
+  /// Sub-buckets per power of two.
+  static constexpr int kSubBuckets = 4;
+  /// Smallest resolvable value: 2^kMinExp. Anything below (including 0
+  /// and negatives) lands in the underflow bucket 0.
+  static constexpr int kMinExp = -10;
+  /// Largest resolvable value: 2^kMaxExp. Anything above saturates into
+  /// the top bucket (max() stays exact).
+  static constexpr int kMaxExp = 40;
+  static constexpr int kNumBuckets =
+      (kMaxExp - kMinExp) * kSubBuckets + 1;  // +1 underflow
+
+  LogHistogram() = default;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double min_seen() const { return count_ == 0 ? 0.0 : min_; }
+  double max_seen() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Estimated value at percentile `pct` in [0, 100]: walks the buckets
+  /// to the target rank and interpolates inside the bucket, clamped to
+  /// [min_seen, max_seen] (a single sample is therefore exact). Empty
+  /// histogram: 0.
+  double Percentile(double pct) const;
+
+  /// Bucket i covers [LowerBound(i), UpperBound(i)); bucket 0 starts at 0
+  /// and the top bucket absorbs everything >= 2^kMaxExp.
+  static double BucketLowerBound(int index);
+  static double BucketUpperBound(int index);
+  static int BucketIndex(double v);
+
+  const std::array<uint64_t, static_cast<size_t>(kNumBuckets)>& buckets()
+      const {
+    return buckets_;
+  }
+
+  /// Adds `other`'s observations. Bucket-exact: merging then reading
+  /// percentiles equals bucketing the concatenated samples.
+  void MergeFrom(const LogHistogram& other);
+  void Reset();
+
+ private:
+  std::array<uint64_t, static_cast<size_t>(kNumBuckets)> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Hot-path operations the profiler counts. Fixed enum (not strings) so a
+/// count is one array add — extend here when instrumenting a new path.
+enum class HotOp : uint8_t {
+  kMessagesSent = 0,   ///< Simulator::Send transmissions
+  kMessagesDelivered,  ///< addressed deliveries (handler ran or dropped)
+  kMessagesSnooped,    ///< overheard unicasts
+  kCacheOps,           ///< cache-maintenance CPU charges
+  kModelFits,          ///< FitForMetric calls (LS + IRLS refits)
+  kElectionRounds,     ///< RunGlobalElection invocations
+  kMaintenanceRounds,  ///< MaintenanceDriver rounds
+  kQueriesExecuted,    ///< QueryExecutor::ExecuteRegion rounds
+  kCount
+};
+constexpr size_t kNumHotOps = static_cast<size_t>(HotOp::kCount);
+/// Stable snake_case name ("messages_sent"), used in BENCH.json and the
+/// registry export.
+const char* HotOpName(HotOp op);
+
+/// Coarse phases measured with scoped CPU+wall timers. Kept to phases that
+/// run at most a few thousand times per experiment so the two clock reads
+/// per side stay invisible.
+enum class ProfPhase : uint8_t {
+  kElection = 0,
+  kMaintenanceRound,
+  kQueryExecution,
+  kCount
+};
+constexpr size_t kNumProfPhases = static_cast<size_t>(ProfPhase::kCount);
+const char* ProfPhaseName(ProfPhase phase);
+
+class Profiler {
+ public:
+  Profiler() { Reset(); }
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// The enabled profiler, or nullptr when profiling is off. This is the
+  /// only call instrumentation sites make on the fast path.
+  static Profiler* Active() { return active_; }
+  /// The process-wide instance Enable() installs (exists even while
+  /// disabled, so exporters and the shell can read the last session).
+  static Profiler& Global();
+  static void Enable() { active_ = &Global(); }
+  static void Disable() { active_ = nullptr; }
+  static bool enabled() { return active_ != nullptr; }
+
+  void Count(HotOp op, uint64_t delta = 1) {
+    counters_[static_cast<size_t>(op)] += delta;
+  }
+  uint64_t count(HotOp op) const {
+    return counters_[static_cast<size_t>(op)];
+  }
+
+  void RecordPhase(ProfPhase phase, double wall_us, double cpu_us) {
+    wall_us_[static_cast<size_t>(phase)].Observe(wall_us);
+    cpu_us_[static_cast<size_t>(phase)].Observe(cpu_us);
+  }
+  const LogHistogram& wall_us(ProfPhase phase) const {
+    return wall_us_[static_cast<size_t>(phase)];
+  }
+  const LogHistogram& cpu_us(ProfPhase phase) const {
+    return cpu_us_[static_cast<size_t>(phase)];
+  }
+
+  /// Wall seconds since the last Reset() — the denominator for rates.
+  double ElapsedSeconds() const;
+  /// count(op) / ElapsedSeconds() (0 before any time has passed).
+  double Rate(HotOp op) const;
+
+  /// Zeroes counters and histograms and restarts the rate epoch.
+  void Reset();
+
+  /// Human-readable counter + phase-latency tables (the shell's \profile).
+  std::string ToTable() const;
+
+  /// Folds the profile into a registry: counters as
+  /// "profiler.<op>" counters, phase percentiles as
+  /// "profiler.<phase>.wall_us.p50" (p95/p99/max/count) gauges.
+  void ExportTo(MetricRegistry* registry) const;
+
+ private:
+  static Profiler* active_;
+
+  std::array<uint64_t, kNumHotOps> counters_{};
+  std::array<LogHistogram, kNumProfPhases> wall_us_{};
+  std::array<LogHistogram, kNumProfPhases> cpu_us_{};
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// Counts `op` on the active profiler; a pointer load + branch when
+/// profiling is disabled.
+inline void ProfCount(HotOp op, uint64_t delta = 1) {
+  if (Profiler* p = Profiler::Active()) p->Count(op, delta);
+}
+
+/// RAII CPU+wall timer for one ProfPhase occurrence. Inert (two pointer
+/// loads) when profiling is disabled at construction.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(ProfPhase phase);
+  ~ScopedPhaseTimer();
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+  /// Thread CPU time in microseconds (CLOCK_THREAD_CPUTIME_ID).
+  static double ThreadCpuMicros();
+
+ private:
+  Profiler* profiler_;
+  ProfPhase phase_;
+  std::chrono::steady_clock::time_point wall_start_{};
+  double cpu_start_us_ = 0.0;
+};
+
+}  // namespace snapq::obs
+
+#endif  // SNAPQ_OBS_PROFILER_H_

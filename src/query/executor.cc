@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "query/aggregation.h"
 #include "query/parser.h"
@@ -89,6 +90,8 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
                                          const ExecutionOptions& options) {
   const size_t n = agents_->size();
   SNAPQ_CHECK_LT(options.sink, n);
+  obs::ProfCount(obs::HotOp::kQueriesExecuted);
+  obs::ScopedPhaseTimer phase_timer(obs::ProfPhase::kQueryExecution);
   obs::Span span(&sim_->registry(), "query.execute");
   // Root cause: the injected query. `value` records the USE SNAPSHOT flag
   // so the analyzer knows which invariant applies.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 
 namespace snapq {
 
@@ -59,6 +60,7 @@ bool Simulator::Send(const Message& msg) {
   if (!batteries_[from].alive()) return false;
   // A node may die on its final transmission; the message still goes out.
   batteries_[from].Consume(config_.energy.tx_cost);
+  obs::ProfCount(obs::HotOp::kMessagesSent);
   metrics_.CountSent(msg.type);
   ++sent_by_[from];
   // Causal tracing: this transmission becomes a span under the sender's
@@ -123,8 +125,10 @@ void Simulator::Deliver(NodeId to, const Message& msg, bool snooped) {
   if (!batteries_[to].alive()) return;
   batteries_[to].Consume(config_.energy.rx_cost);
   if (snooped) {
+    obs::ProfCount(obs::HotOp::kMessagesSnooped);
     metrics_.CountSnooped(msg.type);
   } else {
+    obs::ProfCount(obs::HotOp::kMessagesDelivered);
     metrics_.CountDelivered(msg.type);
   }
   if (msg.trace.sampled() && tracer_ != nullptr) {
@@ -148,6 +152,7 @@ void Simulator::Deliver(NodeId to, const Message& msg, bool snooped) {
 void Simulator::ChargeCacheOp(NodeId id) {
   SNAPQ_CHECK_LT(id, num_nodes());
   batteries_[id].Consume(config_.energy.cache_op_cost);
+  obs::ProfCount(obs::HotOp::kCacheOps);
   metrics_.CountCacheOp();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 
 namespace snapq {
@@ -50,6 +51,8 @@ ElectionStats RunGlobalElection(
     const std::vector<std::unique_ptr<SnapshotAgent>>& agents, Time t0,
     const SnapshotConfig& config) {
   SNAPQ_CHECK_GE(t0, sim.now());
+  obs::ProfCount(obs::HotOp::kElectionRounds);
+  obs::ScopedPhaseTimer phase_timer(obs::ProfPhase::kElection);
   obs::Span span(&sim.registry(), "election");
   span.BeginSim(t0);
   sim.journal().Emit("election.start", t0, [&](obs::JournalEvent& e) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "snapshot/election.h"
 
@@ -47,6 +48,8 @@ uint64_t ProtocolSends(const Metrics& m) {
 void MaintenanceDriver::RunRound(Time round_start, Time /*horizon*/,
                                  RoundCallback callback) {
   sim_->ResetPerNodeCounters();
+  obs::ProfCount(obs::HotOp::kMaintenanceRounds);
+  obs::ScopedPhaseTimer phase_timer(obs::ProfPhase::kMaintenanceRound);
   const uint64_t sends_before = ProtocolSends(sim_->metrics());
   // Root cause: this round's heartbeats, replies, timeout re-elections and
   // resignations all trace back here.

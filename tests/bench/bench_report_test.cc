@@ -1,0 +1,155 @@
+// Pins the BENCH.json contract: the golden-schema test freezes field
+// names, nesting and number formatting (tools/bench_compare.py and the
+// committed bench/baseline/BENCH.json parse this exact shape), plus the
+// registry and RunContext mechanics the harness depends on.
+#include "bench_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench_registry.h"
+#include "obs/json.h"
+
+namespace snapq::bench {
+namespace {
+
+TEST(StatSummaryTest, EmptySamplesGiveZeros) {
+  const StatSummary s = StatSummary::FromSamples({});
+  EXPECT_EQ(s.reps, 0);
+  EXPECT_EQ(s.median, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatSummaryTest, OddAndEvenMedians) {
+  const StatSummary odd = StatSummary::FromSamples({3.0, 1.0, 2.0});
+  EXPECT_EQ(odd.median, 2.0);
+  EXPECT_EQ(odd.min, 1.0);
+  EXPECT_EQ(odd.max, 3.0);
+  EXPECT_EQ(odd.reps, 3);
+  EXPECT_DOUBLE_EQ(odd.mean, 2.0);
+
+  const StatSummary even = StatSummary::FromSamples({4.0, 1.0, 2.0, 3.0});
+  EXPECT_EQ(even.median, 2.5);
+  EXPECT_EQ(even.reps, 4);
+}
+
+TEST(StatSummaryTest, MedianShrugsOffOneOutlier) {
+  // The reason the harness reports medians: one descheduled repetition
+  // must not move the headline number.
+  const StatSummary s = StatSummary::FromSamples({10.0, 11.0, 500.0});
+  EXPECT_EQ(s.median, 11.0);
+  EXPECT_EQ(s.max, 500.0);
+}
+
+TEST(BenchReportTest, GoldenSchema) {
+  // FROZEN: tools/bench_compare.py and downstream BENCH.json trajectory
+  // tooling parse exactly this document. Renaming, retyping or reordering
+  // a field requires bumping kBenchSchemaVersion and updating the
+  // comparator in the same change.
+  BenchReport report;
+  report.git_sha = "abc123";
+  report.timestamp = "2026-01-02T03:04:05Z";
+  report.quick = true;
+  report.harness_repetitions = 1;
+  report.driver_repetitions = 2;
+
+  BenchmarkResult b;
+  b.name = "fig_example";
+  b.wall_ms = {12.5, 13.0, 12.0, 14.0, 3};
+  b.cpu_ms = {10.0, 10.25, 10.0, 11.0, 3};
+  b.counters.emplace_back("messages_sent", 42);
+  b.throughput.emplace_back("messages_sent_per_sec", 3360.0);
+  b.latency_us.push_back(PhaseLatency{"election", 4, 100.0, 200.5, 250.0,
+                                      300.0});
+  b.peak_rss_kb = 2048;
+  report.benchmarks.push_back(b);
+
+  EXPECT_EQ(
+      report.ToJson(),
+      "{\"schema_version\":1,"
+      "\"git_sha\":\"abc123\","
+      "\"timestamp\":\"2026-01-02T03:04:05Z\","
+      "\"quick\":true,"
+      "\"harness_repetitions\":1,"
+      "\"driver_repetitions\":2,"
+      "\"benchmarks\":[{"
+      "\"name\":\"fig_example\","
+      "\"wall_ms\":{\"median\":12.5,\"mean\":13,\"min\":12,\"max\":14,"
+      "\"reps\":3},"
+      "\"cpu_ms\":{\"median\":10,\"mean\":10.25,\"min\":10,\"max\":11,"
+      "\"reps\":3},"
+      "\"counters\":{\"messages_sent\":42},"
+      "\"throughput\":{\"messages_sent_per_sec\":3360},"
+      "\"latency_us\":{\"election\":{\"count\":4,\"p50\":100,\"p95\":200.5,"
+      "\"p99\":250,\"max\":300}},"
+      "\"peak_rss_kb\":2048}]}");
+}
+
+TEST(BenchReportTest, EmptyReportIsValidJson) {
+  BenchReport report;
+  report.git_sha = "x";
+  report.timestamp = "t";
+  EXPECT_TRUE(obs::ValidateJson(report.ToJson()));
+}
+
+TEST(BenchReportTest, GoldenDocumentIsValidJson) {
+  BenchReport report;
+  report.git_sha = "quote\"backslash\\";
+  report.timestamp = "2026-01-02T03:04:05Z";
+  BenchmarkResult b;
+  b.name = "x";
+  b.counters.emplace_back("messages_sent", 1);
+  b.latency_us.push_back(PhaseLatency{"election", 0, 0, 0, 0, 0});
+  report.benchmarks.push_back(b);
+  EXPECT_TRUE(obs::ValidateJson(report.ToJson()));
+}
+
+TEST(BenchReportTest, GitShaPrefersEnvOverride) {
+  setenv("SNAPQ_GIT_SHA", "f00dfaced00d", 1);
+  EXPECT_EQ(GitSha(), "f00dfaced00d");
+  unsetenv("SNAPQ_GIT_SHA");
+  EXPECT_FALSE(GitSha().empty());  // git or "unknown", never empty
+}
+
+TEST(BenchReportTest, IsoTimestampShape) {
+  const std::string ts = IsoTimestamp();
+  ASSERT_EQ(ts.size(), 20u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(BenchReportTest, PeakRssIsPositive) { EXPECT_GT(PeakRssKb(), 0); }
+
+TEST(RunContextTest, ScaledDividesByTenOnlyInQuickMode) {
+  RunContext full;
+  EXPECT_EQ(full.Scaled(9000), 9000);
+  EXPECT_EQ(full.Scaled(3), 3);
+  RunContext quick;
+  quick.quick = true;
+  EXPECT_EQ(quick.Scaled(9000), 900);
+  EXPECT_EQ(quick.Scaled(200), 20);
+  EXPECT_EQ(quick.Scaled(3), 1);  // never scales to zero
+  EXPECT_EQ(quick.Scaled(1), 1);
+}
+
+TEST(RegistryTest, AddKeepsNamesSortedAndFindable) {
+  // This test binary links no drivers, so the registry starts empty and
+  // we own its contents.
+  auto& registry = Registry::Instance();
+  const size_t before = registry.benchmarks().size();
+  registry.Add("zz_test_second", "second", nullptr);
+  registry.Add("aa_test_first", "first", nullptr);
+  ASSERT_EQ(registry.benchmarks().size(), before + 2);
+  const auto& all = registry.benchmarks();
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(std::string(all[i - 1].name), std::string(all[i].name));
+  }
+  EXPECT_NE(registry.Find("aa_test_first"), nullptr);
+  EXPECT_STREQ(registry.Find("aa_test_first")->description, "first");
+  EXPECT_EQ(registry.Find("no_such_benchmark"), nullptr);
+}
+
+}  // namespace
+}  // namespace snapq::bench

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Validate and diff BENCH.json performance reports.
+
+Two modes:
+
+  bench_compare.py --validate CURRENT.json [--min-benchmarks N]
+      schema-check one report (CI gates on this).
+
+  bench_compare.py BASELINE.json CURRENT.json [--warn-only] [tolerances]
+      schema-check both, then compare per-benchmark wall time, throughput
+      and peak RSS against percentage tolerances. Exits 1 on regression
+      unless --warn-only; schema violations always exit 2.
+
+The schema is the one frozen by bench/bench_report.h (schema_version 1)
+and pinned by tests/bench/bench_report_test.cc — update all three
+together.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+SUMMARY_FIELDS = {"median": float, "mean": float, "min": float, "max": float,
+                  "reps": int}
+LATENCY_FIELDS = {"count": int, "p50": float, "p95": float, "p99": float,
+                  "max": float}
+TOP_FIELDS = {"schema_version": int, "git_sha": str, "timestamp": str,
+              "quick": bool, "harness_repetitions": int,
+              "driver_repetitions": int, "benchmarks": list}
+
+
+def _is_number(value, want):
+    # ints are acceptable where floats are expected (JSON has one number
+    # type); bool is a subclass of int in Python and never acceptable.
+    if isinstance(value, bool):
+        return want is bool
+    if want is float:
+        return isinstance(value, (int, float))
+    return isinstance(value, want)
+
+
+def _check_fields(obj, fields, where, errors):
+    for key, want in fields.items():
+        if key not in obj:
+            errors.append(f"{where}: missing field '{key}'")
+        elif not _is_number(obj[key], want):
+            errors.append(f"{where}: field '{key}' is "
+                          f"{type(obj[key]).__name__}, wanted {want.__name__}")
+    for key in obj:
+        if key not in fields:
+            errors.append(f"{where}: unknown field '{key}'")
+
+
+def validate(report, path, min_benchmarks):
+    """Returns a list of schema-violation strings (empty = valid)."""
+    errors = []
+    if not isinstance(report, dict):
+        return [f"{path}: top level is not an object"]
+    _check_fields(report, TOP_FIELDS, path, errors)
+    if report.get("schema_version") != SCHEMA_VERSION:
+        errors.append(f"{path}: schema_version "
+                      f"{report.get('schema_version')!r} != {SCHEMA_VERSION}")
+    benchmarks = report.get("benchmarks", [])
+    if isinstance(benchmarks, list):
+        if len(benchmarks) < min_benchmarks:
+            errors.append(f"{path}: only {len(benchmarks)} benchmarks, "
+                          f"wanted >= {min_benchmarks}")
+        for b in benchmarks:
+            where = f"{path}:{b.get('name', '?') if isinstance(b, dict) else '?'}"
+            if not isinstance(b, dict):
+                errors.append(f"{where}: benchmark entry is not an object")
+                continue
+            _check_fields(b, {"name": str, "wall_ms": dict, "cpu_ms": dict,
+                              "counters": dict, "throughput": dict,
+                              "latency_us": dict, "peak_rss_kb": int},
+                          where, errors)
+            for key in ("wall_ms", "cpu_ms"):
+                if isinstance(b.get(key), dict):
+                    _check_fields(b[key], SUMMARY_FIELDS, f"{where}.{key}",
+                                  errors)
+            for key, value in b.get("counters", {}).items() \
+                    if isinstance(b.get("counters"), dict) else []:
+                if not _is_number(value, int):
+                    errors.append(f"{where}.counters.{key}: not an integer")
+            for key, value in b.get("throughput", {}).items() \
+                    if isinstance(b.get("throughput"), dict) else []:
+                if not _is_number(value, float):
+                    errors.append(f"{where}.throughput.{key}: not a number")
+            for key, value in b.get("latency_us", {}).items() \
+                    if isinstance(b.get("latency_us"), dict) else []:
+                if isinstance(value, dict):
+                    _check_fields(value, LATENCY_FIELDS,
+                                  f"{where}.latency_us.{key}", errors)
+                else:
+                    errors.append(f"{where}.latency_us.{key}: not an object")
+    return errors
+
+
+def pct_change(old, new):
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return 100.0 * (new - old) / old
+
+
+def compare(base, cur, args):
+    """Returns (regressions, notes) as lists of message strings."""
+    regressions, notes = [], []
+    base_by_name = {b["name"]: b for b in base["benchmarks"]}
+    cur_by_name = {b["name"]: b for b in cur["benchmarks"]}
+
+    for name in sorted(set(base_by_name) - set(cur_by_name)):
+        notes.append(f"{name}: present in baseline only")
+    for name in sorted(set(cur_by_name) - set(base_by_name)):
+        notes.append(f"{name}: new benchmark (no baseline)")
+    if base.get("quick") != cur.get("quick"):
+        notes.append("quick-mode mismatch between reports; wall/throughput "
+                     "comparison is apples-to-oranges")
+
+    for name in sorted(set(base_by_name) & set(cur_by_name)):
+        b, c = base_by_name[name], cur_by_name[name]
+
+        delta = pct_change(b["wall_ms"]["median"], c["wall_ms"]["median"])
+        line = (f"{name}: wall {b['wall_ms']['median']:.1f} -> "
+                f"{c['wall_ms']['median']:.1f} ms ({delta:+.1f}%)")
+        if delta > args.wall_tol:
+            regressions.append(line)
+        elif delta < -args.wall_tol:
+            notes.append(line + " [improved]")
+
+        for key, old in b["throughput"].items():
+            new = c["throughput"].get(key)
+            if new is None or old == 0:
+                continue
+            delta = pct_change(old, new)
+            if delta < -args.throughput_tol:
+                regressions.append(f"{name}: throughput {key} "
+                                   f"{old:.0f} -> {new:.0f} ({delta:+.1f}%)")
+
+        delta = pct_change(b["peak_rss_kb"], c["peak_rss_kb"])
+        if delta > args.rss_tol:
+            regressions.append(f"{name}: peak RSS {b['peak_rss_kb']} -> "
+                               f"{c['peak_rss_kb']} KB ({delta:+.1f}%)")
+
+        for key, old in b["counters"].items():
+            new = c["counters"].get(key)
+            if new is not None and new != old:
+                notes.append(f"{name}: counter {key} {old} -> {new} "
+                             "(seeded work changed)")
+    return regressions, notes
+
+
+def load(path, min_benchmarks):
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    errors = validate(report, path, min_benchmarks)
+    if errors:
+        for e in errors:
+            print(f"schema error: {e}", file=sys.stderr)
+        sys.exit(2)
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH.json (or the only "
+                        "file with --validate)")
+    parser.add_argument("current", nargs="?", help="current BENCH.json")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check only, no comparison")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0")
+    parser.add_argument("--min-benchmarks", type=int, default=1,
+                        help="fail validation below this many benchmarks")
+    parser.add_argument("--wall-tol", type=float, default=25.0,
+                        help="%% wall-time growth tolerated (default 25)")
+    parser.add_argument("--throughput-tol", type=float, default=25.0,
+                        help="%% throughput drop tolerated (default 25)")
+    parser.add_argument("--rss-tol", type=float, default=15.0,
+                        help="%% peak-RSS growth tolerated (default 15)")
+    args = parser.parse_args()
+
+    if args.validate:
+        if args.current:
+            parser.error("--validate takes a single file")
+        report = load(args.baseline, args.min_benchmarks)
+        print(f"{args.baseline}: valid (schema {SCHEMA_VERSION}, "
+              f"{len(report['benchmarks'])} benchmarks, "
+              f"git {report['git_sha']})")
+        return 0
+
+    if not args.current:
+        parser.error("need BASELINE and CURRENT (or --validate)")
+    base = load(args.baseline, args.min_benchmarks)
+    cur = load(args.current, args.min_benchmarks)
+
+    regressions, notes = compare(base, cur, args)
+    for n in notes:
+        print(f"note: {n}")
+    for r in regressions:
+        print(f"REGRESSION: {r}")
+    print(f"compared {len(cur['benchmarks'])} benchmarks: "
+          f"{len(regressions)} regression(s)")
+    if regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
