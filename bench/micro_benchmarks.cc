@@ -12,6 +12,7 @@
 #include "obs/journal.h"
 #include "obs/metric_registry.h"
 #include "query/executor.h"
+#include "query/explain.h"
 #include "query/parser.h"
 #include "query/routing_tree.h"
 
@@ -106,6 +107,47 @@ void BM_SnapshotQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SnapshotQuery);
+
+// The same query round with a provenance hook attached: the per-round
+// price EXPLAIN ANALYZE pays over plain execution (claims map copy,
+// per-node depth vector). BM_SnapshotQuery is the null-hook baseline.
+void BM_SnapshotQueryWithProvenance(benchmark::State& state) {
+  SensitivityConfig config;
+  config.num_classes = 10;
+  config.seed = 9;
+  SensitivityOutcome outcome = RunSensitivityTrial(config);
+  SensorNetwork& net = *outcome.network;
+  Rng rng(4);
+  for (auto _ : state) {
+    QueryProvenance prov;
+    ExecutionOptions options;
+    options.sink = static_cast<NodeId>(rng.UniformInt(0, 99));
+    options.provenance = &prov;
+    const Point center{rng.NextDouble(), rng.NextDouble()};
+    benchmark::DoNotOptimize(net.executor().ExecuteRegion(
+        Rect::CenteredSquare(center, 0.32), /*use_snapshot=*/true,
+        AggregateFunction::kSum, options));
+    benchmark::DoNotOptimize(prov.claims.size());
+  }
+}
+BENCHMARK(BM_SnapshotQueryWithProvenance);
+
+// A full EXPLAIN plan (no execution): predicate resolution + PlanRegion +
+// per-node provenance rows. What an interactive EXPLAIN costs end to end.
+void BM_ExplainPlan(benchmark::State& state) {
+  SensitivityConfig config;
+  config.num_classes = 10;
+  config.seed = 9;
+  SensitivityOutcome outcome = RunSensitivityTrial(config);
+  SensorNetwork& net = *outcome.network;
+  const QuerySpec spec =
+      *ParseQuery("EXPLAIN SELECT avg(value) FROM sensors "
+                  "WHERE loc IN RECT(0.25, 0.25, 0.75, 0.75) USE SNAPSHOT");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExplainQuery(net.executor(), spec, {}));
+  }
+}
+BENCHMARK(BM_ExplainPlan);
 
 // The observability layer's hot-path costs: a cached counter bump is what
 // every Simulator::Send pays; a disabled journal emit is the price of an

@@ -11,9 +11,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "api/network.h"
+#include "common/string_util.h"
 #include "data/random_walk.h"
 #include "obs/health_monitor.h"
 #include "obs/journal.h"
@@ -31,8 +33,13 @@ void PrintResult(const QueryResult& r) {
   } else {
     std::printf("%-5s %-5s %10s  %s\n", "loc", "by", "value", "");
     for (const QueryRow& row : r.rows) {
-      std::printf("%-5u %-5u %10.4f  %s\n", row.loc, row.reporter,
-                  row.value, row.estimated ? "(estimated)" : "");
+      if (row.model_error.has_value()) {
+        std::printf("%-5u %-5u %10.4f  (estimated, err %+.4f)\n", row.loc,
+                    row.reporter, row.value, *row.model_error);
+      } else {
+        std::printf("%-5u %-5u %10.4f  %s\n", row.loc, row.reporter,
+                    row.value, row.estimated ? "(estimated)" : "");
+      }
     }
   }
   std::printf("-- %zu participants, %zu responders, coverage %.0f%%\n",
@@ -56,10 +63,16 @@ void PrintHelp() {
       "commands:\n"
       "  SELECT ...            run a query (append USE SNAPSHOT to use the\n"
       "                        representatives; see README for the dialect)\n"
+      "  EXPLAIN [ANALYZE] SELECT ...\n"
+      "                        show the plan: predicate resolution, routing,\n"
+      "                        per-node provenance and cost (ANALYZE also\n"
+      "                        executes and joins estimated vs actual cost)\n"
+      "  \\explain              EXPLAIN ANALYZE the last query\n"
       "  \\snapshot             show the current representative set\n"
       "  \\elect                re-run representative discovery\n"
       "  \\regions              list named regions\n"
-      "  \\metrics              dump the metric registry (CSV)\n"
+      "  \\metrics [substr]     dump the metric registry (CSV), optionally\n"
+      "                        filtered to names containing substr\n"
       "  \\journal [n]          show the last n journal events (default 20)\n"
       "  \\health               sample snapshot health (coverage, violation\n"
       "                        rate, spurious reps, model staleness)\n"
@@ -69,6 +82,14 @@ void PrintHelp() {
       "                        counts/rates and phase latency percentiles\n"
       "  \\help                 this text\n"
       "  \\quit                 exit\n");
+}
+
+/// First whitespace-delimited token of `line` (keywords are
+/// case-insensitive, so compare with EqualsIgnoreCase).
+std::string_view FirstWord(std::string_view line) {
+  const std::string_view stripped = StripWhitespace(line);
+  const size_t space = stripped.find_first_of(" \t");
+  return space == std::string_view::npos ? stripped : stripped.substr(0, space);
 }
 
 }  // namespace
@@ -95,6 +116,9 @@ int main(int argc, char** argv) {
   config.snapshot.threshold = 1.0;
   config.seed = 42;
   SensorNetwork net(config);
+  // The simulated deployment carries one reading per node; expose it under
+  // the conventional measurement name too so `avg(temperature)` works.
+  net.executor().catalog().RegisterMeasurementColumn("temperature");
   // Record protocol events (election transitions, cache evictions, query
   // plans) in memory for the \journal command. Installed before training
   // so the initial election is captured too.
@@ -123,6 +147,7 @@ int main(int argc, char** argv) {
   PrintHelp();
 
   std::string line;
+  std::string last_query;  // last successful plain query, for \explain
   std::printf("snapq> ");
   std::fflush(stdout);
   while (std::getline(std::cin, line)) {
@@ -139,8 +164,33 @@ int main(int argc, char** argv) {
       for (const std::string& name : net.executor().catalog().RegionNames()) {
         std::printf("  %s\n", name.c_str());
       }
-    } else if (line == "\\metrics") {
-      std::printf("%s", net.sim().registry().ToCsv().c_str());
+    } else if (line.rfind("\\metrics", 0) == 0) {
+      const std::string filter(
+          StripWhitespace(std::string_view(line).substr(8)));
+      std::istringstream csv(net.sim().registry().ToCsv());
+      std::string row;
+      bool first = true;
+      while (std::getline(csv, row)) {
+        // Always keep the CSV header; filter the data rows by substring.
+        if (first || filter.empty() || row.find(filter) != std::string::npos) {
+          std::printf("%s\n", row.c_str());
+        }
+        first = false;
+      }
+    } else if (line == "\\explain") {
+      if (last_query.empty()) {
+        std::printf("nothing to explain yet — run a query first, e.g.\n"
+                    "  SELECT avg(value) FROM sensors USE SNAPSHOT\n"
+                    "then \\explain replays it as EXPLAIN ANALYZE.\n");
+      } else {
+        const Result<ExplainReport> report =
+            net.Explain("EXPLAIN ANALYZE " + last_query);
+        if (report.ok()) {
+          std::printf("%s", report->ToString().c_str());
+        } else {
+          std::printf("error: %s\n", report.status().ToString().c_str());
+        }
+      }
     } else if (line == "\\profile") {
       std::printf("%s", obs::Profiler::Global().ToTable().c_str());
     } else if (line == "\\health") {
@@ -189,10 +239,18 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       net.sim().journal().events_emitted()),
                   events.size());
+    } else if (EqualsIgnoreCase(FirstWord(line), "explain")) {
+      const Result<ExplainReport> report = net.Explain(line);
+      if (report.ok()) {
+        std::printf("%s", report->ToString().c_str());
+      } else {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+      }
     } else if (!line.empty()) {
       const Result<QueryResult> r = net.Query(line);
       if (r.ok()) {
         PrintResult(*r);
+        last_query = line;
       } else {
         std::printf("error: %s\n", r.status().ToString().c_str());
       }

@@ -123,6 +123,11 @@ Result<QueryResult> SensorNetwork::Query(const std::string& sql,
   return executor_->ExecuteSql(sql, options);
 }
 
+Result<ExplainReport> SensorNetwork::Explain(const std::string& sql,
+                                             const ExecutionOptions& options) {
+  return ExplainSql(*executor_, sql, options);
+}
+
 Result<int64_t> SensorNetwork::RunContinuousQuery(
     const std::string& sql, Time start,
     ContinuousQueryRunner::EpochCallback callback,

@@ -28,6 +28,7 @@
 #include "query/catalog.h"
 #include "query/continuous.h"
 #include "query/executor.h"
+#include "query/explain.h"
 #include "sim/simulator.h"
 #include "snapshot/agent.h"
 #include "snapshot/config.h"
@@ -122,6 +123,12 @@ class SensorNetwork {
   /// Parses and runs one round of `sql` (sink defaults to node 0).
   Result<QueryResult> Query(const std::string& sql,
                             const ExecutionOptions& options = {});
+
+  /// Explains `sql` (with or without the EXPLAIN prefix): plan, per-node
+  /// provenance and cost estimate. "EXPLAIN ANALYZE ..." also executes and
+  /// joins the actuals; plain "EXPLAIN ..." (and bare queries) plan only.
+  Result<ExplainReport> Explain(const std::string& sql,
+                                const ExecutionOptions& options = {});
 
   /// Schedules a continuous query (SAMPLE INTERVAL ... FOR ...): one
   /// execution round per sampling epoch starting at `start` >= now().

@@ -22,6 +22,18 @@ const char* AggregateFunctionName(AggregateFunction f) {
   return "?";
 }
 
+const char* ExplainModeName(ExplainMode mode) {
+  switch (mode) {
+    case ExplainMode::kNone:
+      return "none";
+    case ExplainMode::kPlan:
+      return "explain";
+    case ExplainMode::kAnalyze:
+      return "explain analyze";
+  }
+  return "?";
+}
+
 bool QuerySpec::IsAggregate() const {
   for (const SelectItem& item : select) {
     if (item.aggregate != AggregateFunction::kNone) return true;
@@ -37,7 +49,13 @@ AggregateFunction QuerySpec::TheAggregate() const {
 }
 
 std::string QuerySpec::ToString() const {
-  std::string out = "SELECT ";
+  std::string out;
+  if (explain == ExplainMode::kPlan) {
+    out += "EXPLAIN ";
+  } else if (explain == ExplainMode::kAnalyze) {
+    out += "EXPLAIN ANALYZE ";
+  }
+  out += "SELECT ";
   for (size_t i = 0; i < select.size(); ++i) {
     if (i != 0) out += ", ";
     if (select[i].aggregate != AggregateFunction::kNone) {

@@ -7,8 +7,10 @@
 //   USE SNAPSHOT
 //
 // plus aggregates (SELECT sum(temperature) ...), literal rectangles
-// (WHERE loc IN RECT(0.5, 0.0, 1.0, 0.5)) and an optional per-query error
-// threshold (USE SNAPSHOT ERROR 0.5, the §3.1 extension).
+// (WHERE loc IN RECT(0.5, 0.0, 1.0, 0.5)), an optional per-query error
+// threshold (USE SNAPSHOT ERROR 0.5, the §3.1 extension) and the
+// EXPLAIN [ANALYZE] prefix that asks for the plan/provenance report
+// instead of (or joined with) the answer.
 #ifndef SNAPQ_QUERY_AST_H_
 #define SNAPQ_QUERY_AST_H_
 
@@ -32,6 +34,16 @@ enum class AggregateFunction {
 
 const char* AggregateFunctionName(AggregateFunction f);
 
+/// EXPLAIN prefix: none (execute normally), plan only, or plan + execute
+/// with estimated-vs-actual cost joining (EXPLAIN ANALYZE).
+enum class ExplainMode {
+  kNone,
+  kPlan,
+  kAnalyze,
+};
+
+const char* ExplainModeName(ExplainMode mode);
+
 /// One SELECT-list entry: a bare column or agg(column).
 struct SelectItem {
   std::string column;
@@ -42,6 +54,9 @@ struct SelectItem {
 
 /// A parsed query.
 struct QuerySpec {
+  /// EXPLAIN / EXPLAIN ANALYZE prefix; kNone for plain execution.
+  ExplainMode explain = ExplainMode::kNone;
+
   std::vector<SelectItem> select;
   std::string table = "sensors";
 

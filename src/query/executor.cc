@@ -1,6 +1,7 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 
@@ -14,17 +15,9 @@
 namespace snapq {
 namespace {
 
-/// A deduplicable claim "reporter says node j's value is v".
-struct Claim {
-  NodeId reporter = kInvalidNode;
-  int64_t epoch = -1;
-  double value = 0.0;
-  bool estimated = false;
-};
-
 /// Later election epoch wins; self-reports carry +inf epoch; ties break
 /// toward the larger reporter id (deterministic).
-bool Supersedes(const Claim& a, const Claim& b) {
+bool Supersedes(const QueryClaim& a, const QueryClaim& b) {
   if (a.epoch != b.epoch) return a.epoch > b.epoch;
   return a.reporter > b.reporter;
 }
@@ -48,6 +41,11 @@ Result<QueryResult> QueryExecutor::ExecuteSql(const std::string& sql,
 
 Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec,
                                            const ExecutionOptions& options) {
+  if (spec.explain != ExplainMode::kNone) {
+    return Status::InvalidArgument(
+        "EXPLAIN statements do not execute directly; run them through "
+        "ExplainQuery/ExplainSql (api: SensorNetwork::Explain)");
+  }
   SNAPQ_RETURN_IF_ERROR(ValidateColumns(spec, catalog_));
   const Rect everywhere{-1e300, -1e300, 1e300, 1e300};
   Result<Rect> region = ResolveRegion(spec, catalog_, everywhere);
@@ -170,49 +168,30 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
       ->Observe(static_cast<double>(result.participants));
   reg.GetHistogram("query.responders", node_buckets)
       ->Observe(static_cast<double>(result.responders));
-  sim_->journal().Emit("query.plan", sim_->now(), [&](obs::JournalEvent& e) {
-    e.Node(options.sink)
-        .Bool("use_snapshot", use_snapshot)
-        .Bool("passive_sleep", options.passive_nodes_sleep)
-        .Int("matching", static_cast<int64_t>(result.matching_nodes))
-        .Int("responders", static_cast<int64_t>(result.responders))
-        .Int("participants", static_cast<int64_t>(result.participants));
-  });
+
+  // kQueryReply transmissions this round induces: one per participant, the
+  // sink excluded (it hands the result to the base station radio-free).
+  const size_t replies =
+      result.participants - (participates[options.sink] ? 1u : 0u);
 
   if (options.charge_energy) {
     // One transmission per participant: its partial aggregate / row batch
-    // sent one hop up the tree. The sink hands the result to the base
-    // station without a radio transmission.
+    // sent one hop up the tree. Attributed per node in the registry so
+    // Fig-10-style runs can split election vs maintenance vs query drain.
     const double tx = sim_->config().energy.tx_cost;
     for (NodeId i = 0; i < n; ++i) {
       if (!participates[i] || i == options.sink) continue;
       sim_->Drain(i, tx);
       sim_->metrics().CountSent(MessageType::kQueryReply);
+      reg.GetCounter("query.energy.tx", i)->Inc();
     }
+    reg.GetGauge("query.energy.drained")->Add(tx * static_cast<double>(replies));
   }
 
   // Collect measurements, deduplicating multiple claims per node by latest
   // election epoch (spurious-representative filtering, §3).
-  std::map<NodeId, Claim> claims;
-  constexpr int64_t kSelfEpoch = std::numeric_limits<int64_t>::max();
-  for (NodeId r : reachable_responders) {
-    const SnapshotAgent& agent = *(*agents_)[r];
-    if (matching[r] &&
-        (!use_snapshot || agent.mode() != NodeMode::kPassive)) {
-      const Claim self{r, kSelfEpoch, agent.measurement(), false};
-      auto [it, inserted] = claims.try_emplace(r, self);
-      if (!inserted && Supersedes(self, it->second)) it->second = self;
-    }
-    if (!use_snapshot) continue;
-    for (const auto& [j, e] : agent.represents()) {
-      if (!matching[j]) continue;
-      const std::optional<double> estimate = agent.EstimateFor(j);
-      if (!estimate.has_value()) continue;
-      const Claim claim{r, e, *estimate, true};
-      auto [it, inserted] = claims.try_emplace(j, claim);
-      if (!inserted && Supersedes(claim, it->second)) it->second = claim;
-    }
-  }
+  std::map<NodeId, QueryClaim> claims;
+  CollectClaims(use_snapshot, reachable_responders, matching, &claims);
 
   result.covered_nodes = claims.size();
   result.coverage =
@@ -220,6 +199,27 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
           ? 1.0
           : static_cast<double>(result.covered_nodes) /
                 static_cast<double>(result.matching_nodes);
+
+  sim_->journal().Emit("query.plan", sim_->now(), [&](obs::JournalEvent& e) {
+    size_t estimated = 0;
+    double max_abs_error = 0.0;
+    for (const auto& [j, claim] : claims) {
+      if (!claim.estimated) continue;
+      ++estimated;
+      const double err =
+          std::abs(claim.value - (*agents_)[j]->measurement());
+      if (err > max_abs_error) max_abs_error = err;
+    }
+    e.Node(options.sink)
+        .Bool("use_snapshot", use_snapshot)
+        .Bool("passive_sleep", options.passive_nodes_sleep)
+        .Int("matching", static_cast<int64_t>(result.matching_nodes))
+        .Int("responders", static_cast<int64_t>(result.responders))
+        .Int("participants", static_cast<int64_t>(result.participants))
+        .Int("covered", static_cast<int64_t>(result.covered_nodes))
+        .Int("estimated", static_cast<int64_t>(estimated))
+        .Num("max_abs_error", max_abs_error);
+  });
 
   // Answers.
   if (aggregate != AggregateFunction::kNone) {
@@ -234,12 +234,129 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
   } else {
     result.rows.reserve(claims.size());
     for (const auto& [j, claim] : claims) {
-      result.rows.push_back(
-          QueryRow{j, claim.reporter, claim.value, claim.estimated});
+      QueryRow row{j, claim.reporter, claim.value, claim.estimated, {}};
+      if (claim.estimated) {
+        row.model_error = claim.value - (*agents_)[j]->measurement();
+      }
+      result.rows.push_back(std::move(row));
     }
   }
+
+  if (options.provenance != nullptr) {
+    QueryProvenance& prov = *options.provenance;
+    prov.matching_nodes = result.matching_nodes;
+    prov.responders = result.responders;
+    prov.participants = result.participants;
+    prov.reachable_nodes = tree.CountReachable();
+    prov.messages = replies;
+    prov.energy = options.charge_energy
+                      ? sim_->config().energy.tx_cost *
+                            static_cast<double>(replies)
+                      : 0.0;
+    prov.tree_depth = -1;
+    for (NodeId r : reachable_responders) {
+      prov.tree_depth = std::max(prov.tree_depth, tree.depth(r));
+    }
+    prov.claims = std::move(claims);
+    prov.depth.assign(n, -1);
+    for (NodeId i = 0; i < n; ++i) prov.depth[i] = tree.depth(i);
+  }
+
   span.EndSim(sim_->now());
   return result;
+}
+
+void QueryExecutor::CollectClaims(bool use_snapshot,
+                                  const std::vector<NodeId>& responders,
+                                  const std::vector<bool>& matching,
+                                  std::map<NodeId, QueryClaim>* claims) const {
+  for (NodeId r : responders) {
+    const SnapshotAgent& agent = *(*agents_)[r];
+    if (matching[r] &&
+        (!use_snapshot || agent.mode() != NodeMode::kPassive)) {
+      const QueryClaim self{r, kQueryClaimSelfEpoch, agent.measurement(),
+                            false};
+      auto [it, inserted] = claims->try_emplace(r, self);
+      if (!inserted && Supersedes(self, it->second)) it->second = self;
+    }
+    if (!use_snapshot) continue;
+    for (const auto& [j, e] : agent.represents()) {
+      if (!matching[j]) continue;
+      const std::optional<double> estimate = agent.EstimateFor(j);
+      if (!estimate.has_value()) continue;
+      const QueryClaim claim{r, e, *estimate, true};
+      auto [it, inserted] = claims->try_emplace(j, claim);
+      if (!inserted && Supersedes(claim, it->second)) it->second = claim;
+    }
+  }
+}
+
+QueryProvenance QueryExecutor::PlanRegion(
+    const Rect& region, bool use_snapshot,
+    const ExecutionOptions& options) const {
+  const size_t n = agents_->size();
+  SNAPQ_CHECK_LT(options.sink, n);
+  QueryProvenance plan;
+
+  std::vector<bool> matching(n, false);
+  for (NodeId i = 0; i < n; ++i) {
+    if (region.Contains(sim_->links().position(i))) {
+      matching[i] = true;
+      ++plan.matching_nodes;
+    }
+  }
+
+  // Mirror ExecuteRegion's participation model exactly: the estimate and
+  // the actuals must only diverge when the snapshot state itself changes
+  // between planning and execution.
+  std::vector<bool> alive(n, false);
+  for (NodeId i = 0; i < n; ++i) {
+    alive[i] = sim_->alive(i);
+    if (use_snapshot && options.passive_nodes_sleep && i != options.sink &&
+        (*agents_)[i]->mode() == NodeMode::kPassive) {
+      alive[i] = false;
+    }
+  }
+  std::vector<bool> favor;
+  const std::vector<bool>* favor_ptr = nullptr;
+  if (options.favor_representatives) {
+    favor.assign(n, false);
+    for (NodeId i = 0; i < n; ++i) {
+      favor[i] = (*agents_)[i]->mode() == NodeMode::kActive;
+    }
+    favor_ptr = &favor;
+  }
+  const RoutingTree tree =
+      RoutingTree::Build(sim_->links(), alive, options.sink, favor_ptr);
+
+  const std::vector<NodeId> responders =
+      CollectResponders(region, use_snapshot);
+  std::vector<bool> participates(n, false);
+  std::vector<NodeId> reachable_responders;
+  for (NodeId r : responders) {
+    if (!tree.IsReachable(r)) continue;
+    reachable_responders.push_back(r);
+    plan.tree_depth = std::max(plan.tree_depth, tree.depth(r));
+    for (NodeId on_path : tree.PathToSink(r)) {
+      participates[on_path] = true;
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (participates[i]) ++plan.participants;
+  }
+  plan.responders = reachable_responders.size();
+  plan.reachable_nodes = tree.CountReachable();
+  plan.messages =
+      plan.participants - (participates[options.sink] ? 1u : 0u);
+  plan.energy = options.charge_energy
+                    ? sim_->config().energy.tx_cost *
+                          static_cast<double>(plan.messages)
+                    : 0.0;
+
+  CollectClaims(use_snapshot, reachable_responders, matching, &plan.claims);
+  plan.depth.assign(n, -1);
+  for (NodeId i = 0; i < n; ++i) plan.depth[i] = tree.depth(i);
+  return plan;
 }
 
 }  // namespace snapq

@@ -15,6 +15,9 @@
 #ifndef SNAPQ_QUERY_EXECUTOR_H_
 #define SNAPQ_QUERY_EXECUTOR_H_
 
+#include <cstdint>
+#include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -35,6 +38,56 @@ struct QueryRow {
   NodeId reporter = kInvalidNode;  ///< who produced it (rep or the node)
   double value = 0.0;
   bool estimated = false;      ///< true when a representative's model answered
+  /// Estimate − ground truth (signed), on estimated rows — the simulator
+  /// knows the represented node's true current reading even though the
+  /// network never transmitted it. Absent on self-reported rows.
+  std::optional<double> model_error;
+};
+
+/// Sentinel epoch for self-reports: a node's own reading always supersedes
+/// any representative's claim about it.
+inline constexpr int64_t kQueryClaimSelfEpoch =
+    std::numeric_limits<int64_t>::max();
+
+/// One deduplicated claim "reporter says node j's value is v". `epoch` is
+/// the election epoch of the representation backing the claim
+/// (kQueryClaimSelfEpoch for a node reporting its own reading).
+struct QueryClaim {
+  NodeId reporter = kInvalidNode;
+  int64_t epoch = -1;
+  double value = 0.0;
+  bool estimated = false;
+};
+
+/// Answer provenance + §6.2 cost of one query round. Produced two ways:
+///
+///  * PlanRegion() — a side-effect-free *estimate* from the current
+///    snapshot state (EXPLAIN's plan);
+///  * ExecutionOptions::provenance — *actuals* captured while ExecuteRegion
+///    runs (EXPLAIN ANALYZE joins the two).
+///
+/// Filling one allocates; leave the hook null on hot paths — a null hook
+/// adds zero heap allocations to execution (see explain_alloc_test).
+struct QueryProvenance {
+  /// Nodes matching the predicate (dead or alive).
+  size_t matching_nodes = 0;
+  /// Responders that can reach the sink.
+  size_t responders = 0;
+  /// Responders plus routers on their paths.
+  size_t participants = 0;
+  /// Nodes with a route to the sink (the flood's reach).
+  size_t reachable_nodes = 0;
+  /// kQueryReply transmissions the round induces: one per participant,
+  /// the sink excluded (it hands the result to the base station).
+  size_t messages = 0;
+  /// Energy those messages drain (0 unless charge_energy).
+  double energy = 0.0;
+  /// Max routing-tree depth over reachable responders; -1 when none.
+  int tree_depth = -1;
+  /// Winning (deduplicated) claims, one per covered node.
+  std::map<NodeId, QueryClaim> claims;
+  /// Routing-tree depth per node; -1 = unreachable from the sink.
+  std::vector<int> depth;
 };
 
 /// Result + cost accounting of one query round.
@@ -74,6 +127,10 @@ struct ExecutionOptions {
   /// representatives (and undecided nodes) only; coverage may drop where
   /// the active subgraph disconnects. Ignored for regular queries.
   bool passive_nodes_sleep = false;
+  /// Provenance hook: when non-null, ExecuteRegion fills it with the
+  /// round's actual claims, routing depths and cost. Null (the default)
+  /// costs one branch and no allocations.
+  QueryProvenance* provenance = nullptr;
 };
 
 /// Executes queries against the agents' current state.
@@ -96,13 +153,34 @@ class QueryExecutor {
                             AggregateFunction aggregate,
                             const ExecutionOptions& options);
 
+  /// Side-effect-free planning: the routing tree, responder set, winning
+  /// claims and §6.2 cost the executor would use for one round executed
+  /// right now. Nothing is transmitted, charged or journaled — this is
+  /// EXPLAIN's estimate, joined against the actuals captured through
+  /// ExecutionOptions::provenance by EXPLAIN ANALYZE.
+  QueryProvenance PlanRegion(const Rect& region, bool use_snapshot,
+                             const ExecutionOptions& options) const;
+
+  /// The nodes that respond to this query, per the snapshot rule
+  /// (public for the EXPLAIN planner).
+  std::vector<NodeId> CollectResponders(const Rect& region,
+                                        bool use_snapshot) const;
+
   const Catalog& catalog() const { return catalog_; }
   Catalog& catalog() { return catalog_; }
 
+  Simulator& sim() { return *sim_; }
+  const std::vector<std::unique_ptr<SnapshotAgent>>& agents() const {
+    return *agents_;
+  }
+
  private:
-  /// The nodes that respond to this query, per the snapshot rule.
-  std::vector<NodeId> CollectResponders(const Rect& region,
-                                        bool use_snapshot) const;
+  /// Deduplicates claims from `responders` over the matching nodes by
+  /// latest election epoch (spurious-representative filtering, §3).
+  void CollectClaims(bool use_snapshot,
+                     const std::vector<NodeId>& responders,
+                     const std::vector<bool>& matching,
+                     std::map<NodeId, QueryClaim>* claims) const;
 
   Simulator* const sim_;
   std::vector<std::unique_ptr<SnapshotAgent>>* const agents_;

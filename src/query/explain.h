@@ -1,0 +1,145 @@
+// EXPLAIN / EXPLAIN ANALYZE: the answer-provenance and cost-attribution
+// report for one query. The paper's §3 promise is that a USE SNAPSHOT
+// query is answered "transparently from the application" by
+// representatives; this module is the database-style window through that
+// transparency:
+//
+//  * predicate resolution — how the WHERE clause bound to a rectangle and
+//    which nodes it matches;
+//  * routing decision — snapshot vs regular fan-out, representative-biased
+//    parent selection, sleep mode, tree depth;
+//  * per-node provenance — for every matching node, who answered for it,
+//    whether the value is a model estimate, the estimate's current error
+//    against the effective threshold T, and the election epoch backing the
+//    representation;
+//  * cost — participants / messages / energy, estimated from the plan and
+//    (under ANALYZE) joined against the actuals the executor captured.
+//
+// EXPLAIN plans without executing (nothing transmitted, charged or
+// journaled); EXPLAIN ANALYZE executes the query, emits the frozen-schema
+// `query_explain` journal event and feeds the estimate-vs-actual deltas
+// into the metric registry.
+#ifndef SNAPQ_QUERY_EXPLAIN_H_
+#define SNAPQ_QUERY_EXPLAIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/executor.h"
+
+namespace snapq {
+
+/// Provenance of one matching node's answer (or lack of one).
+struct ExplainNodeRow {
+  NodeId node = kInvalidNode;
+  /// Who reported this node's value; kInvalidNode when uncovered.
+  NodeId reporter = kInvalidNode;
+  bool covered = false;
+  /// True when the value is the reporter's model estimate (§3), false for
+  /// a self-reported reading.
+  bool estimated = false;
+  /// Election epoch backing the representation (the node's own epoch for
+  /// self-reports); -1 when uncovered.
+  int64_t epoch = -1;
+  /// The reported value (covered rows only).
+  double value = 0.0;
+  /// Estimate − ground truth (signed); estimated rows only.
+  std::optional<double> model_error;
+  /// d(truth, estimate) under the configured error metric; 0 for
+  /// self-reports.
+  double model_distance = 0.0;
+  /// model_distance <= the effective threshold T. Uncovered rows and
+  /// self-reports are trivially within.
+  bool within_threshold = true;
+  /// Routing-tree depth of the reporter; -1 when uncovered/unreachable.
+  int depth = -1;
+};
+
+/// One side of the cost join (estimated at plan time / actual at run
+/// time), straight out of QueryProvenance.
+struct ExplainCost {
+  size_t participants = 0;
+  size_t responders = 0;
+  size_t covered = 0;
+  size_t messages = 0;  ///< kQueryReply transmissions
+  double energy = 0.0;  ///< energy drained (0 unless charge_energy)
+  int tree_depth = -1;
+};
+
+/// The full report. ToString() renders the shell's plan text.
+struct ExplainReport {
+  /// The normalized query (no EXPLAIN prefix).
+  std::string sql;
+  bool analyze = false;
+
+  // -- Predicate resolution ---------------------------------------------------
+  /// "region <NAME>" | "literal RECT" | "default (everywhere)".
+  std::string region_source;
+  Rect region{0, 0, 0, 0};
+  size_t matching_nodes = 0;
+
+  // -- Routing / execution strategy -------------------------------------------
+  bool use_snapshot = false;
+  bool favor_representatives = false;
+  bool passive_nodes_sleep = false;
+  bool charge_energy = false;
+  NodeId sink = 0;
+  size_t reachable_nodes = 0;
+  size_t num_nodes = 0;
+
+  // -- Snapshot state at plan time --------------------------------------------
+  size_t active = 0;
+  size_t passive = 0;
+  size_t spurious = 0;
+  /// The effective threshold the provenance rows are judged against:
+  /// the per-query USE SNAPSHOT ERROR override when present, else the
+  /// deployment's configured T.
+  double threshold = 0.0;
+  bool threshold_overridden = false;
+  std::string metric;  ///< error-metric name ("sse", "absolute", ...)
+
+  // -- Cost -------------------------------------------------------------------
+  ExplainCost estimated;
+  /// Actuals captured during execution; ANALYZE only.
+  std::optional<ExplainCost> actual;
+  /// The query's answer; ANALYZE only.
+  std::optional<QueryResult> result;
+
+  // -- Provenance -------------------------------------------------------------
+  /// One row per matching node, ascending node id. Plan-derived for
+  /// EXPLAIN, execution-derived for EXPLAIN ANALYZE.
+  std::vector<ExplainNodeRow> rows;
+
+  /// Number of rows answered by a model estimate.
+  size_t EstimatedRows() const;
+  /// Largest |model_error| across estimated rows (0 when none).
+  double MaxAbsModelError() const;
+
+  /// The rendered multi-section plan report (plan, cost table, per-node
+  /// provenance table, answer).
+  std::string ToString() const;
+};
+
+/// Builds the report for `spec` against the executor's current network
+/// state. `spec.explain` selects plan-only vs analyze; a spec with
+/// ExplainMode::kNone is treated as plan-only. Fails (Status) on unknown
+/// columns/regions — never crashes on malformed input.
+Result<ExplainReport> ExplainQuery(QueryExecutor& executor,
+                                   const QuerySpec& spec,
+                                   const ExecutionOptions& options);
+
+/// Parses `sql` (with or without the EXPLAIN prefix) and explains it.
+/// "EXPLAIN ANALYZE ..." executes; "EXPLAIN ..." and bare queries plan
+/// only.
+Result<ExplainReport> ExplainSql(QueryExecutor& executor,
+                                 const std::string& sql,
+                                 const ExecutionOptions& options);
+
+}  // namespace snapq
+
+#endif  // SNAPQ_QUERY_EXPLAIN_H_

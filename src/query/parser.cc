@@ -183,6 +183,13 @@ Status Parser::ParseSnapshot(QuerySpec* spec) {
 
 Result<QuerySpec> Parser::Parse() {
   QuerySpec spec;
+  if (ConsumeKeyword("explain")) {
+    spec.explain = ExplainMode::kPlan;
+    if (ConsumeKeyword("analyze")) spec.explain = ExplainMode::kAnalyze;
+    if (Peek().IsKeyword("explain")) {
+      return Error("EXPLAIN cannot be nested");
+    }
+  }
   SNAPQ_RETURN_IF_ERROR(ExpectKeyword("select"));
   if (Peek().Is(TokenType::kStar)) {
     ++pos_;

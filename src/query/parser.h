@@ -12,6 +12,7 @@ namespace snapq {
 
 /// Parses one query. Grammar (keywords case-insensitive):
 ///
+///   statement  := [EXPLAIN [ANALYZE]] query
 ///   query      := SELECT items FROM ident [where] [sampling] [snapshot]
 ///   items      := '*' | item (',' item)*
 ///   item       := ident | agg '(' (ident | '*') ')'

@@ -54,6 +54,20 @@ RoutingTree RoutingTree::Build(const LinkModel& links,
   return RoutingTree(sink, std::move(parent), std::move(depth));
 }
 
+size_t RoutingTree::CountReachable() const {
+  size_t count = 0;
+  for (const int d : depth_) {
+    if (d >= 0) ++count;
+  }
+  return count;
+}
+
+int RoutingTree::MaxDepth() const {
+  int max_depth = 0;
+  for (const int d : depth_) max_depth = std::max(max_depth, d);
+  return max_depth;
+}
+
 std::vector<NodeId> RoutingTree::PathToSink(NodeId id) const {
   std::vector<NodeId> path;
   if (!IsReachable(id)) return path;

@@ -40,6 +40,12 @@ class RoutingTree {
   /// True when `id` has a path to the sink.
   bool IsReachable(NodeId id) const { return depth_[id] >= 0; }
 
+  /// Number of nodes with a path to the sink (the sink included).
+  size_t CountReachable() const;
+
+  /// Deepest reachable node's hop distance; 0 for a lone sink.
+  int MaxDepth() const;
+
   size_t num_nodes() const { return parent_.size(); }
 
   /// Nodes on the path from `id` up to and including the sink; empty when

@@ -76,6 +76,9 @@ class SnapshotAgent {
 
   NodeId id() const { return id_; }
   NodeMode mode() const { return mode_; }
+  /// The protocol configuration this agent runs (threshold T, error
+  /// metric, cache policy) — EXPLAIN reads it to judge model errors.
+  const SnapshotConfig& config() const { return config_; }
   /// This node's current representative (its own id when unrepresented).
   NodeId representative() const { return rep_; }
   /// Nodes this node believes it represents -> their election epochs.

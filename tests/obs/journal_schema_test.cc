@@ -64,7 +64,25 @@ const std::map<std::string, Schema>& GoldenSchemas() {
         {"passive_sleep", "bool"},
         {"matching", "int"},
         {"responders", "int"},
-        {"participants", "int"}}},
+        {"participants", "int"},
+        {"covered", "int"},
+        {"estimated", "int"},
+        {"max_abs_error", "num"}}},
+      {"query_explain",
+       {{"node", "int"},
+        {"use_snapshot", "bool"},
+        {"matching", "int"},
+        {"covered", "int"},
+        {"estimated_rows", "int"},
+        {"est_participants", "int"},
+        {"act_participants", "int"},
+        {"est_messages", "int"},
+        {"act_messages", "int"},
+        {"est_energy", "num"},
+        {"act_energy", "num"},
+        {"tree_depth", "int"},
+        {"threshold", "num"},
+        {"max_abs_error", "num"}}},
       {"health.sample",
        {{"live", "int"},
         {"active", "int"},
@@ -190,6 +208,9 @@ TEST(JournalSchemaTest, NetworkLifecycleEventsMatchGoldenSchemas) {
       net.Query("SELECT avg(value) FROM sensors WHERE loc IN NORTH_HALF "
                 "USE SNAPSHOT")
           .ok());
+  ASSERT_TRUE(net.Explain("EXPLAIN ANALYZE SELECT avg(value) FROM sensors "
+                          "WHERE loc IN NORTH_HALF USE SNAPSHOT")
+                  .ok());
   // A callback is required for round measurement (and its journal event).
   net.ScheduleMaintenance(net.now() + 1, net.now() + 2, /*interval=*/10,
                           [](const MaintenanceRoundStats&) {});
@@ -199,7 +220,7 @@ TEST(JournalSchemaTest, NetworkLifecycleEventsMatchGoldenSchemas) {
   const std::set<std::string> seen = CheckLines(sink->lines());
   for (const char* required :
        {"election.start", "election.select", "election.mode", "election.done",
-        "query.plan", "maintenance.round", "health.sample"}) {
+        "query.plan", "query_explain", "maintenance.round", "health.sample"}) {
     EXPECT_TRUE(seen.count(required)) << "scenario never emitted " << required;
   }
 }

@@ -316,6 +316,94 @@ TEST(ExecutorTest, SleepingPassivesCanDisconnectResponders) {
   EXPECT_DOUBLE_EQ(awake.coverage, 1.0);
 }
 
+TEST(ExecutorTest, EstimatedRowsCarryModelError) {
+  Net net = MeshNet();
+  net.TeachAllPairs();
+  net.Elect();
+  const QueryResult r = net.executor->ExecuteRegion(
+      kAll, /*use_snapshot=*/true, AggregateFunction::kNone, {});
+  ASSERT_EQ(r.rows.size(), 4u);
+  for (const QueryRow& row : r.rows) {
+    if (row.estimated) {
+      ASSERT_TRUE(row.model_error.has_value()) << "node " << row.loc;
+      // Exact linear models: estimate == truth.
+      EXPECT_NEAR(*row.model_error, 0.0, 1e-9);
+    } else {
+      EXPECT_FALSE(row.model_error.has_value()) << "node " << row.loc;
+    }
+  }
+}
+
+TEST(ExecutorTest, ModelErrorIsSignedEstimateMinusTruth) {
+  Net net = MeshNet();
+  net.TeachAllPairs();
+  net.Elect();
+  // Drift node 1's true reading after the models were learned: its rep
+  // still answers with the stale estimate, and model_error reports the
+  // signed gap.
+  net.agents[1]->SetMeasurement(11.0 + 2.5);
+  const QueryResult r = net.executor->ExecuteRegion(
+      kAll, /*use_snapshot=*/true, AggregateFunction::kNone, {});
+  for (const QueryRow& row : r.rows) {
+    if (row.loc != 1) continue;
+    ASSERT_TRUE(row.model_error.has_value());
+    EXPECT_NEAR(*row.model_error, -2.5, 1e-6);  // estimate lags the truth
+  }
+}
+
+TEST(ExecutorTest, ChargeEnergyAttributesPerNodeTxCounters) {
+  SimConfig sim_config;
+  sim_config.energy.initial_battery = 10.0;
+  Net net({{0.1, 0.5}, {0.45, 0.5}, {0.8, 0.5}}, 0.4, sim_config);
+  for (NodeId i = 0; i < 3; ++i) net.agents[i]->SetMeasurement(5.0);
+  ExecutionOptions options;
+  options.charge_energy = true;
+  net.executor->ExecuteRegion(Rect{0.7, 0.0, 1.0, 1.0},
+                              /*use_snapshot=*/false,
+                              AggregateFunction::kSum, options);
+  obs::MetricRegistry& reg = net.sim->registry();
+  EXPECT_EQ(reg.GetCounter("query.energy.tx", 2)->value(), 1u);  // responder
+  EXPECT_EQ(reg.GetCounter("query.energy.tx", 1)->value(), 1u);  // router
+  EXPECT_EQ(reg.GetCounter("query.energy.tx", 0)->value(), 0u);  // sink
+  EXPECT_DOUBLE_EQ(reg.GetGauge("query.energy.drained")->value(), 2.0);
+}
+
+TEST(ExecutorTest, ExecuteRejectsExplainSpecs) {
+  // EXPLAIN statements have a dedicated entry point; Execute() refuses
+  // them instead of silently running the query.
+  Net net = MeshNet();
+  const Result<QueryResult> r = net.executor->ExecuteSql(
+      "EXPLAIN SELECT value FROM sensors", {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorTest, ProvenanceHookCapturesClaimsAndCost) {
+  Net net = MeshNet();
+  net.TeachAllPairs();
+  net.Elect();
+  ASSERT_EQ(net.agents[3]->mode(), NodeMode::kActive);
+  QueryProvenance prov;
+  ExecutionOptions options;
+  options.provenance = &prov;
+  const QueryResult r = net.executor->ExecuteRegion(
+      kAll, /*use_snapshot=*/true, AggregateFunction::kSum, options);
+  EXPECT_EQ(prov.matching_nodes, r.matching_nodes);
+  EXPECT_EQ(prov.responders, r.responders);
+  EXPECT_EQ(prov.participants, r.participants);
+  EXPECT_EQ(prov.reachable_nodes, 4u);
+  EXPECT_EQ(prov.messages, 1u);  // rep 3 -> sink; the sink itself is free
+  EXPECT_EQ(prov.tree_depth, 1);
+  ASSERT_EQ(prov.claims.size(), 4u);
+  EXPECT_EQ(prov.claims.at(1).reporter, 3u);
+  EXPECT_TRUE(prov.claims.at(1).estimated);
+  EXPECT_EQ(prov.claims.at(3).reporter, 3u);
+  EXPECT_FALSE(prov.claims.at(3).estimated);
+  EXPECT_EQ(prov.claims.at(3).epoch, kQueryClaimSelfEpoch);
+  ASSERT_EQ(prov.depth.size(), 4u);
+  EXPECT_EQ(prov.depth[0], 0);
+}
+
 TEST(ExecutorTest, CountAggregate) {
   Net net = MeshNet();
   const QueryResult r = net.executor->ExecuteRegion(

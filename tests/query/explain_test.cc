@@ -1,0 +1,318 @@
+// EXPLAIN / EXPLAIN ANALYZE tests: plan-only side-effect freedom, the
+// estimated-vs-actual cost join, per-node provenance rows (reporter,
+// estimate flag, epoch, model error vs threshold), the frozen
+// query_explain journal event and the explain.* metrics.
+#include "query/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/metric_registry.h"
+#include "query/parser.h"
+#include "snapshot/election.h"
+
+namespace snapq {
+namespace {
+
+SnapshotConfig TestConfig() {
+  SnapshotConfig config;
+  config.threshold = 1.0;
+  config.max_wait = 4;
+  config.rule4_hard_cap = 8;
+  config.heartbeat_timeout = 2;
+  config.heartbeat_miss_limit = 1;
+  return config;
+}
+
+struct Net {
+  std::unique_ptr<Simulator> sim;
+  std::vector<std::unique_ptr<SnapshotAgent>> agents;
+  std::unique_ptr<QueryExecutor> executor;
+
+  Net(std::vector<Point> positions, double range, SimConfig sim_config = {}) {
+    const size_t n = positions.size();
+    sim = std::make_unique<Simulator>(std::move(positions),
+                                      std::vector<double>(n, range),
+                                      sim_config);
+    for (NodeId i = 0; i < n; ++i) {
+      agents.push_back(
+          std::make_unique<SnapshotAgent>(i, sim.get(), TestConfig(),
+                                          900 + i));
+      agents.back()->Install();
+    }
+    executor = std::make_unique<QueryExecutor>(
+        sim.get(), &agents,
+        Catalog::WithStandardRegions(Rect::UnitSquare()));
+  }
+
+  void Teach(NodeId rep, NodeId target) {
+    const double vi = agents[rep]->measurement();
+    const double vj = agents[target]->measurement();
+    agents[rep]->models().cache().Observe(target, vi - 1, vj - 1, 0);
+    agents[rep]->models().cache().Observe(target, vi + 1, vj + 1, 0);
+  }
+
+  void TeachAllPairs() {
+    for (NodeId i = 0; i < agents.size(); ++i) {
+      for (NodeId j = 0; j < agents.size(); ++j) {
+        if (i != j) Teach(i, j);
+      }
+    }
+  }
+
+  void Elect() { RunGlobalElection(*sim, agents, sim->now(), TestConfig()); }
+};
+
+/// Four nodes in the unit square, all in range; values 10 + i. After
+/// TeachAllPairs + Elect, node 3 represents everyone.
+Net MeshNet(SimConfig sim_config = {}) {
+  Net net({{0.1, 0.1}, {0.3, 0.1}, {0.5, 0.1}, {0.7, 0.1}}, 10.0,
+          sim_config);
+  for (NodeId i = 0; i < 4; ++i) {
+    net.agents[i]->SetMeasurement(10.0 + i);
+  }
+  return net;
+}
+
+TEST(ExplainTest, PlanOnlyDoesNotExecuteOrChargeOrJournal) {
+  SimConfig sim_config;
+  sim_config.energy.initial_battery = 10.0;
+  Net net({{0.1, 0.1}, {0.3, 0.1}, {0.5, 0.1}, {0.7, 0.1}}, 10.0,
+          sim_config);
+  for (NodeId i = 0; i < 4; ++i) net.agents[i]->SetMeasurement(10.0 + i);
+  net.TeachAllPairs();
+  net.Elect();
+  auto* sink = static_cast<obs::MemoryJournalSink*>(
+      net.sim->journal().SetSink(std::make_unique<obs::MemoryJournalSink>()));
+  const std::vector<double> before = {
+      net.sim->battery(1).remaining(), net.sim->battery(3).remaining()};
+
+  ExecutionOptions options;
+  options.charge_energy = true;
+  const Result<ExplainReport> report = ExplainSql(
+      *net.executor,
+      "EXPLAIN SELECT avg(value) FROM sensors USE SNAPSHOT", options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->analyze);
+  EXPECT_FALSE(report->actual.has_value());
+  EXPECT_FALSE(report->result.has_value());
+  // Side-effect free: no journal events, no battery drain, no query
+  // counters.
+  EXPECT_TRUE(sink->lines().empty());
+  EXPECT_DOUBLE_EQ(net.sim->battery(1).remaining(), before[0]);
+  EXPECT_DOUBLE_EQ(net.sim->battery(3).remaining(), before[1]);
+  EXPECT_EQ(net.sim->registry().GetCounter("query.executions")->value(), 0u);
+  // But the estimate is real: rep 3 + sink 0 participate, one message.
+  EXPECT_EQ(report->estimated.responders, 1u);
+  EXPECT_EQ(report->estimated.participants, 2u);
+  EXPECT_EQ(report->estimated.messages, 1u);
+  EXPECT_GT(report->estimated.energy, 0.0);
+}
+
+TEST(ExplainTest, AnalyzeExecutesAndJoinsEstimatedVsActual) {
+  Net net = MeshNet();
+  net.TeachAllPairs();
+  net.Elect();
+  ExecutionOptions options;
+  const Result<ExplainReport> report = ExplainSql(
+      *net.executor,
+      "EXPLAIN ANALYZE SELECT avg(value) FROM sensors USE SNAPSHOT",
+      options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->analyze);
+  ASSERT_TRUE(report->actual.has_value());
+  ASSERT_TRUE(report->result.has_value());
+  ASSERT_TRUE(report->result->aggregate.has_value());
+  EXPECT_NEAR(*report->result->aggregate, 11.5, 1e-6);
+  // Stable network: the plan-time estimate matches the actuals exactly.
+  EXPECT_EQ(report->estimated.participants, report->actual->participants);
+  EXPECT_EQ(report->estimated.messages, report->actual->messages);
+  EXPECT_EQ(report->estimated.covered, report->actual->covered);
+  EXPECT_EQ(net.sim->registry().GetCounter("query.executions")->value(), 1u);
+  EXPECT_EQ(
+      net.sim->registry().GetCounter("explain.analyze.runs")->value(), 1u);
+}
+
+TEST(ExplainTest, ProvenanceRowsNameReporterEstimateAndEpoch) {
+  Net net = MeshNet();
+  net.TeachAllPairs();
+  net.Elect();
+  ASSERT_EQ(net.agents[3]->mode(), NodeMode::kActive);
+  const Result<ExplainReport> report = ExplainSql(
+      *net.executor,
+      "EXPLAIN ANALYZE SELECT loc, value FROM sensors USE SNAPSHOT", {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->rows.size(), 4u);
+  EXPECT_EQ(report->matching_nodes, 4u);
+  for (const ExplainNodeRow& row : report->rows) {
+    EXPECT_TRUE(row.covered) << "node " << row.node;
+    EXPECT_EQ(row.reporter, 3u);
+    if (row.node == 3) {
+      EXPECT_FALSE(row.estimated);
+      EXPECT_FALSE(row.model_error.has_value());
+      // Self-reports display the node's own epoch, not the sentinel.
+      EXPECT_EQ(row.epoch, net.agents[3]->epoch());
+    } else {
+      EXPECT_TRUE(row.estimated);
+      ASSERT_TRUE(row.model_error.has_value());
+      EXPECT_NEAR(*row.model_error, 0.0, 1e-9);  // exact models
+      EXPECT_TRUE(row.within_threshold);
+      EXPECT_GE(row.depth, 0);
+    }
+  }
+  EXPECT_EQ(report->EstimatedRows(), 3u);
+}
+
+TEST(ExplainTest, DriftedModelFlaggedAgainstPerQueryThreshold) {
+  Net net = MeshNet();
+  net.TeachAllPairs();
+  net.Elect();
+  // Drift node 1 by 2.5 after model training: with the sse metric the
+  // distance is 6.25 — inside the default T=1.0? No: flagged. A per-query
+  // ERROR 10 threshold admits it again.
+  net.agents[1]->SetMeasurement(11.0 + 2.5);
+  const Result<ExplainReport> strict = ExplainSql(
+      *net.executor,
+      "EXPLAIN SELECT loc, value FROM sensors USE SNAPSHOT", {});
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->threshold_overridden);
+  EXPECT_DOUBLE_EQ(strict->threshold, 1.0);
+  const Result<ExplainReport> loose = ExplainSql(
+      *net.executor,
+      "EXPLAIN SELECT loc, value FROM sensors USE SNAPSHOT ERROR 10", {});
+  ASSERT_TRUE(loose.ok());
+  EXPECT_TRUE(loose->threshold_overridden);
+  EXPECT_DOUBLE_EQ(loose->threshold, 10.0);
+  for (const auto& rows : {&strict->rows, &loose->rows}) {
+    for (const ExplainNodeRow& row : *rows) {
+      if (row.node != 1) continue;
+      ASSERT_TRUE(row.model_error.has_value());
+      EXPECT_NEAR(*row.model_error, -2.5, 1e-6);
+      EXPECT_NEAR(row.model_distance, 6.25, 1e-6);  // sse
+    }
+  }
+  const auto flagged = [](const ExplainReport& r, NodeId node) {
+    for (const ExplainNodeRow& row : r.rows) {
+      if (row.node == node) return !row.within_threshold;
+    }
+    return false;
+  };
+  EXPECT_TRUE(flagged(*strict, 1));
+  EXPECT_FALSE(flagged(*loose, 1));
+}
+
+TEST(ExplainTest, UncoveredNodesAppearWithoutReporter) {
+  // Chain 0-1-2 with router 1 dead: node 2 matches but cannot answer.
+  Net net({{0.1, 0.5}, {0.45, 0.5}, {0.8, 0.5}}, 0.4);
+  for (NodeId i = 0; i < 3; ++i) net.agents[i]->SetMeasurement(5.0);
+  net.sim->Kill(1);
+  const Result<ExplainReport> report = ExplainSql(
+      *net.executor,
+      "EXPLAIN ANALYZE SELECT value FROM sensors "
+      "WHERE loc IN RECT(0.7, 0.0, 1.0, 1.0)", {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->rows.size(), 1u);
+  EXPECT_EQ(report->rows[0].node, 2u);
+  EXPECT_FALSE(report->rows[0].covered);
+  EXPECT_EQ(report->rows[0].reporter, kInvalidNode);
+  EXPECT_EQ(report->actual->covered, 0u);
+}
+
+TEST(ExplainTest, EmitsFrozenQueryExplainJournalEvent) {
+  Net net = MeshNet();
+  net.TeachAllPairs();
+  net.Elect();
+  auto* sink = static_cast<obs::MemoryJournalSink*>(
+      net.sim->journal().SetSink(std::make_unique<obs::MemoryJournalSink>()));
+  ASSERT_TRUE(ExplainSql(*net.executor,
+                         "EXPLAIN ANALYZE SELECT avg(value) FROM sensors "
+                         "USE SNAPSHOT",
+                         {})
+                  .ok());
+  std::optional<obs::JournalEvent> explain_event;
+  for (const std::string& line : sink->lines()) {
+    std::optional<obs::JournalEvent> parsed = obs::JournalEvent::Parse(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    if (parsed->name() == "query_explain") explain_event = std::move(parsed);
+  }
+  ASSERT_TRUE(explain_event.has_value()) << "query_explain never emitted";
+  EXPECT_EQ(explain_event->GetBool("use_snapshot"), true);
+  EXPECT_EQ(explain_event->GetInt("matching"), 4);
+  EXPECT_EQ(explain_event->GetInt("covered"), 4);
+  EXPECT_EQ(explain_event->GetInt("estimated_rows"), 3);
+  EXPECT_EQ(explain_event->GetInt("est_participants"),
+            explain_event->GetInt("act_participants"));
+  EXPECT_TRUE(explain_event->GetNum("threshold").has_value());
+  EXPECT_TRUE(explain_event->GetNum("max_abs_error").has_value());
+}
+
+TEST(ExplainTest, ReportRendersPlanCostAndProvenanceSections) {
+  Net net = MeshNet();
+  net.TeachAllPairs();
+  net.Elect();
+  ExecutionOptions options;
+  options.charge_energy = true;
+  const Result<ExplainReport> report = ExplainSql(
+      *net.executor,
+      "EXPLAIN ANALYZE SELECT avg(value) FROM sensors "
+      "WHERE loc IN RECT(0.0, 0.0, 1.0, 0.5) USE SNAPSHOT",
+      options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string text = report->ToString();
+  for (const char* needle :
+       {"EXPLAIN ANALYZE", "predicate:", "literal RECT", "strategy:",
+        "snapshot fan-out", "cost", "estimated", "actual", "provenance",
+        "reporter", "d(x,x^)", "answer:"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing \"" << needle << "\" in:\n" << text;
+  }
+}
+
+TEST(ExplainTest, BareQueryIsExplainedAsPlanOnly) {
+  Net net = MeshNet();
+  const Result<ExplainReport> report = ExplainSql(
+      *net.executor, "SELECT value FROM sensors", {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->analyze);
+  EXPECT_EQ(report->estimated.responders, 4u);
+}
+
+TEST(ExplainTest, ErrorsSurfaceAsStatusNotCrash) {
+  Net net = MeshNet();
+  EXPECT_FALSE(ExplainSql(*net.executor, "EXPLAIN", {}).ok());
+  EXPECT_FALSE(
+      ExplainSql(*net.executor, "EXPLAIN EXPLAIN SELECT value FROM sensors",
+                 {})
+          .ok());
+  EXPECT_FALSE(
+      ExplainSql(*net.executor, "EXPLAIN SELECT humidity FROM sensors", {})
+          .ok());
+  EXPECT_FALSE(
+      ExplainSql(*net.executor,
+                 "EXPLAIN SELECT value FROM sensors WHERE loc IN MOON", {})
+          .ok());
+  EXPECT_FALSE(ExplainSql(*net.executor,
+                          "EXPLAIN ANALYZE SELECT value FROM sensors "
+                          "USE SNAPSHOT ERROR -3",
+                          {})
+                   .ok());
+}
+
+TEST(ExplainTest, RegionSourceNamesTheCatalogRegion) {
+  Net net = MeshNet();
+  const Result<ExplainReport> report = ExplainSql(
+      *net.executor,
+      "EXPLAIN SELECT value FROM sensors WHERE loc IN SOUTH_HALF", {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->region_source, "region SOUTH_HALF");
+  EXPECT_EQ(report->matching_nodes, 4u);  // all nodes at y=0.1
+}
+
+}  // namespace
+}  // namespace snapq

@@ -18,6 +18,7 @@ const char* const kFragments[] = {
     "SNAPSHOT", "ERROR", "SAMPLE", "INTERVAL", "FOR", "1",
     "2.5",     "-3",    "1e9",  "0",      "s",        "min",
     "ms",      "hour",  "NORTH_HALF", "_x", "x_1",    "banana",
+    "EXPLAIN", "ANALYZE",
 };
 
 std::string RandomQuery(Rng& rng, int max_tokens) {

@@ -118,6 +118,40 @@ TEST(ParserTest, ToStringRoundTripsThroughParser) {
   EXPECT_EQ(q2->use_snapshot, q->use_snapshot);
 }
 
+TEST(ParserTest, ExplainPrefix) {
+  const auto q = ParseQuery("EXPLAIN SELECT value FROM sensors USE SNAPSHOT");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->explain, ExplainMode::kPlan);
+  EXPECT_TRUE(q->use_snapshot);
+}
+
+TEST(ParserTest, ExplainAnalyzePrefix) {
+  const auto q = ParseQuery(
+      "explain analyze SELECT avg(value) FROM sensors "
+      "WHERE loc IN RECT(0.5, 0.0, 1.0, 0.5) USE SNAPSHOT");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->explain, ExplainMode::kAnalyze);
+  EXPECT_EQ(q->TheAggregate(), AggregateFunction::kAvg);
+}
+
+TEST(ParserTest, PlainQueryHasNoExplainMode) {
+  const auto q = ParseQuery("SELECT value FROM sensors");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->explain, ExplainMode::kNone);
+}
+
+TEST(ParserTest, ExplainToStringRoundTrips) {
+  for (const char* sql :
+       {"EXPLAIN SELECT value FROM sensors",
+        "EXPLAIN ANALYZE SELECT avg(value) FROM sensors USE SNAPSHOT"}) {
+    const auto q = ParseQuery(sql);
+    ASSERT_TRUE(q.ok()) << sql;
+    const auto q2 = ParseQuery(q->ToString());
+    ASSERT_TRUE(q2.ok()) << q->ToString();
+    EXPECT_EQ(q2->explain, q->explain) << sql;
+  }
+}
+
 // --- error cases -----------------------------------------------------------
 
 TEST(ParserTest, RejectsMissingSelect) {
@@ -160,6 +194,39 @@ TEST(ParserTest, RejectsNonPositiveSnapshotError) {
       ParseQuery("SELECT value FROM sensors USE SNAPSHOT ERROR 0").ok());
   EXPECT_FALSE(
       ParseQuery("SELECT value FROM sensors USE SNAPSHOT ERROR -1").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT value FROM sensors USE SNAPSHOT ERROR -3").ok());
+}
+
+TEST(ParserTest, RejectsNonNumericSnapshotError) {
+  EXPECT_FALSE(
+      ParseQuery("SELECT value FROM sensors USE SNAPSHOT ERROR banana").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT value FROM sensors USE SNAPSHOT ERROR").ok());
+}
+
+TEST(ParserTest, RejectsNestedExplain) {
+  const auto q = ParseQuery("EXPLAIN EXPLAIN SELECT value FROM sensors");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("nested"), std::string::npos);
+  EXPECT_FALSE(
+      ParseQuery("EXPLAIN ANALYZE EXPLAIN SELECT value FROM sensors").ok());
+}
+
+TEST(ParserTest, ExplainOnMalformedQueryReturnsError) {
+  // The prefix must not mask (or crash on) downstream parse errors.
+  EXPECT_FALSE(ParseQuery("EXPLAIN").ok());
+  EXPECT_FALSE(ParseQuery("EXPLAIN ANALYZE").ok());
+  EXPECT_FALSE(ParseQuery("EXPLAIN FROM sensors").ok());
+  EXPECT_FALSE(ParseQuery("EXPLAIN SELECT value").ok());
+  EXPECT_FALSE(ParseQuery("EXPLAIN SELECT value FROM sensors banana").ok());
+  EXPECT_FALSE(
+      ParseQuery("EXPLAIN ANALYZE SELECT value FROM sensors "
+                 "USE SNAPSHOT ERROR banana")
+          .ok());
+  EXPECT_FALSE(
+      ParseQuery("EXPLAIN SELECT value FROM sensors USE SNAPSHOT ERROR -3")
+          .ok());
 }
 
 TEST(ParserTest, RejectsUseWithoutSnapshot) {
