@@ -16,7 +16,7 @@ namespace {
 using namespace snapq;
 
 double MeanReps(size_t num_classes, PenaltyCurrency currency,
-                size_t repetitions) {
+                size_t repetitions, int jobs) {
   return MeanOverSeeds(repetitions, bench::kBaseSeed,
                        [&](uint64_t seed) {
                          SensitivityConfig config;
@@ -25,7 +25,8 @@ double MeanReps(size_t num_classes, PenaltyCurrency currency,
                          config.seed = seed;
                          return static_cast<double>(
                              RunSensitivityTrial(config).stats.num_active);
-                       })
+                       },
+                       jobs)
       .mean();
 }
 
@@ -45,9 +46,11 @@ SNAPQ_BENCHMARK(ablation_cache_penalty,
   for (size_t k : {1u, 5u, 10u, 50u}) {
     table.AddRow(
         {std::to_string(k),
-         TablePrinter::Num(MeanReps(k, PenaltyCurrency::kTotalBenefit, reps), 1),
-         TablePrinter::Num(MeanReps(k, PenaltyCurrency::kAverageBenefit, reps),
-                           1)});
+         TablePrinter::Num(
+             MeanReps(k, PenaltyCurrency::kTotalBenefit, reps, ctx.jobs), 1),
+         TablePrinter::Num(
+             MeanReps(k, PenaltyCurrency::kAverageBenefit, reps, ctx.jobs),
+             1)});
   }
   table.Print(std::cout);
   std::printf("\n(the paper reports 1 representative at K=1; the averaged "

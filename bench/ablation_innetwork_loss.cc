@@ -6,10 +6,12 @@
 // sketches).
 #include <cmath>
 #include <iostream>
+#include <utility>
 
 #include "api/experiment.h"
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "exec/parallel_sweep.h"
 #include "query/innetwork.h"
 
 namespace {
@@ -60,11 +62,17 @@ SNAPQ_BENCHMARK(ablation_innetwork_loss,
   const int queries = static_cast<int>(ctx.Scaled(50));
   TablePrinter table({"P_loss", "regular rel. error", "snapshot rel. error"});
   for (double loss : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    const auto samples = exec::ParallelMap<std::pair<double, double>>(
+        static_cast<size_t>(reps), ctx.jobs, [&](size_t r) {
+          const uint64_t seed = bench::kBaseSeed + r;
+          return std::pair<double, double>(
+              MeanRelativeError(loss, false, seed, queries),
+              MeanRelativeError(loss, true, seed, queries));
+        });
     RunningStats regular, snapshot;
-    for (int r = 0; r < reps; ++r) {
-      const uint64_t seed = bench::kBaseSeed + static_cast<uint64_t>(r);
-      regular.Add(MeanRelativeError(loss, false, seed, queries));
-      snapshot.Add(MeanRelativeError(loss, true, seed, queries));
+    for (const auto& [reg, snap] : samples) {
+      regular.Add(reg);
+      snapshot.Add(snap);
     }
     table.AddRow({TablePrinter::Num(loss, 2),
                   TablePrinter::Num(100.0 * regular.mean(), 1) + "%",

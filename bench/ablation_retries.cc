@@ -12,7 +12,7 @@ namespace {
 
 using namespace snapq;
 
-double MeanReps(double loss, bool retries, size_t repetitions) {
+double MeanReps(double loss, bool retries, size_t repetitions, int jobs) {
   return MeanOverSeeds(repetitions, bench::kBaseSeed,
                        [&](uint64_t seed) {
                          NetworkConfig nc;
@@ -36,10 +36,11 @@ double MeanReps(double loss, bool retries, size_t repetitions) {
                          network.RunUntil(100);
                          const double active = static_cast<double>(
                              network.RunElection(100).num_active);
-                         obs::GlobalMetrics().MergeFrom(
+                         obs::MetricSink().MergeFrom(
                              network.sim().registry());
                          return active;
-                       })
+                       },
+                       jobs)
       .mean();
 }
 
@@ -58,8 +59,9 @@ SNAPQ_BENCHMARK(ablation_retries,
   TablePrinter table({"P_loss", "with retries", "without retries"});
   for (double loss : {0.0, 0.2, 0.4, 0.6, 0.8}) {
     table.AddRow({TablePrinter::Num(loss, 1),
-                  TablePrinter::Num(MeanReps(loss, true, reps), 1),
-                  TablePrinter::Num(MeanReps(loss, false, reps), 1)});
+                  TablePrinter::Num(MeanReps(loss, true, reps, ctx.jobs), 1),
+                  TablePrinter::Num(MeanReps(loss, false, reps, ctx.jobs),
+                                    1)});
   }
   table.Print(std::cout);
 }

@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 #include "data/random_walk.h"
+#include "exec/parallel_sweep.h"
 #include "query/executor.h"
 
 namespace {
@@ -68,7 +69,7 @@ std::vector<double> RunCoverageCurve(int rotation_rounds, uint64_t seed,
       buckets[std::min<size_t>(b, kBuckets - 1)].Add(result.coverage);
     }
   }
-  obs::GlobalMetrics().MergeFrom(net.sim().registry());
+  obs::MetricSink().MergeFrom(net.sim().registry());
   std::vector<double> out;
   out.reserve(kBuckets);
   for (const RunningStats& b : buckets) out.push_back(b.mean());
@@ -89,14 +90,18 @@ SNAPQ_BENCHMARK(ablation_rotation,
       std::max<Time>(ctx.Scaled(kFullHorizon), kQueryStart + kBuckets);
   const int reps = static_cast<int>(ctx.Scaled(kFullRepetitions));
 
+  // Even task indices run without rotation, odd with, seed-major — the
+  // old serial order, so the index-ordered fold reproduces it exactly.
+  const auto curves = exec::ParallelMap<std::vector<double>>(
+      static_cast<size_t>(reps) * 2, ctx.jobs, [&](size_t i) {
+        const uint64_t seed = bench::kBaseSeed + static_cast<uint64_t>(i / 2);
+        return RunCoverageCurve((i % 2) == 1 ? 3 : 0, seed, horizon);
+      });
   std::vector<RunningStats> off(kBuckets), on(kBuckets);
-  for (int r = 0; r < reps; ++r) {
-    const uint64_t seed = bench::kBaseSeed + static_cast<uint64_t>(r);
-    const auto a = RunCoverageCurve(0, seed, horizon);
-    const auto b = RunCoverageCurve(3, seed, horizon);
+  for (size_t i = 0; i < curves.size(); ++i) {
+    std::vector<RunningStats>& curve = (i % 2) == 1 ? on : off;
     for (int k = 0; k < kBuckets; ++k) {
-      off[static_cast<size_t>(k)].Add(a[static_cast<size_t>(k)]);
-      on[static_cast<size_t>(k)].Add(b[static_cast<size_t>(k)]);
+      curve[static_cast<size_t>(k)].Add(curves[i][static_cast<size_t>(k)]);
     }
   }
 

@@ -8,10 +8,12 @@
 // representative-favoring routing-tree bias.
 #include <cmath>
 #include <iostream>
+#include <limits>
 
 #include "api/experiment.h"
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "exec/parallel_sweep.h"
 #include "query/executor.h"
 
 namespace {
@@ -19,40 +21,46 @@ namespace {
 using namespace snapq;
 
 double SavingsFor(size_t num_classes, double range, double w_squared,
-                  bool favor_reps, int repetitions, int queries) {
-  RunningStats savings;
-  for (int r = 0; r < repetitions; ++r) {
-    SensitivityConfig config;
-    config.num_classes = num_classes;
-    config.transmission_range = range;
-    config.seed = bench::kBaseSeed + static_cast<uint64_t>(r);
-    SensitivityOutcome outcome = RunSensitivityTrial(config);
-    SensorNetwork& net = *outcome.network;
+                  bool favor_reps, int repetitions, int queries, int jobs) {
+  const auto samples = exec::ParallelMap<double>(
+      static_cast<size_t>(repetitions), jobs, [&](size_t r) {
+        SensitivityConfig config;
+        config.num_classes = num_classes;
+        config.transmission_range = range;
+        config.seed = bench::kBaseSeed + r;
+        SensitivityOutcome outcome = RunSensitivityTrial(config);
+        SensorNetwork& net = *outcome.network;
 
-    Rng rng(config.seed ^ 0x51AB5EEDULL);
-    const double w = std::sqrt(w_squared);
-    uint64_t regular_total = 0;
-    uint64_t snapshot_total = 0;
-    for (int q = 0; q < queries; ++q) {
-      ExecutionOptions options;
-      options.sink = static_cast<NodeId>(
-          rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
-      options.favor_representatives = favor_reps;
-      const Point center{rng.NextDouble(), rng.NextDouble()};
-      const Rect region = Rect::CenteredSquare(center, w);
-      regular_total +=
-          net.executor()
-              .ExecuteRegion(region, false, AggregateFunction::kSum, options)
-              .participants;
-      snapshot_total +=
-          net.executor()
-              .ExecuteRegion(region, true, AggregateFunction::kSum, options)
-              .participants;
-    }
-    if (regular_total > 0) {
-      savings.Add(1.0 - static_cast<double>(snapshot_total) /
-                            static_cast<double>(regular_total));
-    }
+        Rng rng(config.seed ^ 0x51AB5EEDULL);
+        const double w = std::sqrt(w_squared);
+        uint64_t regular_total = 0;
+        uint64_t snapshot_total = 0;
+        for (int q = 0; q < queries; ++q) {
+          ExecutionOptions options;
+          options.sink = static_cast<NodeId>(
+              rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+          options.favor_representatives = favor_reps;
+          const Point center{rng.NextDouble(), rng.NextDouble()};
+          const Rect region = Rect::CenteredSquare(center, w);
+          regular_total += net.executor()
+                               .ExecuteRegion(region, false,
+                                              AggregateFunction::kSum, options)
+                               .participants;
+          snapshot_total += net.executor()
+                                .ExecuteRegion(region, true,
+                                               AggregateFunction::kSum,
+                                               options)
+                                .participants;
+        }
+        if (regular_total == 0) {
+          return std::numeric_limits<double>::quiet_NaN();
+        }
+        return 1.0 - static_cast<double>(snapshot_total) /
+                         static_cast<double>(regular_total);
+      });
+  RunningStats savings;
+  for (double sample : samples) {
+    if (!std::isnan(sample)) savings.Add(sample);
   }
   return savings.mean();
 }
@@ -76,11 +84,11 @@ SNAPQ_BENCHMARK(ablation_routing_bias,
           {"W^2 = " + TablePrinter::Num(w2, 1), TablePrinter::Num(range, 1),
            TablePrinter::Num(
                100.0 * SavingsFor(1, range, w2, false, ctx.repetitions,
-                                  queries),
+                                  queries, ctx.jobs),
                0) + "%",
            TablePrinter::Num(
                100.0 * SavingsFor(1, range, w2, true, ctx.repetitions,
-                                  queries),
+                                  queries, ctx.jobs),
                0) + "%"});
     }
   }

@@ -5,10 +5,13 @@
 // nodes to save, but also more disconnection risk).
 #include <cmath>
 #include <iostream>
+#include <limits>
+#include <vector>
 
 #include "api/experiment.h"
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "exec/parallel_sweep.h"
 #include "query/executor.h"
 
 namespace {
@@ -20,36 +23,54 @@ struct SleepOutcome {
   double coverage = 0.0;  // average coverage of the snapshot queries
 };
 
-SleepOutcome Measure(double range, bool sleep, int repetitions, int queries) {
+/// One repetition's raw results: the savings sample (NaN when no regular
+/// participants) and the per-query coverage samples, in query order.
+struct SleepRepSamples {
+  double savings = 0.0;
+  std::vector<double> coverage;
+};
+
+SleepOutcome Measure(double range, bool sleep, int repetitions, int queries,
+                     int jobs) {
+  const auto per_rep = exec::ParallelMap<SleepRepSamples>(
+      static_cast<size_t>(repetitions), jobs, [&](size_t r) {
+        SensitivityConfig config;
+        config.num_classes = 1;
+        config.transmission_range = range;
+        config.seed = bench::kBaseSeed + r;
+        SensitivityOutcome outcome = RunSensitivityTrial(config);
+        SensorNetwork& net = *outcome.network;
+        Rng rng(config.seed ^ 0x517EEBULL);
+        SleepRepSamples samples;
+        uint64_t regular_total = 0;
+        uint64_t snapshot_total = 0;
+        for (int q = 0; q < queries; ++q) {
+          ExecutionOptions options;
+          options.sink = static_cast<NodeId>(rng.UniformInt(0, 99));
+          options.passive_nodes_sleep = sleep;
+          const Point center{rng.NextDouble(), rng.NextDouble()};
+          const Rect region = Rect::CenteredSquare(center, std::sqrt(0.1));
+          const QueryResult regular = net.executor().ExecuteRegion(
+              region, false, AggregateFunction::kSum, options);
+          const QueryResult snap = net.executor().ExecuteRegion(
+              region, true, AggregateFunction::kSum, options);
+          regular_total += regular.participants;
+          snapshot_total += snap.participants;
+          if (snap.matching_nodes > 0) {
+            samples.coverage.push_back(snap.coverage);
+          }
+        }
+        samples.savings =
+            regular_total > 0
+                ? 1.0 - static_cast<double>(snapshot_total) /
+                            static_cast<double>(regular_total)
+                : std::numeric_limits<double>::quiet_NaN();
+        return samples;
+      });
   RunningStats savings, coverage;
-  for (int r = 0; r < repetitions; ++r) {
-    SensitivityConfig config;
-    config.num_classes = 1;
-    config.transmission_range = range;
-    config.seed = bench::kBaseSeed + static_cast<uint64_t>(r);
-    SensitivityOutcome outcome = RunSensitivityTrial(config);
-    SensorNetwork& net = *outcome.network;
-    Rng rng(config.seed ^ 0x517EEBULL);
-    uint64_t regular_total = 0;
-    uint64_t snapshot_total = 0;
-    for (int q = 0; q < queries; ++q) {
-      ExecutionOptions options;
-      options.sink = static_cast<NodeId>(rng.UniformInt(0, 99));
-      options.passive_nodes_sleep = sleep;
-      const Point center{rng.NextDouble(), rng.NextDouble()};
-      const Rect region = Rect::CenteredSquare(center, std::sqrt(0.1));
-      const QueryResult regular = net.executor().ExecuteRegion(
-          region, false, AggregateFunction::kSum, options);
-      const QueryResult snap = net.executor().ExecuteRegion(
-          region, true, AggregateFunction::kSum, options);
-      regular_total += regular.participants;
-      snapshot_total += snap.participants;
-      if (snap.matching_nodes > 0) coverage.Add(snap.coverage);
-    }
-    if (regular_total > 0) {
-      savings.Add(1.0 - static_cast<double>(snapshot_total) /
-                            static_cast<double>(regular_total));
-    }
+  for (const SleepRepSamples& samples : per_rep) {
+    if (!std::isnan(samples.savings)) savings.Add(samples.savings);
+    for (double c : samples.coverage) coverage.Add(c);
   }
   return SleepOutcome{savings.mean(), coverage.mean()};
 }
@@ -68,8 +89,10 @@ SNAPQ_BENCHMARK(ablation_sleep_mode,
   TablePrinter table({"range", "savings (routing)", "savings (sleeping)",
                       "coverage (routing)", "coverage (sleeping)"});
   for (double range : {0.3, 0.5, 0.7}) {
-    const SleepOutcome awake = Measure(range, false, ctx.repetitions, queries);
-    const SleepOutcome asleep = Measure(range, true, ctx.repetitions, queries);
+    const SleepOutcome awake =
+        Measure(range, false, ctx.repetitions, queries, ctx.jobs);
+    const SleepOutcome asleep =
+        Measure(range, true, ctx.repetitions, queries, ctx.jobs);
     table.AddRow({TablePrinter::Num(range, 1),
                   TablePrinter::Num(100.0 * awake.savings, 0) + "%",
                   TablePrinter::Num(100.0 * asleep.savings, 0) + "%",

@@ -10,38 +10,44 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 #include "data/spatial_field.h"
+#include "exec/parallel_sweep.h"
 #include "net/topology.h"
 
 namespace {
 
 using namespace snapq;
 
-double MeanReps(double correlation_length, double range, int repetitions) {
-  RunningStats reps;
-  for (int r = 0; r < repetitions; ++r) {
-    const uint64_t seed = bench::kBaseSeed + static_cast<uint64_t>(r);
-    NetworkConfig config;
-    config.num_nodes = 100;
-    config.transmission_range = range;
-    config.snapshot.threshold = 1.0;
-    config.seed = seed;
-    SensorNetwork net(config);
+double MeanReps(double correlation_length, double range, int repetitions,
+                int jobs) {
+  const auto samples = exec::ParallelMap<double>(
+      static_cast<size_t>(repetitions), jobs, [&](size_t r) {
+        const uint64_t seed = bench::kBaseSeed + r;
+        NetworkConfig config;
+        config.num_nodes = 100;
+        config.transmission_range = range;
+        config.snapshot.threshold = 1.0;
+        config.seed = seed;
+        SensorNetwork net(config);
 
-    std::vector<Point> positions;
-    for (NodeId i = 0; i < 100; ++i) positions.push_back(net.position(i));
-    Rng data_rng = Rng(seed).SplitNamed("field");
-    SpatialFieldConfig field;
-    field.horizon = 101;
-    field.correlation_length = correlation_length;
-    Result<Dataset> dataset = Dataset::Create(
-        GenerateSpatialField(field, positions, data_rng));
-    SNAPQ_CHECK(dataset.ok());
-    SNAPQ_CHECK(net.AttachDataset(std::move(*dataset)).ok());
-    net.ScheduleTrainingBroadcasts(0, 10);
-    net.RunUntil(100);
-    reps.Add(static_cast<double>(net.RunElection(100).num_active));
-    obs::GlobalMetrics().MergeFrom(net.sim().registry());
-  }
+        std::vector<Point> positions;
+        for (NodeId i = 0; i < 100; ++i) positions.push_back(net.position(i));
+        Rng data_rng = Rng(seed).SplitNamed("field");
+        SpatialFieldConfig field;
+        field.horizon = 101;
+        field.correlation_length = correlation_length;
+        Result<Dataset> dataset = Dataset::Create(
+            GenerateSpatialField(field, positions, data_rng));
+        SNAPQ_CHECK(dataset.ok());
+        SNAPQ_CHECK(net.AttachDataset(std::move(*dataset)).ok());
+        net.ScheduleTrainingBroadcasts(0, 10);
+        net.RunUntil(100);
+        const double active =
+            static_cast<double>(net.RunElection(100).num_active);
+        obs::MetricSink().MergeFrom(net.sim().registry());
+        return active;
+      });
+  RunningStats reps;
+  for (double sample : samples) reps.Add(sample);
   return reps.mean();
 }
 
@@ -60,8 +66,10 @@ SNAPQ_BENCHMARK(ablation_spatial_correlation,
   for (double length : {0.05, 0.1, 0.2, 0.4, 0.8, 2.0}) {
     table.AddRow(
         {TablePrinter::Num(length, 2),
-         TablePrinter::Num(MeanReps(length, 0.4, ctx.repetitions), 1),
-         TablePrinter::Num(MeanReps(length, 1.4142, ctx.repetitions), 1)});
+         TablePrinter::Num(MeanReps(length, 0.4, ctx.repetitions, ctx.jobs),
+                           1),
+         TablePrinter::Num(
+             MeanReps(length, 1.4142, ctx.repetitions, ctx.jobs), 1)});
   }
   table.Print(std::cout);
 }

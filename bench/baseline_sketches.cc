@@ -12,10 +12,12 @@
 //     data carriers use.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "api/experiment.h"
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "exec/parallel_sweep.h"
 #include "query/innetwork.h"
 #include "query/multipath.h"
 
@@ -28,46 +30,68 @@ struct Row {
   RunningStats messages;  // data messages per query
 };
 
-void Measure(double loss, int repetitions, int queries, Row* tree, Row* sketch,
-             Row* snapshot) {
-  for (int r = 0; r < repetitions; ++r) {
-    SensitivityConfig config;
-    config.workload = WorkloadKind::kWeather;  // non-negative readings,
-                                               // as FM sum sketches need
-    config.threshold = 0.5;
-    config.transmission_range = 0.35;
-    config.loss_probability = loss;
-    config.seed = bench::kBaseSeed + static_cast<uint64_t>(r);
-    SensitivityOutcome outcome = RunSensitivityTrial(config);
-    SensorNetwork& net = *outcome.network;
-    Rng rng(config.seed ^ 0xBA5E11AE5ULL);
+/// One repetition's raw (error, messages) samples per strategy, in query
+/// order — the reps run in parallel and fold in seed order.
+struct RepSamples {
+  std::vector<double> tree_err, sketch_err, snapshot_err;
+  std::vector<double> tree_msgs, sketch_msgs, snapshot_msgs;
+};
 
-    double truth = 0.0;
-    for (NodeId i = 0; i < net.num_nodes(); ++i) {
-      truth += net.agent(i).measurement();
-    }
-    auto record = [&](Row* row, double answer, uint64_t msgs) {
-      row->error.Add(std::abs(answer - truth) / std::abs(truth));
-      row->messages.Add(static_cast<double>(msgs));
-    };
+void Measure(double loss, int repetitions, int queries, int jobs, Row* tree,
+             Row* sketch, Row* snapshot) {
+  const auto per_rep = exec::ParallelMap<RepSamples>(
+      static_cast<size_t>(repetitions), jobs, [&](size_t r) {
+        SensitivityConfig config;
+        config.workload = WorkloadKind::kWeather;  // non-negative readings,
+                                                   // as FM sum sketches need
+        config.threshold = 0.5;
+        config.transmission_range = 0.35;
+        config.loss_probability = loss;
+        config.seed = bench::kBaseSeed + r;
+        SensitivityOutcome outcome = RunSensitivityTrial(config);
+        SensorNetwork& net = *outcome.network;
+        Rng rng(config.seed ^ 0xBA5E11AE5ULL);
 
-    for (int q = 0; q < queries; ++q) {
-      const NodeId sink = static_cast<NodeId>(rng.UniformInt(0, 99));
-      {
-        InNetworkAggregator agg(&net.sim(), &net.agents());
-        const InNetworkResult t = agg.Execute(
-            Rect::UnitSquare(), AggregateFunction::kSum, sink, false);
-        record(tree, t.aggregate.value_or(0.0), t.reply_messages);
-        const InNetworkResult s = agg.Execute(
-            Rect::UnitSquare(), AggregateFunction::kSum, sink, true);
-        record(snapshot, s.aggregate.value_or(0.0), s.reply_messages);
-      }
-      {
-        MultipathSketchAggregator agg(&net.sim(), &net.agents());
-        const MultipathResult m = agg.Execute(Rect::UnitSquare(), sink);
-        record(sketch, m.estimate.value_or(0.0), m.reply_messages);
-      }
-    }
+        double truth = 0.0;
+        for (NodeId i = 0; i < net.num_nodes(); ++i) {
+          truth += net.agent(i).measurement();
+        }
+        RepSamples samples;
+        auto record = [&](std::vector<double>* err, std::vector<double>* msgs,
+                          double answer, uint64_t n) {
+          err->push_back(std::abs(answer - truth) / std::abs(truth));
+          msgs->push_back(static_cast<double>(n));
+        };
+
+        for (int q = 0; q < queries; ++q) {
+          const NodeId sink = static_cast<NodeId>(rng.UniformInt(0, 99));
+          {
+            InNetworkAggregator agg(&net.sim(), &net.agents());
+            const InNetworkResult t = agg.Execute(
+                Rect::UnitSquare(), AggregateFunction::kSum, sink, false);
+            record(&samples.tree_err, &samples.tree_msgs,
+                   t.aggregate.value_or(0.0), t.reply_messages);
+            const InNetworkResult s = agg.Execute(
+                Rect::UnitSquare(), AggregateFunction::kSum, sink, true);
+            record(&samples.snapshot_err, &samples.snapshot_msgs,
+                   s.aggregate.value_or(0.0), s.reply_messages);
+          }
+          {
+            MultipathSketchAggregator agg(&net.sim(), &net.agents());
+            const MultipathResult m = agg.Execute(Rect::UnitSquare(), sink);
+            record(&samples.sketch_err, &samples.sketch_msgs,
+                   m.estimate.value_or(0.0), m.reply_messages);
+          }
+        }
+        return samples;
+      });
+  for (const RepSamples& samples : per_rep) {
+    for (double v : samples.tree_err) tree->error.Add(v);
+    for (double v : samples.tree_msgs) tree->messages.Add(v);
+    for (double v : samples.sketch_err) sketch->error.Add(v);
+    for (double v : samples.sketch_msgs) sketch->messages.Add(v);
+    for (double v : samples.snapshot_err) snapshot->error.Add(v);
+    for (double v : samples.snapshot_msgs) snapshot->messages.Add(v);
   }
 }
 
@@ -88,7 +112,7 @@ SNAPQ_BENCHMARK(baseline_sketches,
                       "tree msgs", "sketch msgs", "snapshot msgs"});
   for (double loss : {0.0, 0.1, 0.2, 0.3}) {
     Row tree, sketch, snapshot;
-    Measure(loss, reps, queries, &tree, &sketch, &snapshot);
+    Measure(loss, reps, queries, ctx.jobs, &tree, &sketch, &snapshot);
     table.AddRow({TablePrinter::Num(loss, 1),
                   TablePrinter::Num(100.0 * tree.error.mean(), 1) + "%",
                   TablePrinter::Num(100.0 * sketch.error.mean(), 1) + "%",

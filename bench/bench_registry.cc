@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "bench_util.h"
+#include "exec/parallel_sweep.h"
 
 namespace snapq::bench {
 
@@ -31,12 +32,23 @@ const BenchInfo* Registry::Find(const std::string& name) const {
 
 int StandaloneMain(int argc, char** argv) {
   bool quick = false;
+  int jobs = 0;  // 0 = SNAPQ_JOBS / hardware concurrency
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--jobs needs an argument\n");
+        return 2;
+      }
+      jobs = std::atoi(argv[++i]);
+      if (jobs <= 0) {
+        std::fprintf(stderr, "--jobs wants a positive integer\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--quick]\n", argv[0]);
+      std::printf("usage: %s [--quick] [--jobs N]\n", argv[0]);
       for (const BenchInfo& info : Registry::Instance().benchmarks()) {
         std::printf("  %s: %s\n", info.name, info.description);
       }
@@ -57,6 +69,7 @@ int StandaloneMain(int argc, char** argv) {
     ctx.quick = quick;
     ctx.repetitions = quick ? 1 : Repetitions();
     ctx.write_sidecars = true;
+    ctx.jobs = exec::ResolveJobs(jobs);
     info.fn(ctx);
   }
   return 0;

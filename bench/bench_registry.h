@@ -37,6 +37,11 @@ struct RunContext {
   /// Whether the driver should leave `.metrics.json`/`.trace.json`
   /// sidecars (standalone: yes; harness: only with --sidecars).
   bool write_sidecars = true;
+  /// Worker threads for the per-seed trial loops (exec::ParallelMap).
+  /// 1 = serial (bit-identical reference behavior); the harness and
+  /// standalone mains default it to --jobs / SNAPQ_JOBS / hardware
+  /// concurrency via exec::ResolveJobs.
+  int jobs = 1;
 
   /// Scales a driver-internal count or horizon for quick mode: full
   /// normally, max(1, full / 10) when quick.

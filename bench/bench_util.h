@@ -5,6 +5,8 @@
 #ifndef SNAPQ_BENCH_BENCH_UTIL_H_
 #define SNAPQ_BENCH_BENCH_UTIL_H_
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -63,6 +65,35 @@ inline std::string SidecarPath(const char* argv0, const char* suffix) {
   return (dir / (name + suffix)).string();
 }
 
+/// Atomically replaces `path` with `contents`: stages into a `.tmp.<pid>`
+/// sibling and renames over the target, so a reader (or a concurrently
+/// running driver pointed at the same SNAPQ_METRICS_DIR) never observes a
+/// half-written sidecar. Returns false when the write or rename failed.
+inline bool WriteFileAtomic(const std::string& path,
+                            const std::string& contents) {
+  namespace fs = std::filesystem;
+  const std::string staged =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(staged);
+    if (!out) return false;
+    out << contents;
+    if (!out.good()) {
+      std::error_code ec;
+      fs::remove(staged, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(staged, path, ec);
+  if (ec) {
+    std::error_code cleanup;
+    fs::remove(staged, cleanup);
+    return false;
+  }
+  return true;
+}
+
 /// Writes the process-wide metric registry (every trial merges its
 /// simulation registry into it) as a machine-readable sidecar:
 /// `<basename(argv0)>.metrics.json` (see SidecarPath). Called by
@@ -70,12 +101,10 @@ inline std::string SidecarPath(const char* argv0, const char* suffix) {
 /// disk.
 inline void WriteMetricsSidecar(const char* argv0) {
   const std::string path = SidecarPath(argv0, ".metrics.json");
-  std::ofstream out(path);
-  if (!out) {
+  if (!WriteFileAtomic(path, obs::GlobalMetrics().ToJson() + '\n')) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
-  out << obs::GlobalMetrics().ToJson() << '\n';
   std::printf("\nmetrics sidecar: %s\n", path.c_str());
 }
 

@@ -29,7 +29,8 @@ SNAPQ_BENCHMARK(fig06_classes,
           config.seed = seed;
           return static_cast<double>(
               RunSensitivityTrial(config).stats.num_active);
-        });
+        },
+        ctx.jobs);
     table.AddRow({std::to_string(k), TablePrinter::Num(reps.mean(), 1),
                   TablePrinter::Num(reps.min(), 0),
                   TablePrinter::Num(reps.max(), 0)});

@@ -29,7 +29,8 @@ SNAPQ_BENCHMARK(fig07_message_loss,
           config.seed = seed;
           return static_cast<double>(
               RunSensitivityTrial(config).stats.num_active);
-        });
+        },
+        ctx.jobs);
     table.AddRow({TablePrinter::Num(loss, 2),
                   TablePrinter::Num(reps.mean(), 1),
                   TablePrinter::Num(reps.min(), 0),

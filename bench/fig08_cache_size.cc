@@ -30,7 +30,8 @@ SNAPQ_BENCHMARK(fig08_cache_size,
                            config.seed = seed;
                            return static_cast<double>(
                                RunSensitivityTrial(config).stats.num_active);
-                         })
+                         },
+                         ctx.jobs)
         .mean();
   };
 

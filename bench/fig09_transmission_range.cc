@@ -34,7 +34,8 @@ SNAPQ_BENCHMARK(fig09_transmission_range,
             config.seed = seed;
             return static_cast<double>(
                 RunSensitivityTrial(config).stats.num_active);
-          });
+          },
+          ctx.jobs);
       row.push_back(TablePrinter::Num(reps.mean(), 1));
     }
     table.AddRow(std::move(row));

@@ -14,10 +14,12 @@
 // the area under the curve is substantially larger.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "api/experiment.h"
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "exec/parallel_sweep.h"
 #include "query/executor.h"
 
 namespace {
@@ -42,8 +44,13 @@ struct LifetimeCurve {
   LifetimeCurve() : coverage(kBuckets) {}
 };
 
-void RunLifetime(bool use_snapshot, uint64_t seed, Time horizon,
-                 LifetimeCurve* curve) {
+/// One run's raw coverage samples, per time bucket, in observation order.
+/// Runs execute in parallel; the driver folds the samples into the
+/// RunningStats curves sequentially so the accumulators see the same
+/// addition order regardless of --jobs.
+using LifetimeSamples = std::vector<std::vector<double>>;
+
+LifetimeSamples RunLifetime(bool use_snapshot, uint64_t seed, Time horizon) {
   NetworkConfig config;
   config.num_nodes = 100;
   config.transmission_range = 0.7;
@@ -74,6 +81,7 @@ void RunLifetime(bool use_snapshot, uint64_t seed, Time horizon,
                             kMaintenanceInterval);
   }
 
+  LifetimeSamples samples(kBuckets);
   Rng query_rng = Rng(seed).SplitNamed("queries");
   const double w = std::sqrt(0.1);
   for (Time t = kQueryStart; t < horizon; ++t) {
@@ -94,11 +102,12 @@ void RunLifetime(bool use_snapshot, uint64_t seed, Time horizon,
     if (result.matching_nodes > 0) {
       const size_t bucket = static_cast<size_t>(
           (t - kQueryStart) * kBuckets / (horizon - kQueryStart));
-      curve->coverage[std::min<size_t>(bucket, kBuckets - 1)].Add(
+      samples[std::min<size_t>(bucket, kBuckets - 1)].push_back(
           result.coverage);
     }
   }
-  obs::GlobalMetrics().MergeFrom(net.sim().registry());
+  obs::MetricSink().MergeFrom(net.sim().registry());
+  return samples;
 }
 
 }  // namespace
@@ -117,12 +126,23 @@ SNAPQ_BENCHMARK(fig10_network_lifetime,
       std::max<Time>(ctx.Scaled(kFullHorizon), kQueryStart + kBuckets);
   const int reps = static_cast<int>(ctx.Scaled(kFullRepetitions));
 
+  // Even task indices are the regular runs, odd the snapshot runs, both
+  // ordered by seed — the same order the old serial loop used, so the
+  // index-ordered reduction reproduces it exactly.
+  const auto per_run = exec::ParallelMap<LifetimeSamples>(
+      static_cast<size_t>(reps) * 2, ctx.jobs, [&](size_t i) {
+        return RunLifetime(/*use_snapshot=*/(i % 2) == 1,
+                           bench::kBaseSeed + static_cast<uint64_t>(i / 2),
+                           horizon);
+      });
   LifetimeCurve regular, snapshot;
-  for (int r = 0; r < reps; ++r) {
-    RunLifetime(false, bench::kBaseSeed + static_cast<uint64_t>(r), horizon,
-                &regular);
-    RunLifetime(true, bench::kBaseSeed + static_cast<uint64_t>(r), horizon,
-                &snapshot);
+  for (size_t i = 0; i < per_run.size(); ++i) {
+    LifetimeCurve& curve = (i % 2) == 1 ? snapshot : regular;
+    for (size_t b = 0; b < static_cast<size_t>(kBuckets); ++b) {
+      for (double coverage : per_run[i][b]) {
+        curve.coverage[b].Add(coverage);
+      }
+    }
   }
 
   TablePrinter table({"time", "regular coverage", "snapshot coverage"});

@@ -31,7 +31,8 @@ SNAPQ_BENCHMARK(fig11_threshold,
           config.seed = seed;
           return static_cast<double>(
               RunSensitivityTrial(config).stats.num_active);
-        });
+        },
+        ctx.jobs);
     table.AddRow({TablePrinter::Num(t, 1), TablePrinter::Num(reps.mean(), 1),
                   TablePrinter::Num(reps.mean(), 1) + "%"});
   }

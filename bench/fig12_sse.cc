@@ -27,7 +27,8 @@ SNAPQ_BENCHMARK(fig12_sse,
           config.seed = seed;
           const SensitivityOutcome outcome = RunSensitivityTrial(config);
           return AverageRepresentationSse(*outcome.network);
-        });
+        },
+        ctx.jobs);
     table.AddRow({TablePrinter::Num(t, 1), TablePrinter::Num(sse.mean(), 4),
                   TablePrinter::Num(sse.mean() / t, 3)});
   }

@@ -7,10 +7,12 @@
 // again at extreme loss rates because most invitations are lost and fewer
 // Rule-2 situations arise.
 #include <iostream>
+#include <utility>
 
 #include "api/experiment.h"
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "exec/parallel_sweep.h"
 
 SNAPQ_BENCHMARK(fig13_spurious,
                 "Figure 13: spurious representatives vs message loss") {
@@ -22,17 +24,23 @@ SNAPQ_BENCHMARK(fig13_spurious,
   TablePrinter table({"P_loss", "total representatives", "spurious"});
   for (double loss :
        {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    const auto samples = exec::ParallelMap<std::pair<double, double>>(
+        static_cast<size_t>(ctx.repetitions), ctx.jobs, [&](size_t r) {
+          SensitivityConfig config;
+          config.workload = WorkloadKind::kWeather;
+          config.threshold = 0.1;
+          config.transmission_range = 0.2;
+          config.loss_probability = loss;
+          config.seed = bench::kBaseSeed + static_cast<uint64_t>(r);
+          const SensitivityOutcome outcome = RunSensitivityTrial(config);
+          return std::pair<double, double>(
+              static_cast<double>(outcome.stats.num_active),
+              static_cast<double>(outcome.stats.num_spurious));
+        });
     RunningStats total, spurious;
-    for (int r = 0; r < ctx.repetitions; ++r) {
-      SensitivityConfig config;
-      config.workload = WorkloadKind::kWeather;
-      config.threshold = 0.1;
-      config.transmission_range = 0.2;
-      config.loss_probability = loss;
-      config.seed = bench::kBaseSeed + static_cast<uint64_t>(r);
-      const SensitivityOutcome outcome = RunSensitivityTrial(config);
-      total.Add(static_cast<double>(outcome.stats.num_active));
-      spurious.Add(static_cast<double>(outcome.stats.num_spurious));
+    for (const auto& [active, spur] : samples) {
+      total.Add(active);
+      spurious.Add(spur);
     }
     table.AddRow({TablePrinter::Num(loss, 2),
                   TablePrinter::Num(total.mean(), 1),

@@ -7,10 +7,12 @@
 // nodes answer an invitation): ~4.5 at range 0.7 vs ~2 at 0.2, both well
 // below the six-message bound of §5.1.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/stats.h"
 #include "common/table_printer.h"
+#include "exec/parallel_sweep.h"
 #include "longrun_common.h"
 
 SNAPQ_BENCHMARK(fig15_maintenance_messages,
@@ -26,10 +28,14 @@ SNAPQ_BENCHMARK(fig15_maintenance_messages,
   TablePrinter table(
       {"range", "avg msgs/node/update", "max round avg", "min round avg"});
   for (double range : {0.2, 0.7}) {
+    const auto per_run =
+        exec::ParallelMap<std::vector<MaintenanceRoundStats>>(
+            static_cast<size_t>(reps), ctx.jobs, [&](size_t r) {
+              return bench::RunLongMaintenance(
+                  range, bench::kBaseSeed + r, horizon);
+            });
     RunningStats per_round;
-    for (int r = 0; r < reps; ++r) {
-      const auto rounds = bench::RunLongMaintenance(
-          range, bench::kBaseSeed + static_cast<uint64_t>(r), horizon);
+    for (const auto& rounds : per_run) {
       for (const MaintenanceRoundStats& s : rounds) {
         per_round.Add(s.avg_messages_per_node);
       }

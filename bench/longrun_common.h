@@ -73,7 +73,7 @@ inline std::vector<MaintenanceRoundStats> RunLongMaintenance(
       net.now() + kUpdateInterval, horizon, kUpdateInterval,
       [&rounds](const MaintenanceRoundStats& s) { rounds.push_back(s); });
   net.RunAll();
-  obs::GlobalMetrics().MergeFrom(net.sim().registry());
+  obs::MetricSink().MergeFrom(net.sim().registry());
   return rounds;
 }
 

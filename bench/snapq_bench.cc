@@ -22,11 +22,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "bench_report.h"
 #include "bench_util.h"
+#include "exec/parallel_sweep.h"
 #include "obs/metric_registry.h"
 #include "obs/profiler.h"
 
@@ -40,6 +42,7 @@ struct Options {
   bool warmup = true;
   bool sidecars = false;
   int harness_reps = 0;  // 0 = default (3, or 1 when quick)
+  int jobs = 0;          // 0 = SNAPQ_JOBS / hardware concurrency
   std::string out = "BENCH.json";
   std::vector<std::string> filters;
 };
@@ -53,6 +56,9 @@ int Usage(const char* argv0, int code) {
       "  --quick           ~10x less work per benchmark, 1 harness rep\n"
       "  --reps N          timed repetitions per benchmark (default 3;\n"
       "                    1 with --quick)\n"
+      "  --jobs N          worker threads for per-seed trial loops\n"
+      "                    (default: SNAPQ_JOBS or hardware concurrency;\n"
+      "                    results are bit-identical for any N)\n"
       "  --out FILE        where to write BENCH.json (default BENCH.json)\n"
       "  --sidecars        let drivers write their .metrics/.trace sidecars\n"
       "  --verbose         do not silence driver stdout\n"
@@ -70,29 +76,48 @@ double ProcessCpuMicros() {
 
 /// Redirects fd 1 to /dev/null for the lifetime of the object. Works below
 /// stdio/iostream so both printf drivers and std::cout drivers go quiet.
+/// Refcounted behind a mutex: fd 1 is process-global state, so nested or
+/// concurrent silencers must not each dup/restore it — the first one in
+/// redirects, the last one out restores, and anything between is a no-op.
 class StdoutSilencer {
  public:
   StdoutSilencer() {
+    std::lock_guard<std::mutex> lock(Mutex());
+    if (Depth()++ > 0) return;
     std::fflush(stdout);
     std::cout.flush();
-    saved_ = dup(1);
+    Saved() = dup(1);
     const int devnull = open("/dev/null", O_WRONLY);
-    if (saved_ >= 0 && devnull >= 0) dup2(devnull, 1);
+    if (Saved() >= 0 && devnull >= 0) dup2(devnull, 1);
     if (devnull >= 0) close(devnull);
   }
   ~StdoutSilencer() {
+    std::lock_guard<std::mutex> lock(Mutex());
+    if (--Depth() > 0) return;
     std::fflush(stdout);
     std::cout.flush();
-    if (saved_ >= 0) {
-      dup2(saved_, 1);
-      close(saved_);
+    if (Saved() >= 0) {
+      dup2(Saved(), 1);
+      close(Saved());
+      Saved() = -1;
     }
   }
   StdoutSilencer(const StdoutSilencer&) = delete;
   StdoutSilencer& operator=(const StdoutSilencer&) = delete;
 
  private:
-  int saved_ = -1;
+  static std::mutex& Mutex() {
+    static std::mutex m;
+    return m;
+  }
+  static int& Depth() {
+    static int depth = 0;
+    return depth;
+  }
+  static int& Saved() {
+    static int saved = -1;
+    return saved;
+  }
 };
 
 bool Selected(const BenchInfo& info, const Options& opt) {
@@ -111,6 +136,7 @@ BenchmarkResult RunOne(const BenchInfo& info, const Options& opt,
   ctx.quick = opt.quick;
   ctx.repetitions = driver_reps;
   ctx.write_sidecars = opt.sidecars;
+  ctx.jobs = exec::ResolveJobs(opt.jobs);
 
   using obs::HotOp;
   using obs::LogHistogram;
@@ -217,6 +243,12 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "--reps wants a positive integer\n");
         return 2;
       }
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(value("--jobs"));
+      if (opt.jobs <= 0) {
+        std::fprintf(stderr, "--jobs wants a positive integer\n");
+        return 2;
+      }
     } else if (arg == "--out") {
       opt.out = value("--out");
     } else if (arg == "--help" || arg == "-h") {
@@ -257,8 +289,8 @@ int Main(int argc, char** argv) {
   report.harness_repetitions = harness_reps;
   report.driver_repetitions = driver_reps;
 
-  std::printf("running %zu benchmark(s), %d timed rep(s) each%s\n",
-              selected.size(), harness_reps,
+  std::printf("running %zu benchmark(s), %d timed rep(s) each, %d job(s)%s\n",
+              selected.size(), harness_reps, exec::ResolveJobs(opt.jobs),
               opt.quick ? " (quick)" : "");
   int index = 0;
   for (const BenchInfo* info : selected) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "exec/parallel_sweep.h"
 #include "obs/metric_registry.h"
 
 namespace snapq {
@@ -64,10 +65,11 @@ SensitivityOutcome RunSensitivityTrial(const SensitivityConfig& config) {
   outcome.stats = outcome.network->RunElection(config.discovery_time);
   outcome.election_traffic =
       outcome.network->sim().metrics().Delta(before);
-  // Fold the trial's instruments into the process-wide registry so bench
-  // drivers can export one merged sidecar across seeds (counters and
-  // histograms add; gauges keep the high-watermark).
-  obs::GlobalMetrics().MergeFrom(outcome.network->sim().registry());
+  // Fold the trial's instruments into the ambient metric sink — the
+  // process-wide registry normally, or a per-task registry under a
+  // parallel sweep — so bench drivers export one merged sidecar across
+  // seeds (counters and histograms add; gauges keep the high-watermark).
+  obs::MetricSink().MergeFrom(outcome.network->sim().registry());
   return outcome;
 }
 
@@ -89,11 +91,17 @@ double AverageRepresentationSse(const SensorNetwork& network) {
 }
 
 RunningStats MeanOverSeeds(size_t repeats, uint64_t base_seed,
-                           const std::function<double(uint64_t)>& fn) {
+                           const std::function<double(uint64_t)>& fn,
+                           int jobs) {
+  // Trials run in parallel, but the Welford accumulator folds the raw
+  // per-seed samples in seed order on this thread — RunningStats::Merge
+  // is not bitwise-identical to sequential Add, so replaying the samples
+  // is what keeps --jobs N equal to --jobs 1 down to the last ULP.
+  const std::vector<double> samples = exec::ParallelMap<double>(
+      repeats, jobs,
+      [&fn, base_seed](size_t r) { return fn(base_seed + r); });
   RunningStats stats;
-  for (size_t r = 0; r < repeats; ++r) {
-    stats.Add(fn(base_seed + r));
-  }
+  for (double sample : samples) stats.Add(sample);
   return stats;
 }
 

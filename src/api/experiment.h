@@ -72,8 +72,12 @@ double AverageRepresentationSse(const SensorNetwork& network);
 
 /// Runs `fn(seed)` for seeds base_seed .. base_seed+repeats-1 and returns
 /// summary stats of the returned values (the paper averages 10 runs).
+/// With jobs > 1 the seeds run concurrently on a thread pool
+/// (exec::ParallelMap) — results and metric merges are reduced in seed
+/// order, so any jobs value produces bit-identical stats to jobs == 1.
 RunningStats MeanOverSeeds(size_t repeats, uint64_t base_seed,
-                           const std::function<double(uint64_t)>& fn);
+                           const std::function<double(uint64_t)>& fn,
+                           int jobs = 1);
 
 }  // namespace snapq
 

@@ -1,0 +1,44 @@
+#include "exec/parallel_sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "exec/thread_pool.h"
+
+namespace snapq::exec {
+
+int HardwareJobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ResolveJobs(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SNAPQ_JOBS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return HardwareJobs();
+}
+
+namespace internal {
+
+void RunIndexed(size_t n, int jobs, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const int workers =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(jobs), n));
+  ThreadPool pool(workers);
+  for (size_t i = 0; i < n; ++i) {
+    pool.Submit([&body, i] { body(i); });
+  }
+  pool.WaitIdle();
+}
+
+}  // namespace internal
+
+}  // namespace snapq::exec

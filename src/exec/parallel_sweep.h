@@ -1,0 +1,67 @@
+// The parallel sweep runner: fans N independent trials (one per
+// (config, seed) pair) out over a work-stealing ThreadPool and reduces
+// their results in *index order*, so a `--jobs N` sweep is bit-identical
+// to `--jobs 1` — same seeds, same per-trial RNG streams, same elected
+// representatives, same aggregate floats.
+//
+// Determinism contract (DESIGN.md §12):
+//  * a task is one whole trial owning its Simulator/SensorNetwork — no
+//    shared mutable state crosses task boundaries during the run;
+//  * anything a trial merges into the ambient obs::MetricSink() is
+//    captured in a per-task MetricRegistry instead (installed via
+//    ScopedMetricSink for the task's duration) and folded into the
+//    caller's sink in task-index order after the join;
+//  * return values come back as a vector in index order, so callers fold
+//    per-seed samples into RunningStats & friends sequentially on the
+//    calling thread — float addition order never depends on scheduling.
+//
+// jobs == 1 runs every task inline on the calling thread (no pool, no
+// worker threads): today's serial behavior, exactly.
+#ifndef SNAPQ_EXEC_PARALLEL_SWEEP_H_
+#define SNAPQ_EXEC_PARALLEL_SWEEP_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "obs/metric_registry.h"
+
+namespace snapq::exec {
+
+/// Number of hardware threads (at least 1).
+int HardwareJobs();
+
+/// Resolves a job-count request: `requested` > 0 wins; otherwise the
+/// SNAPQ_JOBS environment variable (if set to a positive integer);
+/// otherwise HardwareJobs(). The result is always >= 1.
+int ResolveJobs(int requested);
+
+namespace internal {
+/// Runs body(0..n-1), each exactly once, across min(jobs, n) pool workers
+/// (inline on the calling thread when jobs == 1 or n <= 1). Blocks until
+/// all complete; rethrows the first exception a task raised.
+void RunIndexed(size_t n, int jobs, const std::function<void(size_t)>& body);
+}  // namespace internal
+
+/// Runs fn(i) for i in [0, n) with `jobs` workers and returns the results
+/// in index order. Each task runs under its own MetricRegistry sink; the
+/// per-task sinks are folded into the caller's ambient obs::MetricSink()
+/// in index order after all tasks finish. R must be default-constructible
+/// and movable.
+template <typename R>
+std::vector<R> ParallelMap(size_t n, int jobs,
+                           const std::function<R(size_t)>& fn) {
+  std::vector<R> results(n);
+  std::vector<obs::MetricRegistry> sinks(n);
+  internal::RunIndexed(n, jobs, [&](size_t i) {
+    obs::ScopedMetricSink scoped(&sinks[i]);
+    results[i] = fn(i);
+  });
+  obs::MetricRegistry& ambient = obs::MetricSink();
+  for (size_t i = 0; i < n; ++i) ambient.MergeFrom(sinks[i]);
+  return results;
+}
+
+}  // namespace snapq::exec
+
+#endif  // SNAPQ_EXEC_PARALLEL_SWEEP_H_

@@ -1,0 +1,120 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace snapq::exec {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const size_t n = static_cast<size_t>(std::max(num_threads, 1));
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  // unfinished_ goes up before the task becomes visible to workers, so a
+  // worker finishing it instantly can never drive the count negative.
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    ++unfinished_;
+  }
+  size_t victim;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    victim = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[victim]->mutex);
+    queues_[victim]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++queued_;
+  }
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  {
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+bool ThreadPool::TryGetTask(size_t index, Task* out) {
+  // Own queue first (front: the submission order the owner was dealt),
+  // then sweep the other queues as a thief (back: cold end, minimizes
+  // interference with the owner).
+  for (size_t attempt = 0; attempt < queues_.size(); ++attempt) {
+    const size_t i = (index + attempt) % queues_.size();
+    WorkerQueue& q = *queues_[i];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) continue;
+    if (attempt == 0) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    } else {
+      *out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    }
+    {
+      std::lock_guard<std::mutex> wake_lock(wake_mutex_);
+      --queued_;
+    }
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::OnTaskDone() {
+  bool now_idle;
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    now_idle = (--unfinished_ == 0);
+  }
+  if (now_idle) idle_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  while (true) {
+    Task task;
+    if (TryGetTask(index, &task)) {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      task = Task();  // release captures before reporting completion
+      OnTaskDone();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_) return;
+    if (queued_ > 0) continue;  // work arrived between the scan and here
+    wake_cv_.wait(lock);
+  }
+}
+
+}  // namespace snapq::exec

@@ -1,0 +1,87 @@
+// A work-stealing thread pool for the experiment engine. Each worker owns
+// a deque: submissions are distributed round-robin across the deques, the
+// owner pops from the front, and an idle worker steals from the back of a
+// victim's deque — classic Chase-Lev shape, simplified to a mutex per
+// deque because pool tasks here are whole simulation trials (milliseconds
+// to seconds each), so queue-ops are nowhere near the contention point.
+//
+// The pool runs *opaque* tasks and knows nothing about determinism; the
+// determinism story (per-task metric sinks, index-ordered reduction) lives
+// one layer up in parallel_sweep.h. What the pool does guarantee:
+//  * every submitted task runs exactly once, on some worker thread;
+//  * WaitIdle() returns only after every task submitted so far has
+//    finished (not merely been claimed);
+//  * a task that throws does not kill the pool — the first exception is
+//    captured and rethrown from WaitIdle() on the submitting thread.
+#ifndef SNAPQ_EXEC_THREAD_POOL_H_
+#define SNAPQ_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snapq::exec {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  /// Joins all workers. Pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(Task task);
+
+  /// Blocks until every submitted task has completed, then rethrows the
+  /// first exception any task raised (if any).
+  void WaitIdle();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  /// Pops the front of `index`'s own queue, else steals from the back of
+  /// another worker's queue. Returns false when every queue is empty.
+  bool TryGetTask(size_t index, Task* out);
+  void OnTaskDone();
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Total tasks sitting in queues (not yet claimed). Guarded by wake_mutex_
+  // for the sleep/notify handshake; also read optimistically by stealers.
+  size_t queued_ = 0;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+
+  // Tasks submitted but not yet finished, for WaitIdle.
+  size_t unfinished_ = 0;
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+
+  size_t next_queue_ = 0;  // round-robin submission cursor
+};
+
+}  // namespace snapq::exec
+
+#endif  // SNAPQ_EXEC_THREAD_POOL_H_

@@ -10,7 +10,7 @@ void CacheLine::PushNewest(const ObservationPair& p) {
 ObservationPair CacheLine::PopOldest() {
   SNAPQ_CHECK(!pairs_.empty());
   ObservationPair p = pairs_.front();
-  pairs_.pop_front();
+  pairs_.erase(pairs_.begin());
   stats_.Remove(p.x, p.y);
   return p;
 }

@@ -2,10 +2,15 @@
 // simultaneously-collected pairs (x_i(t_k), x_j(t_k)), oldest first (§4).
 // Victims are always the oldest pair, which both shifts the cache toward
 // newer observations and keeps updates linear-time.
+//
+// Pairs live in a contiguous vector rather than a deque: lines are small
+// (bounded by the cache's pair budget), so popping the front is a short
+// memmove, while fits and benefit scans walk contiguous memory and moving
+// a line (the flat cache directory shifts entries) never allocates.
 #ifndef SNAPQ_MODEL_CACHE_LINE_H_
 #define SNAPQ_MODEL_CACHE_LINE_H_
 
-#include <deque>
+#include <vector>
 
 #include "common/check.h"
 #include "model/linear_model.h"
@@ -39,7 +44,7 @@ class CacheLine {
     SNAPQ_DCHECK(!pairs_.empty());
     return pairs_.back();
   }
-  const std::deque<ObservationPair>& pairs() const { return pairs_; }
+  const std::vector<ObservationPair>& pairs() const { return pairs_; }
 
   /// Appends a new (most recent) observation.
   void PushNewest(const ObservationPair& p);
@@ -54,7 +59,7 @@ class CacheLine {
   LinearModel FitModel() const { return stats_.Fit(); }
 
  private:
-  std::deque<ObservationPair> pairs_;
+  std::vector<ObservationPair> pairs_;
   RegressionStats stats_;
 };
 

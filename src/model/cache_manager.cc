@@ -1,5 +1,6 @@
 #include "model/cache_manager.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/check.h"
@@ -45,6 +46,38 @@ const char* CacheActionName(CacheManager::Action action) {
 
 CacheManager::CacheManager(const CacheConfig& config) : config_(config) {}
 
+CacheManager::LineTable::iterator CacheManager::LowerBound(NodeId j) {
+  return std::lower_bound(
+      lines_.begin(), lines_.end(), j,
+      [](const Entry& e, NodeId id) { return e.id < id; });
+}
+
+CacheManager::LineTable::iterator CacheManager::Find(NodeId j) {
+  auto it = LowerBound(j);
+  return (it != lines_.end() && it->id == j) ? it : lines_.end();
+}
+
+CacheManager::LineTable::const_iterator CacheManager::Find(NodeId j) const {
+  auto it = std::lower_bound(
+      lines_.begin(), lines_.end(), j,
+      [](const Entry& e, NodeId id) { return e.id < id; });
+  return (it != lines_.end() && it->id == j) ? it : lines_.end();
+}
+
+CacheManager::Entry& CacheManager::LineFor(NodeId j) {
+  auto it = LowerBound(j);
+  if (it == lines_.end() || it->id != j) {
+    it = lines_.insert(it, Entry{});
+    it->id = j;
+  }
+  return *it;
+}
+
+void CacheManager::EraseLine(NodeId j) {
+  auto it = Find(j);
+  if (it != lines_.end()) lines_.erase(it);
+}
+
 void CacheManager::BindObservability(obs::MetricRegistry* registry,
                                      obs::EventJournal* journal,
                                      NodeId self) {
@@ -83,7 +116,7 @@ CacheManager::Action CacheManager::Observe(NodeId j, double x, double y,
 CacheManager::Action CacheManager::ObserveModelAware(NodeId j, double x,
                                                      double y, Time t) {
   const ObservationPair incoming{x, y, t};
-  Entry& entry = lines_[j];  // creates an empty line if absent
+  Entry& entry = LineFor(j);  // creates an empty line if absent
 
   // Free capacity: always store.
   if (used_pairs_ < config_.capacity_pairs()) {
@@ -100,11 +133,11 @@ CacheManager::Action CacheManager::ObserveModelAware(NodeId j, double x,
     auto victim = PickRoundRobinVictim(j);
     if (victim == lines_.end()) {
       // No other line exists to evict from; reject.
-      lines_.erase(j);
+      EraseLine(j);
       return Action::kRejected;
     }
     EvictOldest(victim);
-    Entry& fresh = lines_[j];  // the erase above may have invalidated refs
+    Entry& fresh = LineFor(j);  // the erase above may have invalidated refs
     fresh.line.PushNewest(incoming);
     fresh.penalty.reset();
     ++used_pairs_;
@@ -156,8 +189,8 @@ CacheManager::Action CacheManager::ObserveModelAware(NodeId j, double x,
   auto victim = lines_.end();
   double best_penalty = std::numeric_limits<double>::infinity();
   for (auto it = lines_.begin(); it != lines_.end(); ++it) {
-    if (it->first == j || it->second.line.empty()) continue;
-    const double penalty = PenaltyEvict(it->second);
+    if (it->id == j || it->line.empty()) continue;
+    const double penalty = PenaltyEvict(*it);
     if (penalty < gain_augment && penalty < best_penalty) {
       best_penalty = penalty;
       victim = it;
@@ -165,7 +198,7 @@ CacheManager::Action CacheManager::ObserveModelAware(NodeId j, double x,
   }
   if (victim != lines_.end()) {
     EvictOldest(victim);
-    Entry& target = lines_[j];
+    Entry& target = LineFor(j);
     target.line.PushNewest(incoming);
     target.penalty.reset();
     ++used_pairs_;
@@ -193,12 +226,12 @@ CacheManager::Action CacheManager::ObserveRoundRobin(NodeId j, double x,
     SNAPQ_CHECK(!fifo_order_.empty());
     const NodeId owner = fifo_order_.front();
     fifo_order_.pop_front();
-    auto it = lines_.find(owner);
+    auto it = Find(owner);
     SNAPQ_CHECK(it != lines_.end());
     EvictOldest(it);
     action = owner == j ? Action::kTimeShifted : Action::kAugmented;
   }
-  Entry& entry = lines_[j];
+  Entry& entry = LineFor(j);
   entry.line.PushNewest(incoming);
   entry.penalty.reset();
   ++used_pairs_;
@@ -238,15 +271,15 @@ double CacheManager::PenaltyEvict(const Entry& entry) const {
   return penalty;
 }
 
-void CacheManager::EvictOldest(std::map<NodeId, Entry>::iterator it) {
+void CacheManager::EvictOldest(LineTable::iterator it) {
   SNAPQ_CHECK(it != lines_.end());
-  SNAPQ_CHECK(!it->second.line.empty());
-  const NodeId victim = it->first;
-  it->second.line.PopOldest();
-  it->second.penalty.reset();
+  SNAPQ_CHECK(!it->line.empty());
+  const NodeId victim = it->id;
+  it->line.PopOldest();
+  it->penalty.reset();
   SNAPQ_CHECK_GT(used_pairs_, 0u);
   --used_pairs_;
-  const bool emptied = it->second.line.empty();
+  const bool emptied = it->line.empty();
   if (emptied) {
     lines_.erase(it);
   }
@@ -260,18 +293,18 @@ void CacheManager::EvictOldest(std::map<NodeId, Entry>::iterator it) {
   }
 }
 
-std::map<NodeId, CacheManager::Entry>::iterator
-CacheManager::PickRoundRobinVictim(NodeId j) {
+CacheManager::LineTable::iterator CacheManager::PickRoundRobinVictim(
+    NodeId j) {
   // First non-empty line with key >= cursor (wrapping), skipping j.
-  auto usable = [&](std::map<NodeId, Entry>::iterator it) {
-    return it->first != j && !it->second.line.empty();
+  auto usable = [&](LineTable::iterator it) {
+    return it->id != j && !it->line.empty();
   };
-  auto it = lines_.lower_bound(rr_cursor_);
+  auto it = LowerBound(rr_cursor_);
   for (size_t scanned = 0; scanned <= lines_.size(); ++scanned) {
     if (it == lines_.end()) it = lines_.begin();
-    if (it == lines_.end()) return lines_.end();  // map is empty
+    if (it == lines_.end()) return lines_.end();  // table is empty
     if (usable(it)) {
-      rr_cursor_ = it->first + 1;
+      rr_cursor_ = it->id + 1;
       return it;
     }
     ++it;
@@ -280,8 +313,8 @@ CacheManager::PickRoundRobinVictim(NodeId j) {
 }
 
 const CacheLine* CacheManager::Line(NodeId j) const {
-  const auto it = lines_.find(j);
-  return it == lines_.end() ? nullptr : &it->second.line;
+  const auto it = Find(j);
+  return it == lines_.end() ? nullptr : &it->line;
 }
 
 std::optional<LinearModel> CacheManager::ModelFor(NodeId j) const {
@@ -299,15 +332,15 @@ std::optional<double> CacheManager::Estimate(NodeId j, double own_x) const {
 std::vector<NodeId> CacheManager::CachedNeighbors() const {
   std::vector<NodeId> out;
   out.reserve(lines_.size());
-  for (const auto& [id, entry] : lines_) {
-    if (!entry.line.empty()) out.push_back(id);
+  for (const Entry& entry : lines_) {
+    if (!entry.line.empty()) out.push_back(entry.id);
   }
   return out;
 }
 
 double CacheManager::TotalBenefit() const {
   double total = 0.0;
-  for (const auto& [id, entry] : lines_) {
+  for (const Entry& entry : lines_) {
     if (entry.line.empty()) continue;
     total += entry.line.stats().Benefit(entry.line.stats().Fit());
   }

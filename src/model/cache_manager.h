@@ -17,7 +17,6 @@
 #include <array>
 #include <cstddef>
 #include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -111,10 +110,21 @@ class CacheManager {
 
  private:
   struct Entry {
+    NodeId id = kInvalidNode;
     CacheLine line;
     /// Cached Penalty_Evict value; recomputed lazily after line changes.
     mutable std::optional<double> penalty;
   };
+  /// The line directory: entries sorted by neighbor id in one contiguous
+  /// vector (a flat map). The model-aware policy scans every line per
+  /// full-cache observation, which makes iteration the hot operation by
+  /// far — walking a vector streams cache lines instead of chasing
+  /// red-black-tree nodes scattered across the heap. Iteration order
+  /// (ascending id) matches the std::map it replaced, so victim choices
+  /// and round-robin order are unchanged. Inserts/erases shift entries,
+  /// but lines are few and Entry moves never allocate (CacheLine stores
+  /// its pairs in a vector).
+  using LineTable = std::vector<Entry>;
 
   Action ObserveModelAware(NodeId j, double x, double y, Time t);
   Action ObserveRoundRobin(NodeId j, double x, double y, Time t);
@@ -124,18 +134,29 @@ class CacheManager {
     if (c != nullptr) c->Inc();
   }
 
+  /// First entry with id >= j (lines_.end() when none).
+  LineTable::iterator LowerBound(NodeId j);
+  /// The entry for `j`, or lines_.end().
+  LineTable::iterator Find(NodeId j);
+  LineTable::const_iterator Find(NodeId j) const;
+  /// The entry for `j`, inserted (empty, sorted position) if absent.
+  Entry& LineFor(NodeId j);
+  /// Removes `j`'s entry if present.
+  void EraseLine(NodeId j);
+
   /// Penalty_Evict for `entry`: benefit(c') - benefit(c' minus oldest).
   double PenaltyEvict(const Entry& entry) const;
 
-  /// Evicts the oldest pair of `it`'s line; erases the line if emptied.
-  void EvictOldest(std::map<NodeId, Entry>::iterator it);
+  /// Evicts the oldest pair of `it`'s line; erases the line if emptied
+  /// (invalidating iterators and entry references).
+  void EvictOldest(LineTable::iterator it);
 
   /// Round-robin victim selection among non-empty lines other than `j`;
   /// returns lines_.end() when there is no candidate.
-  std::map<NodeId, Entry>::iterator PickRoundRobinVictim(NodeId j);
+  LineTable::iterator PickRoundRobinVictim(NodeId j);
 
   CacheConfig config_;
-  std::map<NodeId, Entry> lines_;
+  LineTable lines_;
   size_t used_pairs_ = 0;
   /// Round-robin cursor (newcomer evictions + baseline policy).
   NodeId rr_cursor_ = 0;

@@ -15,7 +15,7 @@ constexpr double kResidualFloor = 1e-9;
 
 }  // namespace
 
-LinearModel FitWeighted(const std::deque<ObservationPair>& pairs,
+LinearModel FitWeighted(std::span<const ObservationPair> pairs,
                         const std::vector<double>& weights) {
   SNAPQ_CHECK_EQ(pairs.size(), weights.size());
   double sw = 0.0, swx = 0.0, swy = 0.0, swxx = 0.0, swxy = 0.0;
@@ -38,7 +38,7 @@ LinearModel FitWeighted(const std::deque<ObservationPair>& pairs,
   return LinearModel{a, b};
 }
 
-LinearModel FitForMetric(const std::deque<ObservationPair>& pairs,
+LinearModel FitForMetric(std::span<const ObservationPair> pairs,
                          const ErrorMetric& metric,
                          obs::MetricRegistry* registry) {
   obs::Span span(registry, "model.refit");
@@ -87,7 +87,7 @@ LinearModel FitForMetric(const std::deque<ObservationPair>& pairs,
   return LinearModel{0.0, 0.0};
 }
 
-double TotalError(const std::deque<ObservationPair>& pairs,
+double TotalError(std::span<const ObservationPair> pairs,
                   const ErrorMetric& metric, const LinearModel& model) {
   double total = 0.0;
   for (const ObservationPair& p : pairs) {

@@ -15,7 +15,7 @@
 #ifndef SNAPQ_MODEL_ROBUST_FIT_H_
 #define SNAPQ_MODEL_ROBUST_FIT_H_
 
-#include <deque>
+#include <span>
 #include <vector>
 
 #include "model/cache_line.h"
@@ -27,20 +27,20 @@ namespace snapq {
 
 /// Weighted least squares over (x, y, w) triples; falls back to the
 /// weighted-mean constant model for degenerate predictors.
-LinearModel FitWeighted(const std::deque<ObservationPair>& pairs,
+LinearModel FitWeighted(std::span<const ObservationPair> pairs,
                         const std::vector<double>& weights);
 
 /// The metric-optimal line over `pairs` (see file comment). For the sse
 /// metric this equals RegressionStats::Fit(). When `registry` is non-null
 /// the fit is timed into its "model.refit.wall_us" histogram (the IRLS
 /// fits are the expensive ones; a null registry costs nothing).
-LinearModel FitForMetric(const std::deque<ObservationPair>& pairs,
+LinearModel FitForMetric(std::span<const ObservationPair> pairs,
                          const ErrorMetric& metric,
                          obs::MetricRegistry* registry = nullptr);
 
 /// Total error of `model` over `pairs` under `metric` (the objective
 /// FitForMetric approximately minimizes).
-double TotalError(const std::deque<ObservationPair>& pairs,
+double TotalError(std::span<const ObservationPair> pairs,
                   const ErrorMetric& metric, const LinearModel& model);
 
 }  // namespace snapq

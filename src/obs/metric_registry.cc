@@ -260,4 +260,19 @@ MetricRegistry& GlobalMetrics() {
   return *registry;
 }
 
+namespace {
+thread_local MetricRegistry* t_metric_sink = nullptr;
+}  // namespace
+
+MetricRegistry& MetricSink() {
+  return t_metric_sink != nullptr ? *t_metric_sink : GlobalMetrics();
+}
+
+ScopedMetricSink::ScopedMetricSink(MetricRegistry* sink)
+    : saved_(t_metric_sink) {
+  t_metric_sink = sink;
+}
+
+ScopedMetricSink::~ScopedMetricSink() { t_metric_sink = saved_; }
+
 }  // namespace snapq::obs

@@ -20,7 +20,13 @@
 //    high-watermark, which is what per-node message bounds need).
 //
 // Not thread-safe: the simulator is single-threaded by design; parallel
-// experiment runs each own a registry and merge afterwards.
+// experiment runs each own a registry and merge afterwards. The merge
+// itself is kept deterministic by the sink indirection below: a trial
+// merges into MetricSink() — normally GlobalMetrics(), but exec::
+// ParallelMap installs a thread-local per-task registry via
+// ScopedMetricSink and folds the task sinks into the ambient sink in
+// task-index order after the join, so a --jobs N sweep produces
+// bit-identical aggregates to the serial run.
 #ifndef SNAPQ_OBS_METRIC_REGISTRY_H_
 #define SNAPQ_OBS_METRIC_REGISTRY_H_
 
@@ -152,6 +158,26 @@ class MetricRegistry {
 /// merge each trial's simulator registry here, and the bench harness dumps
 /// it into the `*.metrics.json` sidecar at exit.
 MetricRegistry& GlobalMetrics();
+
+/// Where trial results should merge: the innermost ScopedMetricSink on
+/// this thread, or GlobalMetrics() when none is installed. Trial code
+/// (RunSensitivityTrial, bench driver bodies) must merge through this so
+/// parallel sweeps can capture per-task results and reduce them in a
+/// deterministic order.
+MetricRegistry& MetricSink();
+
+/// RAII: installs `sink` as this thread's metric sink (nullptr restores
+/// the GlobalMetrics() fallback) for the scope's lifetime.
+class ScopedMetricSink {
+ public:
+  explicit ScopedMetricSink(MetricRegistry* sink);
+  ~ScopedMetricSink();
+  ScopedMetricSink(const ScopedMetricSink&) = delete;
+  ScopedMetricSink& operator=(const ScopedMetricSink&) = delete;
+
+ private:
+  MetricRegistry* saved_;
+};
 
 }  // namespace snapq::obs
 

@@ -11,7 +11,7 @@
 
 namespace snapq::obs {
 
-Profiler* Profiler::active_ = nullptr;
+std::atomic<Profiler*> Profiler::active_{nullptr};
 
 int LogHistogram::BucketIndex(double v) {
   if (!(v > 0.0) || std::isnan(v)) return 0;  // 0, negatives, NaN
@@ -149,7 +149,10 @@ double Profiler::Rate(HotOp op) const {
 }
 
 void Profiler::Reset() {
-  counters_.fill(0);
+  for (std::atomic<uint64_t>& c : counters_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(phase_mutex_);
   for (LogHistogram& h : wall_us_) h.Reset();
   for (LogHistogram& h : cpu_us_) h.Reset();
   epoch_ = std::chrono::steady_clock::now();

@@ -22,15 +22,23 @@
 //    observations it absorbs (quantile-sketch style: Medians and Beyond /
 //    HDR histogram lineage).
 //
-// Thread-compatibility matches MetricRegistry: the simulator is
-// single-threaded; parallel runs each enable at most one profiler
-// process-wide (Enable/Disable are not thread-safe).
+// Thread-safety: unlike MetricRegistry (whose parallel story is the
+// per-task sink indirection), the profiler is a process-wide singleton
+// that worker threads hit concurrently during a --jobs N sweep. Counters
+// are relaxed atomics (a relaxed fetch_add is as cheap as the plain add
+// was on x86/ARM, and the final counts are exact regardless of
+// interleaving); RecordPhase takes a mutex, which is fine because phases
+// fire at most a few thousand times per experiment. Enable/Disable flip
+// an atomic pointer. Readers (ToTable/ExportTo) are only called after
+// workers join, so histogram reads need no lock.
 #ifndef SNAPQ_OBS_PROFILER_H_
 #define SNAPQ_OBS_PROFILER_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace snapq::obs {
@@ -135,22 +143,24 @@ class Profiler {
 
   /// The enabled profiler, or nullptr when profiling is off. This is the
   /// only call instrumentation sites make on the fast path.
-  static Profiler* Active() { return active_; }
+  static Profiler* Active() { return active_.load(std::memory_order_relaxed); }
   /// The process-wide instance Enable() installs (exists even while
   /// disabled, so exporters and the shell can read the last session).
   static Profiler& Global();
-  static void Enable() { active_ = &Global(); }
-  static void Disable() { active_ = nullptr; }
-  static bool enabled() { return active_ != nullptr; }
+  static void Enable() { active_.store(&Global(), std::memory_order_relaxed); }
+  static void Disable() { active_.store(nullptr, std::memory_order_relaxed); }
+  static bool enabled() { return Active() != nullptr; }
 
   void Count(HotOp op, uint64_t delta = 1) {
-    counters_[static_cast<size_t>(op)] += delta;
+    counters_[static_cast<size_t>(op)].fetch_add(delta,
+                                                 std::memory_order_relaxed);
   }
   uint64_t count(HotOp op) const {
-    return counters_[static_cast<size_t>(op)];
+    return counters_[static_cast<size_t>(op)].load(std::memory_order_relaxed);
   }
 
   void RecordPhase(ProfPhase phase, double wall_us, double cpu_us) {
+    std::lock_guard<std::mutex> lock(phase_mutex_);
     wall_us_[static_cast<size_t>(phase)].Observe(wall_us);
     cpu_us_[static_cast<size_t>(phase)].Observe(cpu_us);
   }
@@ -178,9 +188,10 @@ class Profiler {
   void ExportTo(MetricRegistry* registry) const;
 
  private:
-  static Profiler* active_;
+  static std::atomic<Profiler*> active_;
 
-  std::array<uint64_t, kNumHotOps> counters_{};
+  std::array<std::atomic<uint64_t>, kNumHotOps> counters_{};
+  mutable std::mutex phase_mutex_;
   std::array<LogHistogram, kNumProfPhases> wall_us_{};
   std::array<LogHistogram, kNumProfPhases> cpu_us_{};
   std::chrono::steady_clock::time_point epoch_{};

@@ -2,14 +2,20 @@
 // order they were scheduled (FIFO tie-breaking via a monotonically
 // increasing sequence number), which keeps whole-simulation runs
 // bit-reproducible for a given seed.
+//
+// Events carry a small-buffer-optimized action (EventQueue::Action):
+// closures up to kActionInlineBytes are stored inside the event itself,
+// so the per-message delivery hot path schedules with zero heap
+// allocations once the underlying heap vector has warmed up
+// (tests/sim/event_queue_alloc_test.cc pins this).
 #ifndef SNAPQ_SIM_EVENT_QUEUE_H_
 #define SNAPQ_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "net/node_id.h"
 
 namespace snapq {
@@ -17,10 +23,21 @@ namespace snapq {
 /// Priority queue of (time, seq, action) triples ordered by time then seq.
 class EventQueue {
  public:
-  EventQueue() = default;
+  /// Inline action capacity: sized so the simulator's pooled delivery
+  /// closure (two pointers) and the traced ScheduleAt wrapper
+  /// (this + TraceContext + std::function) both stay allocation-free.
+  /// Bigger captures still work — they fall back to one heap allocation.
+  static constexpr size_t kActionInlineBytes = 64;
+  using Action = InlineFunction<kActionInlineBytes>;
+
+  EventQueue();
 
   /// Schedules `action` at absolute time `t`. Requires t >= now().
-  void ScheduleAt(Time t, std::function<void()> action);
+  void ScheduleAt(Time t, Action action);
+
+  /// Pre-sizes the heap's backing vector so the next `n` pending events
+  /// do not reallocate it.
+  void Reserve(size_t n);
 
   /// Runs the earliest pending event, advancing the clock to its time.
   /// Returns false when the queue is empty.
@@ -40,7 +57,7 @@ class EventQueue {
   struct Event {
     Time time;
     uint64_t seq;
-    std::function<void()> action;
+    Action action;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -49,7 +66,14 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// priority_queue keeps its container protected; exposing it lets
+  /// Reserve() pre-size the backing vector (capacity growth is the only
+  /// allocation the event hot path can perform).
+  struct Heap : std::priority_queue<Event, std::vector<Event>, Later> {
+    using std::priority_queue<Event, std::vector<Event>, Later>::c;
+  };
+
+  Heap heap_;
   uint64_t next_seq_ = 0;
   Time now_ = 0;
 };

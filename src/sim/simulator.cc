@@ -18,6 +18,10 @@ Simulator::Simulator(std::vector<Point> positions, std::vector<double> ranges,
   batteries_.assign(n, Battery(config_.energy.initial_battery));
   handlers_.resize(n);
   sent_by_.assign(n, 0);
+  // One broadcast can enqueue up to n-1 deliveries; pre-sizing the pool
+  // bookkeeping keeps the first full-fanout round allocation-quiet too.
+  delivery_pool_.reserve(n);
+  free_deliveries_.reserve(n);
 }
 
 void Simulator::SetHandler(NodeId id, MessageHandler handler) {
@@ -108,17 +112,35 @@ bool Simulator::Send(const Message& msg) {
       }
       continue;
     }
-    // Copy the message into the delivery event; the sender may mutate or
-    // destroy its copy after Send returns. The copy carries the message
-    // span so the receiver's handler inherits this transmission's context.
-    Message copy = msg;
-    copy.trace = span_ctx;
-    queue_.ScheduleAt(queue_.now(),
-                      [this, receiver, m = std::move(copy), snooped]() {
-                        Deliver(receiver, m, snooped);
-                      });
+    // Copy the message into a pooled delivery event; the sender may
+    // mutate or destroy its copy after Send returns. Copy-assignment into
+    // the pooled record reuses the vector payloads' capacity, and the
+    // scheduled closure is two pointers, so a steady-state delivery
+    // performs no heap allocation. The copy carries the message span so
+    // the receiver's handler inherits this transmission's context.
+    DeliveryEvent* event = AcquireDelivery();
+    event->receiver = receiver;
+    event->snooped = snooped;
+    event->msg = msg;
+    event->msg.trace = span_ctx;
+    queue_.ScheduleAt(queue_.now(), [this, event] { RunDelivery(event); });
   }
   return true;
+}
+
+Simulator::DeliveryEvent* Simulator::AcquireDelivery() {
+  if (free_deliveries_.empty()) {
+    delivery_pool_.push_back(std::make_unique<DeliveryEvent>());
+    return delivery_pool_.back().get();
+  }
+  DeliveryEvent* event = free_deliveries_.back();
+  free_deliveries_.pop_back();
+  return event;
+}
+
+void Simulator::RunDelivery(DeliveryEvent* event) {
+  Deliver(event->receiver, event->msg, event->snooped);
+  free_deliveries_.push_back(event);
 }
 
 void Simulator::Deliver(NodeId to, const Message& msg, bool snooped) {

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -175,7 +176,22 @@ class Simulator {
   bool idle() const { return queue_.empty(); }
 
  private:
+  /// A pooled in-flight delivery: the message copy plus its addressing.
+  /// Pooling reuses the Message's vector payloads (ids/epochs/values)
+  /// across deliveries, so a steady-state Send schedules each receiver's
+  /// delivery with zero heap allocations (the closure pushed into the
+  /// event queue is just {this, event*} and stays inline).
+  struct DeliveryEvent {
+    Message msg;
+    NodeId receiver = kInvalidNode;
+    bool snooped = false;
+  };
+
   void Deliver(NodeId to, const Message& msg, bool snooped);
+  /// Pops a pooled delivery record (allocating only when the pool is dry).
+  DeliveryEvent* AcquireDelivery();
+  /// Runs one pooled delivery and returns the record to the pool.
+  void RunDelivery(DeliveryEvent* event);
 
   LinkModel links_;
   SimConfig config_;
@@ -187,6 +203,11 @@ class Simulator {
   std::vector<Battery> batteries_;
   std::vector<MessageHandler> handlers_;
   std::vector<uint64_t> sent_by_;
+  /// Owns every delivery record ever created; free_deliveries_ holds the
+  /// currently idle ones. Records are stable on the heap (unique_ptr) so
+  /// scheduled closures can carry raw pointers across heap sifts.
+  std::vector<std::unique_ptr<DeliveryEvent>> delivery_pool_;
+  std::vector<DeliveryEvent*> free_deliveries_;
   std::array<double, kNumMessageTypes> type_loss_{};
   TraceRecorder* trace_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

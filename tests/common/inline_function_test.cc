@@ -1,0 +1,139 @@
+#include "common/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace snapq {
+namespace {
+
+using Fn32 = InlineFunction<32>;
+
+TEST(InlineFunctionTest, DefaultConstructedIsEmpty) {
+  Fn32 f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());  // nothing on the heap
+}
+
+TEST(InlineFunctionTest, SmallCaptureStoresInline) {
+  int hits = 0;
+  Fn32 f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, CaptureAtExactCapacityStaysInline) {
+  struct Exact {
+    std::array<char, 32> payload{};
+    void operator()() { payload[0] = 1; }
+  };
+  static_assert(sizeof(Exact) == 32);
+  Fn32 f = Exact{};
+  EXPECT_TRUE(f.is_inline());
+  f();
+}
+
+TEST(InlineFunctionTest, LargeCaptureFallsBackToHeap) {
+  std::array<char, 64> big{};
+  big[0] = 7;
+  int result = 0;
+  Fn32 f = [big, &result] { result = big[0]; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(result, 7);
+}
+
+TEST(InlineFunctionTest, ThrowingMoveCtorForcesHeapStorage) {
+  // Inline storage requires nothrow relocation (heap sifting moves
+  // events); a callable whose move can throw must go to the heap even
+  // though it fits the buffer.
+  struct ThrowyMove {
+    ThrowyMove() = default;
+    ThrowyMove(ThrowyMove&&) noexcept(false) {}
+    void operator()() {}
+  };
+  static_assert(sizeof(ThrowyMove) <= 32);
+  Fn32 f = ThrowyMove{};
+  EXPECT_FALSE(f.is_inline());
+  f();
+}
+
+TEST(InlineFunctionTest, MoveConstructTransfersAndEmptiesSource) {
+  int hits = 0;
+  Fn32 a = [&hits] { ++hits; };
+  Fn32 b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunctionTest, MoveAssignDestroysPreviousTarget) {
+  auto tracked = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = tracked;
+  Fn32 target = [tracked] {};
+  tracked.reset();
+  EXPECT_FALSE(watch.expired());  // alive inside `target`
+
+  int hits = 0;
+  target = Fn32([&hits] { ++hits; });
+  EXPECT_TRUE(watch.expired());  // old capture destroyed by assignment
+  target();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunctionTest, DestructorReleasesInlineCapture) {
+  auto tracked = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = tracked;
+  {
+    Fn32 f = [tracked] {};
+    EXPECT_TRUE(f.is_inline());
+    tracked.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunctionTest, DestructorReleasesHeapCapture) {
+  auto tracked = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = tracked;
+  {
+    std::array<char, 64> pad{};
+    Fn32 f = [tracked, pad] { (void)pad; };
+    EXPECT_FALSE(f.is_inline());
+    tracked.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunctionTest, MovedFromCanBeReassignedAndInvoked) {
+  int hits = 0;
+  Fn32 a = [&hits] { ++hits; };
+  Fn32 b = std::move(a);
+  a = [&hits] { hits += 10; };  // NOLINT(bugprone-use-after-move)
+  a();
+  b();
+  EXPECT_EQ(hits, 11);
+}
+
+TEST(InlineFunctionTest, HeapCallableSurvivesMove) {
+  std::array<char, 64> big{};
+  big[1] = 42;
+  int result = 0;
+  Fn32 a = [big, &result] { result = big[1]; };
+  Fn32 b = std::move(a);
+  EXPECT_FALSE(b.is_inline());
+  b();
+  EXPECT_EQ(result, 42);
+}
+
+}  // namespace
+}  // namespace snapq

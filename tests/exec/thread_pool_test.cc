@@ -1,0 +1,152 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace snapq::exec {
+namespace {
+
+TEST(ThreadPoolTest, ThreadCountIsClampedToAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1u);
+  ThreadPool negative(-4);
+  EXPECT_EQ(negative.num_threads(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.num_threads(), 4u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 1000;
+  std::atomic<int> runs{0};
+  std::mutex mutex;
+  std::set<int> seen;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([i, &runs, &mutex, &seen] {
+      runs.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(i);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(runs.load(), kTasks);       // exactly once: no dup...
+  EXPECT_EQ(seen.size(), size_t{kTasks});  // ...and none skipped
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, WaitIdleCanBeReusedAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> runs{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(runs.load(), (batch + 1) * 40);
+  }
+}
+
+TEST(ThreadPoolTest, IdleWorkersStealFromABusyVictim) {
+  // Block the pool with long tasks on most queues, then flood the rest:
+  // with round-robin dealing, some of the quick tasks land behind a
+  // blocker and can only finish promptly if another worker steals them.
+  ThreadPool pool(4);
+  std::atomic<bool> release{false};
+  std::atomic<int> quick_runs{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  constexpr int kQuick = 64;
+  for (int i = 0; i < kQuick; ++i) {
+    pool.Submit(
+        [&quick_runs] { quick_runs.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // All quick tasks must complete while the blockers still hold their
+  // workers (bounded wait, generous for slow CI).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (quick_runs.load(std::memory_order_relaxed) < kQuick &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(quick_runs.load(), kQuick);
+  release.store(true, std::memory_order_release);
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, FirstExceptionIsRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([i, &runs] {
+      runs.fetch_add(1, std::memory_order_relaxed);
+      if (i == 3) throw std::runtime_error("trial 3 failed");
+    });
+  }
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  // A throwing task does not kill its worker or lose sibling tasks.
+  EXPECT_EQ(runs.load(), 10);
+}
+
+TEST(ThreadPoolTest, PoolIsUsableAfterATaskThrew) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();  // the rethrown error was consumed; no stale rethrow
+  EXPECT_EQ(runs.load(), 20);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> runs{0};
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No WaitIdle: the destructor must complete the backlog, not drop it.
+  }
+  EXPECT_EQ(runs.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsTasksInSubmissionOrder) {
+  // With one worker (and the submitter never racing it for the front of
+  // the deque), execution order is submission order.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex mutex;
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([i, &order, &mutex] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(i);
+    });
+  }
+  pool.WaitIdle();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace snapq::exec

@@ -7,9 +7,9 @@
 namespace snapq {
 namespace {
 
-std::deque<ObservationPair> Pairs(
+std::vector<ObservationPair> Pairs(
     std::initializer_list<std::pair<double, double>> xs) {
-  std::deque<ObservationPair> out;
+  std::vector<ObservationPair> out;
   Time t = 0;
   for (const auto& [x, y] : xs) out.push_back({x, y, t++});
   return out;
@@ -52,7 +52,7 @@ TEST(FitForMetricTest, SseMatchesLemma1) {
 TEST(FitForMetricTest, AbsoluteFitIgnoresOutlier) {
   // Nine points on y = 2x + 1 plus one gross outlier. LS tilts toward the
   // outlier; the LAD fit must stay on the line.
-  std::deque<ObservationPair> pairs;
+  std::vector<ObservationPair> pairs;
   for (int k = 0; k < 9; ++k) {
     pairs.push_back({static_cast<double>(k), 2.0 * k + 1.0, k});
   }
@@ -88,7 +88,7 @@ TEST(FitForMetricTest, RelativeFitFavorsSmallMagnitudePoints) {
 }
 
 TEST(FitForMetricTest, EmptyPairsGiveZeroModel) {
-  const std::deque<ObservationPair> empty;
+  const std::vector<ObservationPair> empty;
   const LinearModel m = FitForMetric(empty, ErrorMetric::Absolute());
   EXPECT_DOUBLE_EQ(m.a, 0.0);
   EXPECT_DOUBLE_EQ(m.b, 0.0);
@@ -101,7 +101,7 @@ class RobustFitProperty : public ::testing::TestWithParam<int> {};
 TEST_P(RobustFitProperty, NeverWorseThanLeastSquaresUnderOwnMetric) {
   Rng rng(static_cast<uint64_t>(GetParam()));
   const size_t n = static_cast<size_t>(rng.UniformInt(3, 20));
-  std::deque<ObservationPair> pairs;
+  std::vector<ObservationPair> pairs;
   RegressionStats stats;
   for (size_t k = 0; k < n; ++k) {
     const double x = rng.UniformDouble(-10, 10);

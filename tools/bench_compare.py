@@ -8,8 +8,15 @@ Two modes:
 
   bench_compare.py BASELINE.json CURRENT.json [--warn-only] [tolerances]
       schema-check both, then compare per-benchmark wall time, throughput
-      and peak RSS against percentage tolerances. Exits 1 on regression
-      unless --warn-only; schema violations always exit 2.
+      and peak RSS against percentage tolerances. Each wall line carries
+      the baseline/current speedup factor. Exits 1 on regression unless
+      --warn-only; schema violations always exit 2.
+
+With --fail-on-regression, counter mismatches are regressions instead of
+notes: the hot-op counters are fully seeded, so two reports of the same
+tree must agree exactly. This is the determinism gate for the parallel
+experiment engine — a `--jobs 1` and a `--jobs N` run must produce
+bit-identical counter sets, only their wall clocks may differ.
 
 The schema is the one frozen by bench/bench_report.h (schema_version 1)
 and pinned by tests/bench/bench_report_test.cc — update all three
@@ -122,8 +129,11 @@ def compare(base, cur, args):
         b, c = base_by_name[name], cur_by_name[name]
 
         delta = pct_change(b["wall_ms"]["median"], c["wall_ms"]["median"])
-        line = (f"{name}: wall {b['wall_ms']['median']:.1f} -> "
-                f"{c['wall_ms']['median']:.1f} ms ({delta:+.1f}%)")
+        old_wall, new_wall = b["wall_ms"]["median"], c["wall_ms"]["median"]
+        speedup = f", {old_wall / new_wall:.2f}x speedup" if new_wall > 0 \
+            else ""
+        line = (f"{name}: wall {old_wall:.1f} -> {new_wall:.1f} ms "
+                f"({delta:+.1f}%{speedup})")
         if delta > args.wall_tol:
             regressions.append(line)
         elif delta < -args.wall_tol:
@@ -146,8 +156,12 @@ def compare(base, cur, args):
         for key, old in b["counters"].items():
             new = c["counters"].get(key)
             if new is not None and new != old:
-                notes.append(f"{name}: counter {key} {old} -> {new} "
-                             "(seeded work changed)")
+                msg = f"{name}: counter {key} {old} -> {new} " \
+                      "(seeded work changed)"
+                if args.fail_on_regression:
+                    regressions.append(msg)
+                else:
+                    notes.append(msg)
     return regressions, notes
 
 
@@ -175,6 +189,10 @@ def main():
                         help="schema-check only, no comparison")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="treat counter mismatches as regressions "
+                             "(determinism gate: seeded runs must agree "
+                             "exactly)")
     parser.add_argument("--min-benchmarks", type=int, default=1,
                         help="fail validation below this many benchmarks")
     parser.add_argument("--wall-tol", type=float, default=25.0,
