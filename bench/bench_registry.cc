@@ -62,6 +62,7 @@ int StandaloneMain(int argc, char** argv) {
     std::fprintf(stderr, "no benchmarks registered\n");
     return 1;
   }
+  int rc = 0;
   for (const BenchInfo& info : Registry::Instance().benchmarks()) {
     RunContext ctx;
     ctx.name = info.name;
@@ -71,8 +72,13 @@ int StandaloneMain(int argc, char** argv) {
     ctx.write_sidecars = true;
     ctx.jobs = exec::ResolveJobs(jobs);
     info.fn(ctx);
+    if (ctx.exit_code != 0) {
+      std::fprintf(stderr, "%s: driver verdict %d\n", info.name,
+                   ctx.exit_code);
+      rc = std::max(rc, ctx.exit_code);
+    }
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace snapq::bench

@@ -42,6 +42,12 @@ struct RunContext {
   /// standalone mains default it to --jobs / SNAPQ_JOBS / hardware
   /// concurrency via exec::ResolveJobs.
   int jobs = 1;
+  /// Driver verdict: a body that detects a failure (an SLO breach in the
+  /// soak driver, a violated invariant) sets this non-zero and keeps
+  /// running. StandaloneMain and the harness propagate the worst verdict
+  /// as the process exit code. Mutable so the body can set it through the
+  /// const context reference.
+  mutable int exit_code = 0;
 
   /// Scales a driver-internal count or horizon for quick mode: full
   /// normally, max(1, full / 10) when quick.

@@ -129,7 +129,7 @@ bool Selected(const BenchInfo& info, const Options& opt) {
 }
 
 BenchmarkResult RunOne(const BenchInfo& info, const Options& opt,
-                       int harness_reps, int driver_reps) {
+                       int harness_reps, int driver_reps, int* verdict) {
   RunContext ctx;
   ctx.name = info.name;
   ctx.argv0.clear();  // sidecars (if any) labeled by benchmark name
@@ -211,6 +211,7 @@ BenchmarkResult RunOne(const BenchInfo& info, const Options& opt,
     result.latency_us.push_back(std::move(lat));
   }
   result.peak_rss_kb = PeakRssKb();
+  *verdict = ctx.exit_code;
   return result;
 }
 
@@ -293,13 +294,18 @@ int Main(int argc, char** argv) {
               selected.size(), harness_reps, exec::ResolveJobs(opt.jobs),
               opt.quick ? " (quick)" : "");
   int index = 0;
+  std::vector<std::string> unhealthy;
   for (const BenchInfo* info : selected) {
     ++index;
     std::printf("[%2d/%zu] %-32s ", index, selected.size(), info->name);
     std::fflush(stdout);
-    BenchmarkResult r = RunOne(*info, opt, harness_reps, driver_reps);
-    std::printf("wall %.1f ms  cpu %.1f ms  rss %lld KB\n", r.wall_ms.median,
-                r.cpu_ms.median, static_cast<long long>(r.peak_rss_kb));
+    int verdict = 0;
+    BenchmarkResult r =
+        RunOne(*info, opt, harness_reps, driver_reps, &verdict);
+    std::printf("wall %.1f ms  cpu %.1f ms  rss %lld KB%s\n", r.wall_ms.median,
+                r.cpu_ms.median, static_cast<long long>(r.peak_rss_kb),
+                verdict != 0 ? "  [UNHEALTHY]" : "");
+    if (verdict != 0) unhealthy.push_back(info->name);
     report.benchmarks.push_back(std::move(r));
   }
 
@@ -311,6 +317,14 @@ int Main(int argc, char** argv) {
   out << report.ToJson() << '\n';
   std::printf("wrote %s (%zu benchmarks, git %s)\n", opt.out.c_str(),
               report.benchmarks.size(), report.git_sha.c_str());
+  if (!unhealthy.empty()) {
+    std::fprintf(stderr, "%zu driver(s) reported an unhealthy verdict:\n",
+                 unhealthy.size());
+    for (const std::string& name : unhealthy) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 1;
+  }
   return 0;
 }
 

@@ -7,6 +7,7 @@
 //   snapq> SELECT avg(value) FROM sensors WHERE loc IN NORTH_HALF USE SNAPSHOT
 //   snapq> \snapshot
 //   snapq> \quit
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -20,6 +21,7 @@
 #include "obs/health_monitor.h"
 #include "obs/journal.h"
 #include "obs/profiler.h"
+#include "obs/timeseries.h"
 #include "obs/trace_analyzer.h"
 #include "obs/tracer.h"
 
@@ -75,7 +77,10 @@ void PrintHelp() {
       "                        filtered to names containing substr\n"
       "  \\journal [n]          show the last n journal events (default 20)\n"
       "  \\health               sample snapshot health (coverage, violation\n"
-      "                        rate, spurious reps, model staleness)\n"
+      "                        rate, spurious reps, model staleness), plus\n"
+      "                        since-start trends and SLO rule status\n"
+      "  \\timeline [substr]    sparkline every telemetry series (health,\n"
+      "                        message rates, RSS), optionally filtered\n"
       "  \\trace [id]           list recorded causal traces, or show one\n"
       "                        trace's report with invariant verdicts\n"
       "  \\profile              hot-path profile since startup: operation\n"
@@ -90,6 +95,36 @@ std::string_view FirstWord(std::string_view line) {
   const std::string_view stripped = StripWhitespace(line);
   const size_t space = stripped.find_first_of(" \t");
   return space == std::string_view::npos ? stripped : stripped.substr(0, space);
+}
+
+/// Unicode sparkline over the series' retained bin means (newest right),
+/// normalized to the displayed window's envelope.
+std::string Sparkline(const obs::TimeSeries& series, size_t width = 48) {
+  static const char* const kBlocks[] = {"▁", "▂", "▃", "▄",
+                                        "▅", "▆", "▇", "█"};
+  const size_t bins = series.num_bins();
+  if (bins == 0) return "(no samples)";
+  const size_t first = bins > width ? bins - width : 0;
+  double lo = series.bin(first).mean(), hi = lo;
+  for (size_t i = first; i < bins; ++i) {
+    lo = std::min(lo, series.bin(i).mean());
+    hi = std::max(hi, series.bin(i).mean());
+  }
+  std::string out;
+  for (size_t i = first; i < bins; ++i) {
+    const double norm =
+        hi > lo ? (series.bin(i).mean() - lo) / (hi - lo) : 0.5;
+    out += kBlocks[std::min<size_t>(7, static_cast<size_t>(norm * 8.0))];
+  }
+  return out;
+}
+
+void PrintSeriesLine(const std::string& name, const obs::TimeSeries& s) {
+  std::printf("  %-24s %s\n", name.c_str(), Sparkline(s).c_str());
+  std::printf("  %-24s last %.4g  ewma %.4g  min %.4g  mean %.4g  max %.4g"
+              "  slope %+.2e  (%llu samples)\n",
+              "", s.last(), s.ewma(), s.min_seen(), s.mean(), s.max_seen(),
+              s.Slope(), static_cast<unsigned long long>(s.num_samples()));
 }
 
 }  // namespace
@@ -128,6 +163,12 @@ int main(int argc, char** argv) {
   // Trace every protocol root cause from the start so the initial election
   // (and later re-elections / queries) shows up under \trace.
   obs::Tracer& tracer = net.EnableTracing();
+  // Telemetry: trend the health gauges, message rates and RSS from tick 0
+  // (sampled every 5 ticks during the scripted phase; \health and
+  // \timeline take a fresh sample on demand afterwards).
+  obs::TelemetryConfig telemetry_config;
+  telemetry_config.sample_interval = 5;
+  net.EnableTelemetry(telemetry_config);
   // Profile from the start too, so \profile covers the initial election
   // and every interactive query.
   obs::Profiler::Enable();
@@ -138,8 +179,14 @@ int main(int argc, char** argv) {
   }
   const Time train = std::min<Time>(10, horizon);
   net.ScheduleTrainingBroadcasts(0, train);
+  net.ScheduleTelemetrySampling(0, horizon);
   net.RunUntil(horizon - 1);
   const ElectionStats stats = net.RunElection(horizon - 1);
+  // SLO rules only make sense once a snapshot exists — installing them
+  // here keeps the pre-election bootstrap (coverage 0 by definition)
+  // from arming a spurious breach.
+  net.AddSloRule("health.coverage value >= 0.5 for 50");
+  net.AddSloRule("proc.rss_kb slope <= 64");
   std::printf("loaded %zu nodes, %lld time units; snapshot has %zu "
               "representatives (T=%.1f)\n",
               net.num_nodes(), static_cast<long long>(horizon),
@@ -194,8 +241,40 @@ int main(int argc, char** argv) {
     } else if (line == "\\profile") {
       std::printf("%s", obs::Profiler::Global().ToTable().c_str());
     } else if (line == "\\health") {
-      net.SampleHealth();
+      net.SampleTelemetry();
       std::printf("%s", net.health_monitor()->ToString().c_str());
+      std::printf("since start:\n");
+      net.telemetry()->ForEachSeries([&](const std::string& name,
+                                         const obs::TimeSeries& s) {
+        if (name.rfind("health.", 0) != 0 || s.num_samples() == 0) return;
+        const size_t breaches = net.watchdog()->BreachesFor(name);
+        std::printf("  %-24s min %.4g  mean %.4g  max %.4g  (%zu breach%s)\n",
+                    name.c_str(), s.min_seen(), s.mean(), s.max_seen(),
+                    breaches, breaches == 1 ? "" : "es");
+      });
+      std::printf("%s", net.watchdog()->ToString().c_str());
+    } else if (line.rfind("\\timeline", 0) == 0) {
+      net.SampleTelemetry();
+      const std::string filter(
+          StripWhitespace(std::string_view(line).substr(9)));
+      bool any = false;
+      net.telemetry()->ForEachSeries([&](const std::string& name,
+                                         const obs::TimeSeries& s) {
+        if (!filter.empty() && name.find(filter) == std::string::npos) return;
+        PrintSeriesLine(name, s);
+        any = true;
+      });
+      if (!any) {
+        std::printf("no series matches '%s'\n", filter.c_str());
+      } else {
+        std::printf("-- %llu samples every %lld ticks (on demand after "
+                    "t=%lld); \\timeline <substr> to filter\n",
+                    static_cast<unsigned long long>(
+                        net.telemetry()->num_samples()),
+                    static_cast<long long>(
+                        net.telemetry()->config().sample_interval),
+                    static_cast<long long>(horizon));
+      }
     } else if (line.rfind("\\trace", 0) == 0) {
       const obs::TraceAnalyzer analyzer(&tracer);
       uint64_t id = 0;

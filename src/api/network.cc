@@ -100,13 +100,18 @@ obs::Tracer& SensorNetwork::EnableTracing(const obs::TracerConfig& config) {
   return *tracer_;
 }
 
-obs::HealthSample SensorNetwork::SampleHealth() {
+obs::SnapshotHealthMonitor& SensorNetwork::EnsureHealthMonitor() {
   if (monitor_ == nullptr) {
     monitor_ = std::make_unique<obs::SnapshotHealthMonitor>(&sim_->registry(),
                                                             &sim_->journal());
   }
+  return *monitor_;
+}
+
+obs::HealthSample SensorNetwork::SampleHealth() {
+  obs::SnapshotHealthMonitor& monitor = EnsureHealthMonitor();
   const obs::HealthSample sample = ProbeSnapshotHealth(*sim_, agents_);
-  monitor_->Observe(sample, sim_->now());
+  monitor.Observe(sample, sim_->now());
   return sample;
 }
 
@@ -115,6 +120,73 @@ void SensorNetwork::ScheduleHealthSampling(Time first, Time horizon,
   SNAPQ_CHECK_GT(interval, 0);
   for (Time t = first; t < horizon; t += interval) {
     sim_->ScheduleAt(t, [this] { SampleHealth(); });
+  }
+}
+
+obs::TelemetryRecorder& SensorNetwork::EnableTelemetry(
+    const obs::TelemetryConfig& config) {
+  EnsureHealthMonitor();  // registers the health gauges the probes read
+  telemetry_ =
+      std::make_unique<obs::TelemetryRecorder>(config, &sim_->registry());
+
+  // Default series: snapshot health, message-layer rates, process RSS.
+  telemetry_->TrackGauge("health.coverage");
+  telemetry_->TrackGauge("health.violation_rate");
+  telemetry_->TrackGauge("health.reelection_rate");
+  telemetry_->TrackGauge("health.spurious_reps");
+  telemetry_->TrackGauge("health.model_staleness");
+  telemetry_->TrackCounterRate("net.sent");
+  telemetry_->TrackCounterRate("net.delivered");
+  telemetry_->TrackCounterRate("net.lost");
+  telemetry_->TrackRss();
+
+  // Splice the flight recorder in front of whatever sink the journal has
+  // (including none — the ring then becomes the journal's only consumer,
+  // which is exactly what the blackbox needs).
+  if (flight_recorder_ == nullptr) {
+    auto recorder =
+        std::make_unique<obs::FlightRecorder>(config.flight_recorder_capacity);
+    obs::FlightRecorder* raw = recorder.get();
+    raw->SetForward(sim_->journal().ReplaceSink(std::move(recorder)));
+    flight_recorder_ = raw;
+  }
+
+  watchdog_ = std::make_unique<obs::SloWatchdog>(telemetry_.get(),
+                                                 &sim_->journal());
+  watchdog_->SetBreachCallback([this](const obs::SloBreach& breach) {
+    const obs::TelemetryConfig& cfg = telemetry_->config();
+    if (cfg.blackbox_path.empty()) return;
+    obs::BlackboxContext ctx;
+    ctx.reason = "slo_breach: " + breach.rule.ToString();
+    ctx.benchmark = cfg.blackbox_label;
+    ctx.now = sim_->now();
+    ctx.recorder = telemetry_.get();
+    ctx.watchdog = watchdog_.get();
+    ctx.tracer = tracer_.get();
+    obs::WriteBlackbox(flight_recorder_, ctx, cfg.blackbox_path);
+  });
+  return *telemetry_;
+}
+
+bool SensorNetwork::AddSloRule(std::string_view text) {
+  if (watchdog_ == nullptr) return false;
+  return watchdog_->AddRule(text);
+}
+
+void SensorNetwork::SampleTelemetry() {
+  SNAPQ_CHECK(telemetry_ != nullptr);
+  SampleHealth();
+  telemetry_->SampleNow(sim_->now());
+  watchdog_->Evaluate(sim_->now());
+}
+
+void SensorNetwork::ScheduleTelemetrySampling(Time first, Time horizon,
+                                              Time interval) {
+  SNAPQ_CHECK(telemetry_ != nullptr);
+  if (interval == 0) interval = telemetry_->config().sample_interval;
+  SNAPQ_CHECK_GT(interval, 0);
+  for (Time t = first; t < horizon; t += interval) {
+    sim_->ScheduleAt(t, [this] { SampleTelemetry(); });
   }
 }
 

@@ -23,7 +23,10 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "net/energy.h"
+#include "obs/flight_recorder.h"
 #include "obs/health_monitor.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 #include "query/catalog.h"
 #include "query/continuous.h"
@@ -118,6 +121,34 @@ class SensorNetwork {
   /// The health monitor, or nullptr before the first sample.
   obs::SnapshotHealthMonitor* health_monitor() { return monitor_.get(); }
 
+  /// Enables fixed-memory time-series telemetry: creates the recorder
+  /// (owned) tracking the default series — the health gauges, the message
+  /// counter rates and process RSS — plus the SLO watchdog, and splices a
+  /// flight recorder in front of the journal sink so the last N protocol
+  /// events stay available for a blackbox dump. When
+  /// `config.blackbox_path` is non-empty, every confirmed breach dumps a
+  /// `*.blackbox.json` there. A second call replaces the recorder and
+  /// watchdog (series reset) but keeps the installed flight recorder.
+  obs::TelemetryRecorder& EnableTelemetry(const obs::TelemetryConfig& config = {});
+  /// The telemetry recorder, or nullptr when telemetry was never enabled.
+  obs::TelemetryRecorder* telemetry() { return telemetry_.get(); }
+  /// The SLO watchdog, or nullptr when telemetry was never enabled.
+  obs::SloWatchdog* watchdog() { return watchdog_.get(); }
+  /// The journal-teeing flight recorder, or nullptr before EnableTelemetry.
+  obs::FlightRecorder* flight_recorder() { return flight_recorder_; }
+
+  /// Parses and installs an SLO rule (`<metric> <stat> <op> <threshold>
+  /// [for <ticks>]`). Returns false on malformed text or when telemetry is
+  /// not enabled.
+  bool AddSloRule(std::string_view text);
+
+  /// Samples health, then every telemetry probe, then evaluates the SLO
+  /// rules — one watchdog tick. Requires EnableTelemetry.
+  void SampleTelemetry();
+  /// Runs SampleTelemetry every `interval` ticks in [first, horizon);
+  /// interval 0 uses the telemetry config's sample_interval.
+  void ScheduleTelemetrySampling(Time first, Time horizon, Time interval = 0);
+
   // -- Queries ----------------------------------------------------------------
 
   /// Parses and runs one round of `sql` (sink defaults to node 0).
@@ -162,8 +193,13 @@ class SensorNetwork {
   std::unique_ptr<ContinuousQueryRunner> continuous_;
   std::unique_ptr<MaintenanceDriver> maintenance_;
   std::optional<Dataset> dataset_;
+  obs::SnapshotHealthMonitor& EnsureHealthMonitor();
+
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::SnapshotHealthMonitor> monitor_;
+  std::unique_ptr<obs::TelemetryRecorder> telemetry_;
+  std::unique_ptr<obs::SloWatchdog> watchdog_;
+  obs::FlightRecorder* flight_recorder_ = nullptr;  // owned by the journal
 };
 
 }  // namespace snapq

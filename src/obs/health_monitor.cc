@@ -17,10 +17,17 @@ SnapshotHealthMonitor::SnapshotHealthMonitor(MetricRegistry* registry,
 
 void SnapshotHealthMonitor::Observe(const HealthSample& sample, Time t) {
   if (num_samples_ > 0) {
+    // Clamp to 0 when a cumulative count went backwards: a warm restart
+    // (agents reinstalled, counters reset) would otherwise make the
+    // unsigned subtraction underflow into an absurd rate.
     violation_rate_ =
-        static_cast<double>(sample.violations - last_.violations);
+        sample.violations >= last_.violations
+            ? static_cast<double>(sample.violations - last_.violations)
+            : 0.0;
     reelection_rate_ =
-        static_cast<double>(sample.reelections - last_.reelections);
+        sample.reelections >= last_.reelections
+            ? static_cast<double>(sample.reelections - last_.reelections)
+            : 0.0;
   } else {
     // First sample: the cumulative counts are the first epoch's rates.
     violation_rate_ = static_cast<double>(sample.violations);

@@ -138,6 +138,14 @@ class EventJournal {
     sink_ = std::move(sink);
     return sink_.get();
   }
+  /// Installs `sink` and returns the previous one — the tee pattern: wrap
+  /// the old sink (e.g. in a FlightRecorder forward) instead of dropping
+  /// it, so an observer can splice itself in front of an existing stream.
+  std::unique_ptr<JournalSink> ReplaceSink(std::unique_ptr<JournalSink> sink) {
+    std::unique_ptr<JournalSink> old = std::move(sink_);
+    sink_ = std::move(sink);
+    return old;
+  }
   bool enabled() const { return sink_ != nullptr; }
   uint64_t events_emitted() const { return emitted_; }
 

@@ -1,0 +1,194 @@
+#include "obs/slo.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace snapq::obs {
+namespace {
+
+const char* StatName(SloRule::Stat stat) {
+  switch (stat) {
+    case SloRule::Stat::kValue:
+      return "value";
+    case SloRule::Stat::kEwma:
+      return "ewma";
+    case SloRule::Stat::kSlope:
+      return "slope";
+  }
+  return "?";
+}
+
+/// Pops the next whitespace-delimited token off `rest`.
+std::string_view NextToken(std::string_view& rest) {
+  rest = StripWhitespace(rest);
+  size_t end = 0;
+  while (end < rest.size() && rest[end] != ' ' && rest[end] != '\t') ++end;
+  const std::string_view token = rest.substr(0, end);
+  rest = rest.substr(end);
+  return token;
+}
+
+double EvalStat(const TimeSeries& series, SloRule::Stat stat) {
+  switch (stat) {
+    case SloRule::Stat::kValue:
+      return series.last();
+    case SloRule::Stat::kEwma:
+      return series.ewma();
+    case SloRule::Stat::kSlope:
+      return series.Slope();
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::string SloRule::ToString() const {
+  std::string out = metric;
+  out += ' ';
+  out += StatName(stat);
+  out += op == Op::kGe ? " >= " : " <= ";
+  out += JsonNumber(threshold);
+  if (for_ticks > 0) {
+    out += " for ";
+    out += std::to_string(for_ticks);
+  }
+  return out;
+}
+
+std::optional<SloRule> SloRule::Parse(std::string_view text) {
+  SloRule rule;
+  std::string_view rest = text;
+  const std::string_view metric = NextToken(rest);
+  if (metric.empty()) return std::nullopt;
+  rule.metric = std::string(metric);
+
+  const std::string_view stat = NextToken(rest);
+  if (EqualsIgnoreCase(stat, "value")) {
+    rule.stat = Stat::kValue;
+  } else if (EqualsIgnoreCase(stat, "ewma")) {
+    rule.stat = Stat::kEwma;
+  } else if (EqualsIgnoreCase(stat, "slope")) {
+    rule.stat = Stat::kSlope;
+  } else {
+    return std::nullopt;
+  }
+
+  const std::string_view op = NextToken(rest);
+  if (op == ">=") {
+    rule.op = Op::kGe;
+  } else if (op == "<=") {
+    rule.op = Op::kLe;
+  } else {
+    return std::nullopt;
+  }
+
+  const std::string_view threshold = NextToken(rest);
+  if (threshold.empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::string threshold_str(threshold);
+  rule.threshold = std::strtod(threshold_str.c_str(), &end);
+  if (end == threshold_str.c_str() || *end != '\0') return std::nullopt;
+
+  rest = StripWhitespace(rest);
+  if (rest.empty()) return rule;
+  const std::string_view kw = NextToken(rest);
+  if (!EqualsIgnoreCase(kw, "for")) return std::nullopt;
+  const std::string_view ticks = NextToken(rest);
+  const std::string ticks_str(ticks);
+  const long parsed = std::strtol(ticks_str.c_str(), &end, 10);
+  if (end == ticks_str.c_str() || *end != '\0' || parsed < 0) {
+    return std::nullopt;
+  }
+  rule.for_ticks = static_cast<Time>(parsed);
+  if (!StripWhitespace(rest).empty()) return std::nullopt;
+  return rule;
+}
+
+SloWatchdog::SloWatchdog(const TelemetryRecorder* recorder,
+                         EventJournal* journal)
+    : recorder_(recorder), journal_(journal) {}
+
+void SloWatchdog::AddRule(const SloRule& rule) {
+  RuleState state;
+  state.rule = rule;
+  states_.push_back(std::move(state));
+  rules_.push_back(rule);
+}
+
+bool SloWatchdog::AddRule(std::string_view text) {
+  std::optional<SloRule> rule = SloRule::Parse(text);
+  if (!rule.has_value()) return false;
+  AddRule(*rule);
+  return true;
+}
+
+void SloWatchdog::Evaluate(Time t) {
+  for (RuleState& state : states_) {
+    const TimeSeries* series = recorder_->series(state.rule.metric);
+    if (series == nullptr || series->num_samples() == 0) continue;
+    const double observed = EvalStat(*series, state.rule.stat);
+    const bool holds = state.rule.op == SloRule::Op::kGe
+                           ? observed >= state.rule.threshold
+                           : observed <= state.rule.threshold;
+    if (holds) {
+      state.violated_since = kNotViolating;
+      state.fired = false;
+      continue;
+    }
+    if (state.violated_since == kNotViolating) state.violated_since = t;
+    if (state.fired || t - state.violated_since < state.rule.for_ticks) {
+      continue;
+    }
+    state.fired = true;
+    SloBreach breach;
+    breach.rule = state.rule;
+    breach.violated_since = state.violated_since;
+    breach.confirmed_at = t;
+    breach.observed = observed;
+    breaches_.push_back(breach);
+    if (journal_ != nullptr) {
+      journal_->Emit("slo.breach", t, [&](JournalEvent& e) {
+        e.Str("rule", breach.rule.ToString())
+            .Str("metric", breach.rule.metric)
+            .Str("stat", StatName(breach.rule.stat))
+            .Num("observed", breach.observed)
+            .Num("threshold", breach.rule.threshold)
+            .Int("since", breach.violated_since);
+      });
+    }
+    if (on_breach_) on_breach_(breach);
+  }
+}
+
+size_t SloWatchdog::BreachesFor(std::string_view metric) const {
+  size_t n = 0;
+  for (const SloBreach& breach : breaches_) {
+    if (breach.rule.metric == metric) ++n;
+  }
+  return n;
+}
+
+std::string SloWatchdog::ToString() const {
+  if (states_.empty()) return "slo: no rules\n";
+  std::string out;
+  for (const RuleState& state : states_) {
+    const TimeSeries* series = recorder_->series(state.rule.metric);
+    const char* status = "NO DATA";
+    double observed = 0.0;
+    if (series != nullptr && series->num_samples() > 0) {
+      observed = EvalStat(*series, state.rule.stat);
+      status = state.fired                             ? "BREACH"
+               : state.violated_since != kNotViolating ? "violating"
+                                                       : "ok";
+    }
+    out += StrFormat("  %-9s %s (now %.4g)\n", status,
+                     state.rule.ToString().c_str(), observed);
+  }
+  out += StrFormat("  %zu confirmed breach(es)\n", breaches_.size());
+  return out;
+}
+
+}  // namespace snapq::obs

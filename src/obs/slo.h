@@ -1,0 +1,112 @@
+// Declarative SLO rules over telemetry series, and the watchdog that
+// evaluates them. A rule states a condition that must hold, in a one-line
+// text form the shell, bench drivers and config files share:
+//
+//   health.coverage value >= 0.9 for 500
+//   health.violation_rate ewma <= 3
+//   proc.rss_kb slope <= 1.5
+//
+// i.e. `<metric> <stat> <op> <threshold> [for <ticks>]` with stat one of
+// value (latest sample), ewma, or slope (least-squares trend of the
+// retained window, units per tick). `for <ticks>` is a sustain window:
+// the condition must be continuously violated that long before the
+// watchdog confirms a breach — a single bad sample during a loss burst is
+// not an incident, 500 ticks below the coverage floor is.
+//
+// Each confirmed breach is recorded as a verdict (and "slo.breach"
+// journal event), re-arming only after the rule recovers; the breach
+// callback is where the flight recorder's blackbox dump hooks in.
+#ifndef SNAPQ_OBS_SLO_H_
+#define SNAPQ_OBS_SLO_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/node_id.h"
+#include "obs/journal.h"
+#include "obs/timeseries.h"
+
+namespace snapq::obs {
+
+struct SloRule {
+  enum class Stat { kValue, kEwma, kSlope };
+  enum class Op { kGe, kLe };
+
+  std::string metric;
+  Stat stat = Stat::kValue;
+  Op op = Op::kGe;
+  double threshold = 0.0;
+  /// Violation must sustain this many ticks before a breach confirms
+  /// (0 = confirm on the first violating sample).
+  Time for_ticks = 0;
+
+  /// The canonical one-line text form (parses back with Parse).
+  std::string ToString() const;
+  /// Parses the text form above; nullopt on malformed input.
+  static std::optional<SloRule> Parse(std::string_view text);
+};
+
+/// One confirmed SLO breach.
+struct SloBreach {
+  SloRule rule;
+  Time violated_since = 0;  ///< first violating sample of this episode
+  Time confirmed_at = 0;    ///< when the sustain window elapsed
+  double observed = 0.0;    ///< the rule's stat at confirmation time
+};
+
+/// Evaluates a rule set against a TelemetryRecorder after each sample.
+class SloWatchdog {
+ public:
+  /// `journal` (optional) receives one "slo.breach" event per verdict.
+  explicit SloWatchdog(const TelemetryRecorder* recorder,
+                       EventJournal* journal = nullptr);
+
+  /// Adds a rule. The metric need not be tracked yet — rules against an
+  /// unknown series simply do not fire until it appears.
+  void AddRule(const SloRule& rule);
+  /// Parses and adds; returns false on a malformed rule string.
+  bool AddRule(std::string_view text);
+
+  /// Invoked after each confirmed breach (blackbox dump hook).
+  using BreachCallback = std::function<void(const SloBreach&)>;
+  void SetBreachCallback(BreachCallback callback) {
+    on_breach_ = std::move(callback);
+  }
+
+  /// Evaluates every rule at sim-time `t` (call after SampleNow).
+  void Evaluate(Time t);
+
+  size_t num_rules() const { return rules_.size(); }
+  const std::vector<SloRule>& rules() const { return rules_; }
+  const std::vector<SloBreach>& breaches() const { return breaches_; }
+  bool healthy() const { return breaches_.empty(); }
+  /// Confirmed breaches of rules on `metric` (shell \health trend lines).
+  size_t BreachesFor(std::string_view metric) const;
+
+  /// One-line-per-rule status table (shell, soak driver summary).
+  std::string ToString() const;
+
+ private:
+  struct RuleState {
+    SloRule rule;
+    /// First violating sample time of the current episode; kNotViolating
+    /// when the rule currently holds.
+    Time violated_since = kNotViolating;
+    bool fired = false;  ///< breach already confirmed this episode
+  };
+  static constexpr Time kNotViolating = -1;
+
+  const TelemetryRecorder* recorder_;
+  EventJournal* journal_;
+  std::vector<RuleState> states_;
+  std::vector<SloRule> rules_;
+  std::vector<SloBreach> breaches_;
+  BreachCallback on_breach_;
+};
+
+}  // namespace snapq::obs
+
+#endif  // SNAPQ_OBS_SLO_H_

@@ -1,0 +1,131 @@
+#include "obs/timeline.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "obs/json.h"
+
+namespace snapq::obs {
+namespace {
+
+void AppendOneSeries(const std::string& name, const TimeSeries& series,
+                     std::string* out) {
+  *out += '"';
+  *out += JsonEscape(name);
+  *out += "\": {\"last\": " + JsonNumber(series.last());
+  *out += ", \"ewma\": " + JsonNumber(series.ewma());
+  *out += ", \"min\": " + JsonNumber(series.min_seen());
+  *out += ", \"max\": " + JsonNumber(series.max_seen());
+  *out += ", \"mean\": " + JsonNumber(series.mean());
+  *out += ", \"slope\": " + JsonNumber(series.Slope());
+  *out += ", \"samples\": " + std::to_string(series.num_samples());
+  *out += ", \"bins\": [";
+  for (size_t i = 0; i < series.num_bins(); ++i) {
+    const SeriesBin& bin = series.bin(i);
+    if (i > 0) *out += ", ";
+    *out += "{\"t0\": " + std::to_string(bin.t_first);
+    *out += ", \"t1\": " + std::to_string(bin.t_last);
+    *out += ", \"min\": " + JsonNumber(bin.min);
+    *out += ", \"max\": " + JsonNumber(bin.max);
+    *out += ", \"mean\": " + JsonNumber(bin.mean());
+    *out += ", \"count\": " + std::to_string(bin.count) + "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+void AppendSeriesJson(const TelemetryRecorder& recorder, std::string* out) {
+  *out += '{';
+  bool first = true;
+  recorder.ForEachSeries([&](const std::string& name,
+                             const TimeSeries& series) {
+    if (!first) *out += ", ";
+    first = false;
+    AppendOneSeries(name, series, out);
+  });
+  *out += '}';
+}
+
+void AppendSloJson(const SloWatchdog& watchdog, std::string* out) {
+  *out += "{\"rules\": [";
+  bool first = true;
+  for (const SloRule& rule : watchdog.rules()) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += '"';
+    *out += JsonEscape(rule.ToString());
+    *out += '"';
+  }
+  *out += "], \"breaches\": [";
+  first = true;
+  for (const SloBreach& breach : watchdog.breaches()) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += "{\"rule\": \"" + JsonEscape(breach.rule.ToString()) + "\"";
+    *out += ", \"metric\": \"" + JsonEscape(breach.rule.metric) + "\"";
+    *out += ", \"since\": " + std::to_string(breach.violated_since);
+    *out += ", \"confirmed\": " + std::to_string(breach.confirmed_at);
+    *out += ", \"observed\": " + JsonNumber(breach.observed);
+    *out += ", \"threshold\": " + JsonNumber(breach.rule.threshold) + "}";
+  }
+  *out += "], \"verdict\": \"";
+  *out += watchdog.healthy() ? "pass" : "breach";
+  *out += "\"}";
+}
+
+std::string TimelineToJson(const TelemetryRecorder& recorder,
+                           const SloWatchdog* watchdog,
+                           const TimelineMeta& meta) {
+  std::string out = "{\"schema_version\": ";
+  out += std::to_string(kTimelineSchemaVersion);
+  out += ", \"kind\": \"snapq-timeline\"";
+  out += ", \"benchmark\": \"" + JsonEscape(meta.benchmark) + "\"";
+  out += ", \"git_sha\": \"" + JsonEscape(meta.git_sha) + "\"";
+  out += meta.quick ? ", \"quick\": true" : ", \"quick\": false";
+  out += ", \"horizon\": " + std::to_string(meta.horizon);
+  out += ", \"sample_interval\": " +
+         std::to_string(recorder.config().sample_interval);
+  out += ", \"samples\": " + std::to_string(recorder.num_samples());
+  out += ", \"series\": ";
+  AppendSeriesJson(recorder, &out);
+  out += ", \"slo\": ";
+  if (watchdog != nullptr) {
+    AppendSloJson(*watchdog, &out);
+  } else {
+    out += "{\"rules\": [], \"breaches\": [], \"verdict\": \"pass\"}";
+  }
+  out += "}";
+  return out;
+}
+
+bool WriteTextFileAtomic(const std::string& path,
+                         const std::string& contents) {
+  namespace fs = std::filesystem;
+  const std::string staged =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(staged);
+    if (!out) return false;
+    out << contents;
+    if (!out.good()) {
+      std::error_code ec;
+      fs::remove(staged, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(staged, path, ec);
+  if (ec) {
+    std::error_code cleanup;
+    fs::remove(staged, cleanup);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace snapq::obs

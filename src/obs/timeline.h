@@ -1,0 +1,45 @@
+// The timeline sidecar: the canonical JSON document a soak/bench run
+// leaves next to BENCH.json, holding every telemetry series (all-time
+// aggregates + retained bins) and the SLO verdicts. Schema v1 is frozen —
+// tools/timeline_check.py validates and diffs it, and the soak-smoke CI
+// job gates on it; update both together with the golden test.
+#ifndef SNAPQ_OBS_TIMELINE_H_
+#define SNAPQ_OBS_TIMELINE_H_
+
+#include <string>
+
+#include "net/node_id.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+
+namespace snapq::obs {
+
+inline constexpr int kTimelineSchemaVersion = 1;
+
+struct TimelineMeta {
+  std::string benchmark;
+  std::string git_sha = "unknown";
+  bool quick = false;
+  Time horizon = 0;
+};
+
+/// Appends the {"name": {...}, ...} series map body (used by the timeline
+/// document and the blackbox dump).
+void AppendSeriesJson(const TelemetryRecorder& recorder, std::string* out);
+
+/// Appends the {"rules": [...], "breaches": [...], "verdict": ...} object.
+void AppendSloJson(const SloWatchdog& watchdog, std::string* out);
+
+/// The full timeline document (schema v1). `watchdog` may be null (a run
+/// without SLO rules emits an empty rule set and a "pass" verdict).
+std::string TimelineToJson(const TelemetryRecorder& recorder,
+                           const SloWatchdog* watchdog,
+                           const TimelineMeta& meta);
+
+/// Atomically replaces `path` with `contents` (stage + rename), so readers
+/// never observe a half-written sidecar. Returns false on failure.
+bool WriteTextFileAtomic(const std::string& path, const std::string& contents);
+
+}  // namespace snapq::obs
+
+#endif  // SNAPQ_OBS_TIMELINE_H_

@@ -1,0 +1,235 @@
+// Fixed-memory time-series telemetry: periodically samples selected
+// MetricRegistry instruments (plus process RSS) along sim-time into
+// ring-buffered series, so hour-long soak runs can be trended without the
+// memory footprint growing with the horizon.
+//
+// Each TimeSeries keeps two rings:
+//
+//   * a raw head — the most recent samples at full resolution;
+//   * a downsampled history — older samples folded into min/max/sum/count
+//     bins. When the history ring fills, adjacent bins merge pairwise and
+//     the bin stride doubles, so total retained memory stays constant no
+//     matter how long the run is (sample count is preserved: bins merge,
+//     they never drop).
+//
+// On top of the retained window every series derives trend state on the
+// fly: an EWMA, the all-time min/max envelope, and a least-squares slope
+// over the retained bins (what the "rss slope ~ 0" memory-flatness SLO
+// evaluates).
+//
+// The TelemetryRecorder owns one series per tracked probe (gauge value,
+// counter per-interval rate with reset clamping, process RSS, or a custom
+// callback). Probes cache their instrument pointers and all rings are
+// preallocated, so a SampleNow() tick performs zero heap allocations —
+// and a disabled recorder is a single branch, adding nothing to the paths
+// that drive it.
+#ifndef SNAPQ_OBS_TIMESERIES_H_
+#define SNAPQ_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/node_id.h"
+#include "obs/metric_registry.h"
+
+namespace snapq::obs {
+
+/// One downsampled bucket of a series: the envelope and mass of the
+/// samples it absorbed over [t_first, t_last].
+struct SeriesBin {
+  Time t_first = 0;
+  Time t_last = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  uint64_t count = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Absorbs `other` (envelope union, mass addition, time-range union).
+  void Merge(const SeriesBin& other);
+  static SeriesBin FromSample(Time t, double value) {
+    return SeriesBin{t, t, value, value, value, 1};
+  }
+};
+
+struct TimeSeriesConfig {
+  /// Most recent samples kept at full resolution.
+  size_t raw_capacity = 128;
+  /// Downsampled bins kept behind the raw head. 0 disables history (old
+  /// samples are dropped instead of folded — the retained-count invariant
+  /// no longer holds).
+  size_t history_capacity = 128;
+  /// EWMA smoothing factor in (0, 1]; higher tracks faster.
+  double ewma_alpha = 0.1;
+};
+
+/// A fixed-memory series of (sim-time, value) samples. All storage is
+/// allocated at construction; Push never allocates.
+class TimeSeries {
+ public:
+  explicit TimeSeries(const TimeSeriesConfig& config = {});
+
+  void Push(Time t, double value);
+
+  // -- All-time aggregates (survive downsampling untouched) -----------------
+  uint64_t num_samples() const { return num_samples_; }
+  double last() const { return last_; }
+  Time last_time() const { return last_time_; }
+  double ewma() const { return ewma_; }
+  double min_seen() const { return num_samples_ == 0 ? 0.0 : min_; }
+  double max_seen() const { return num_samples_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return num_samples_ == 0 ? 0.0
+                             : sum_ / static_cast<double>(num_samples_);
+  }
+
+  // -- Retained window -------------------------------------------------------
+  /// Bins oldest -> newest: downsampled history first, then the raw head
+  /// (raw bins have count 1 unless the series was merged).
+  size_t num_bins() const { return hist_size_ + raw_size_; }
+  const SeriesBin& bin(size_t i) const;
+  /// Raw evictions a full history bin spans (doubles on each compaction).
+  size_t history_stride() const { return bin_stride_; }
+  /// Start of the oldest retained bin (0 when empty).
+  Time retained_since() const;
+
+  /// Least-squares slope (value units per sim-time tick) of the retained
+  /// bin means; 0 with fewer than two bins. This is what memory-flatness
+  /// SLOs evaluate ("proc.rss_kb slope <= x").
+  double Slope() const;
+
+  /// Folds another trial's series in (parallel --jobs folding): bins merge
+  /// index-wise, so both series must have the same retained shape — equal
+  /// raw/history sizes and history stride, i.e. the same sample cadence
+  /// and count. Returns false (and leaves this series untouched) on a
+  /// shape mismatch. EWMA/last fold as sample-count-weighted means.
+  bool MergeFrom(const TimeSeries& other);
+
+ private:
+  void EvictOldestRaw();
+  void CompactHistory();
+  SeriesBin& HistAt(size_t i) { return hist_[(hist_start_ + i) % hist_.size()]; }
+  const SeriesBin& HistAt(size_t i) const {
+    return hist_[(hist_start_ + i) % hist_.size()];
+  }
+
+  TimeSeriesConfig config_;
+  std::vector<SeriesBin> raw_;  // ring of size config_.raw_capacity
+  size_t raw_start_ = 0;
+  size_t raw_size_ = 0;
+  std::vector<SeriesBin> hist_;  // ring of size config_.history_capacity
+  std::vector<uint32_t> hist_slots_;  // raw evictions each bin absorbed
+  size_t hist_start_ = 0;
+  size_t hist_size_ = 0;
+  size_t bin_stride_ = 1;
+
+  uint64_t num_samples_ = 0;
+  double last_ = 0.0;
+  Time last_time_ = 0;
+  double ewma_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+struct TelemetryConfig {
+  /// Sim-time ticks between samples (the SensorNetwork scheduling hook and
+  /// the per-interval counter rates both use it).
+  Time sample_interval = 10;
+  /// Ring sizing shared by every tracked series.
+  TimeSeriesConfig series;
+  /// Probe slots preallocated at construction; Track* calls beyond this
+  /// are a programmer error (series pointers must stay stable).
+  size_t max_series = 32;
+  /// Journal events the flight recorder retains (SensorNetwork wiring).
+  size_t flight_recorder_capacity = 512;
+  /// Where the blackbox dump goes when a watchdog rule fires; empty
+  /// disables dumping (SensorNetwork wiring).
+  std::string blackbox_path;
+  /// The "benchmark" attribution stamped into blackbox dumps.
+  std::string blackbox_label = "sensor_network";
+};
+
+/// Samples a fixed set of probes into one TimeSeries each.
+class TelemetryRecorder {
+ public:
+  TelemetryRecorder(const TelemetryConfig& config, MetricRegistry* registry);
+  ~TelemetryRecorder();
+  TelemetryRecorder(const TelemetryRecorder&) = delete;
+  TelemetryRecorder& operator=(const TelemetryRecorder&) = delete;
+
+  // Probe registration. The returned series pointer is stable for the
+  // recorder's lifetime. Registering the same name twice returns the
+  // existing series.
+
+  /// Samples the gauge's current value under the gauge's name.
+  TimeSeries* TrackGauge(const std::string& name);
+  /// Samples the counter's per-interval delta as "<name>.rate". Deltas are
+  /// clamped at zero so a counter reset (warm restart, registry Reset)
+  /// yields a flat interval instead of an underflowed spike.
+  TimeSeries* TrackCounterRate(const std::string& name);
+  /// Samples this process's current resident set as "proc.rss_kb"
+  /// (/proc/self/statm via a kept-open fd — no allocation per sample;
+  /// falls back to the getrusage peak where /proc is unavailable).
+  TimeSeries* TrackRss();
+  /// Samples `fn()` under `name` (health probes, test injection).
+  TimeSeries* TrackProbe(const std::string& name, std::function<double()> fn);
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Samples every probe at sim-time `t`. A single branch when disabled;
+  /// zero heap allocations when enabled (rings are preallocated).
+  void SampleNow(Time t);
+
+  size_t num_series() const { return probes_.size(); }
+  const TimeSeries* series(std::string_view name) const;
+  uint64_t num_samples() const { return num_samples_; }
+  Time last_sample_time() const { return last_sample_time_; }
+  const TelemetryConfig& config() const { return config_; }
+
+  /// Visits (name, series) pairs in registration order.
+  template <typename Fn>
+  void ForEachSeries(Fn&& fn) const {
+    for (const Probe& probe : probes_) fn(probe.name, probe.series);
+  }
+
+  /// Folds another recorder in (parallel --jobs folding): probes must
+  /// match by name and registration order, and every series pair must be
+  /// shape-compatible (see TimeSeries::MergeFrom). Returns false (leaving
+  /// this recorder untouched) otherwise.
+  bool MergeFrom(const TelemetryRecorder& other);
+
+ private:
+  struct Probe {
+    enum class Kind { kGauge, kCounterRate, kRss, kCallback };
+    std::string name;
+    Kind kind = Kind::kGauge;
+    const Gauge* gauge = nullptr;
+    const Counter* counter = nullptr;
+    std::function<double()> fn;
+    uint64_t prev = 0;  // counter value at the previous sample
+    TimeSeries series;
+  };
+
+  TimeSeries* AddProbe(Probe probe);
+  double ReadRssKb() const;
+
+  TelemetryConfig config_;
+  MetricRegistry* registry_;
+  std::vector<Probe> probes_;  // reserved to max_series: pointers stable
+  bool enabled_ = true;
+  uint64_t num_samples_ = 0;
+  Time last_sample_time_ = 0;
+  int statm_fd_ = -1;
+  double page_kb_ = 4.0;
+};
+
+}  // namespace snapq::obs
+
+#endif  // SNAPQ_OBS_TIMESERIES_H_

@@ -99,6 +99,10 @@ class Simulator {
     type_loss_[static_cast<size_t>(type)] = p;
   }
 
+  /// Failure injection: changes the uniform link loss probability mid-run
+  /// (e.g. a soak driver simulating a loss burst or a partition).
+  void SetLossProbability(double p) { config_.loss_probability = p; }
+
   const LinkModel& links() const { return links_; }
   LinkModel& mutable_links() { return links_; }
   const SimConfig& config() const { return config_; }

@@ -1,0 +1,56 @@
+// SnapshotHealthMonitor's rate derivation, including the warm-restart
+// regression: a cumulative counter that goes backwards between samples
+// must clamp the rate to 0, not underflow the unsigned subtraction.
+#include "obs/health_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metric_registry.h"
+
+namespace snapq::obs {
+namespace {
+
+HealthSample Sample(uint64_t violations, uint64_t reelections) {
+  HealthSample s;
+  s.num_nodes = 10;
+  s.num_live = 10;
+  s.num_active = 3;
+  s.num_passive = 7;
+  s.violations = violations;
+  s.reelections = reelections;
+  return s;
+}
+
+TEST(HealthMonitorTest, DerivesPerEpochRatesFromCumulativeCounts) {
+  MetricRegistry registry;
+  SnapshotHealthMonitor monitor(&registry);
+  monitor.Observe(Sample(5, 2), 10);
+  // First sample: the cumulative counts are the first epoch's rates.
+  EXPECT_DOUBLE_EQ(monitor.violation_rate(), 5.0);
+  EXPECT_DOUBLE_EQ(monitor.reelection_rate(), 2.0);
+  monitor.Observe(Sample(9, 2), 20);
+  EXPECT_DOUBLE_EQ(monitor.violation_rate(), 4.0);
+  EXPECT_DOUBLE_EQ(monitor.reelection_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("health.violation_rate")->value(), 4.0);
+}
+
+TEST(HealthMonitorTest, CounterResetClampsRatesToZero) {
+  MetricRegistry registry;
+  SnapshotHealthMonitor monitor(&registry);
+  monitor.Observe(Sample(100, 50), 10);
+  // Warm restart: cumulative counts reset below the previous sample. The
+  // unsigned difference would be ~2^64; the rate must clamp to 0 instead.
+  monitor.Observe(Sample(3, 1), 20);
+  EXPECT_DOUBLE_EQ(monitor.violation_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.reelection_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("health.violation_rate")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("health.reelection_rate")->value(), 0.0);
+  // The next interval differences against the reset baseline normally.
+  monitor.Observe(Sample(10, 4), 30);
+  EXPECT_DOUBLE_EQ(monitor.violation_rate(), 7.0);
+  EXPECT_DOUBLE_EQ(monitor.reelection_rate(), 3.0);
+}
+
+}  // namespace
+}  // namespace snapq::obs

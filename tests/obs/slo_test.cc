@@ -1,0 +1,185 @@
+// The SLO rule grammar and the watchdog's breach semantics: sustain
+// windows, once-per-episode firing with re-arm on recovery, the journal
+// breach event and the blackbox callback hook.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/metric_registry.h"
+#include "obs/timeseries.h"
+
+namespace snapq::obs {
+namespace {
+
+TEST(SloRuleTest, ParsesTheCanonicalGrammar) {
+  std::optional<SloRule> rule =
+      SloRule::Parse("health.coverage value >= 0.9 for 500");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->metric, "health.coverage");
+  EXPECT_EQ(rule->stat, SloRule::Stat::kValue);
+  EXPECT_EQ(rule->op, SloRule::Op::kGe);
+  EXPECT_DOUBLE_EQ(rule->threshold, 0.9);
+  EXPECT_EQ(rule->for_ticks, 500);
+  // ToString round-trips through Parse.
+  std::optional<SloRule> again = SloRule::Parse(rule->ToString());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->ToString(), rule->ToString());
+
+  rule = SloRule::Parse("proc.rss_kb slope <= 1.5");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->stat, SloRule::Stat::kSlope);
+  EXPECT_EQ(rule->op, SloRule::Op::kLe);
+  EXPECT_EQ(rule->for_ticks, 0);
+
+  rule = SloRule::Parse("  x  EWMA  <=  -2  for  7  ");  // spacing + case
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->stat, SloRule::Stat::kEwma);
+  EXPECT_DOUBLE_EQ(rule->threshold, -2.0);
+}
+
+TEST(SloRuleTest, RejectsMalformedRules) {
+  const char* bad[] = {
+      "",
+      "metric",
+      "metric value",
+      "metric value >=",
+      "metric value >= abc",
+      "metric median >= 1",      // unknown stat
+      "metric value > 1",        // unsupported op
+      "metric value >= 1 for",   // missing ticks
+      "metric value >= 1 for -3",
+      "metric value >= 1 for 3 extra",
+      "metric value >= 1 whenever 3",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(SloRule::Parse(text).has_value()) << text;
+  }
+}
+
+class SloWatchdogTest : public ::testing::Test {
+ protected:
+  SloWatchdogTest() : recorder_({}, &registry_) {
+    gauge_ = registry_.GetGauge("g");
+    recorder_.TrackGauge("g");
+  }
+
+  void Sample(Time t, double value) {
+    gauge_->Set(value);
+    recorder_.SampleNow(t);
+  }
+
+  MetricRegistry registry_;
+  TelemetryRecorder recorder_;
+  Gauge* gauge_ = nullptr;
+};
+
+TEST_F(SloWatchdogTest, SustainWindowGatesTheBreach) {
+  SloWatchdog watchdog(&recorder_);
+  ASSERT_TRUE(watchdog.AddRule("g value >= 1 for 30"));
+
+  // A short dip inside the window is not an incident.
+  Sample(0, 2.0);
+  watchdog.Evaluate(0);
+  Sample(10, 0.5);
+  watchdog.Evaluate(10);
+  Sample(20, 0.5);
+  watchdog.Evaluate(20);
+  Sample(30, 2.0);  // recovered before 30 violating ticks
+  watchdog.Evaluate(30);
+  EXPECT_TRUE(watchdog.healthy());
+
+  // A sustained violation confirms exactly when the window elapses.
+  for (Time t = 40; t <= 80; t += 10) {
+    Sample(t, 0.5);
+    watchdog.Evaluate(t);
+  }
+  EXPECT_FALSE(watchdog.healthy());
+  ASSERT_EQ(watchdog.breaches().size(), 1u);
+  EXPECT_EQ(watchdog.breaches()[0].violated_since, 40);
+  EXPECT_EQ(watchdog.breaches()[0].confirmed_at, 70);  // 40 + 30
+  EXPECT_DOUBLE_EQ(watchdog.breaches()[0].observed, 0.5);
+}
+
+TEST_F(SloWatchdogTest, FiresOncePerEpisodeAndReArmsOnRecovery) {
+  SloWatchdog watchdog(&recorder_);
+  ASSERT_TRUE(watchdog.AddRule("g value >= 1 for 10"));
+
+  for (Time t = 0; t < 100; t += 5) {  // one long violating episode
+    Sample(t, 0.0);
+    watchdog.Evaluate(t);
+  }
+  EXPECT_EQ(watchdog.breaches().size(), 1u);
+
+  Sample(100, 5.0);  // recover: the rule re-arms
+  watchdog.Evaluate(100);
+  for (Time t = 105; t < 130; t += 5) {  // second episode
+    Sample(t, 0.0);
+    watchdog.Evaluate(t);
+  }
+  EXPECT_EQ(watchdog.breaches().size(), 2u);
+  EXPECT_EQ(watchdog.BreachesFor("g"), 2u);
+  EXPECT_EQ(watchdog.BreachesFor("other"), 0u);
+}
+
+TEST_F(SloWatchdogTest, EvaluatesEwmaAndSlopeStats) {
+  SloWatchdog watchdog(&recorder_);
+  ASSERT_TRUE(watchdog.AddRule("g ewma <= 10"));
+  ASSERT_TRUE(watchdog.AddRule("g slope <= 0.5"));
+
+  // A steeply growing series violates both: the ewma climbs past 10 and
+  // the slope is ~2 per tick.
+  for (Time t = 0; t < 200; ++t) {
+    Sample(t, 2.0 * static_cast<double>(t));
+    watchdog.Evaluate(t);
+  }
+  EXPECT_EQ(watchdog.breaches().size(), 2u);
+}
+
+TEST_F(SloWatchdogTest, UnknownMetricNeverFires) {
+  SloWatchdog watchdog(&recorder_);
+  ASSERT_TRUE(watchdog.AddRule("never.tracked value >= 1"));
+  Sample(0, 0.0);
+  watchdog.Evaluate(0);
+  EXPECT_TRUE(watchdog.healthy());
+  EXPECT_NE(watchdog.ToString().find("NO DATA"), std::string::npos);
+}
+
+TEST_F(SloWatchdogTest, RejectsMalformedRuleText) {
+  SloWatchdog watchdog(&recorder_);
+  EXPECT_FALSE(watchdog.AddRule("g wibble >= 1"));
+  EXPECT_EQ(watchdog.num_rules(), 0u);
+}
+
+TEST_F(SloWatchdogTest, BreachEmitsJournalEventAndCallback) {
+  EventJournal journal;
+  auto* sink = static_cast<MemoryJournalSink*>(
+      journal.SetSink(std::make_unique<MemoryJournalSink>()));
+  SloWatchdog watchdog(&recorder_, &journal);
+  ASSERT_TRUE(watchdog.AddRule("g value >= 1 for 5"));
+  std::vector<SloBreach> seen;
+  watchdog.SetBreachCallback(
+      [&seen](const SloBreach& b) { seen.push_back(b); });
+
+  for (Time t = 0; t < 20; ++t) {
+    Sample(t, 0.0);
+    watchdog.Evaluate(t);
+  }
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].confirmed_at, 5);
+
+  ASSERT_EQ(sink->lines().size(), 1u);
+  std::optional<JournalEvent> event = JournalEvent::Parse(sink->lines()[0]);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->name(), "slo.breach");
+  EXPECT_EQ(event->GetStr("metric"), "g");
+  EXPECT_EQ(event->GetStr("stat"), "value");
+  EXPECT_EQ(event->GetInt("since"), 0);
+  EXPECT_EQ(event->GetNum("threshold"), 1.0);
+}
+
+}  // namespace
+}  // namespace snapq::obs

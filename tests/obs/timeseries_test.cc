@@ -1,0 +1,272 @@
+// The fixed-memory telemetry engine: ring wraparound must fold old
+// samples into history (never drop them — the retained-count invariant),
+// compaction must double the bin stride, trends (ewma/envelope/slope)
+// must survive downsampling, counter rates must clamp on reset, and the
+// timeline JSON the whole thing serializes to must stay well-formed.
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metric_registry.h"
+#include "obs/slo.h"
+#include "obs/timeline.h"
+
+namespace snapq::obs {
+namespace {
+
+TimeSeriesConfig SmallConfig(size_t raw, size_t hist) {
+  TimeSeriesConfig config;
+  config.raw_capacity = raw;
+  config.history_capacity = hist;
+  return config;
+}
+
+uint64_t RetainedCount(const TimeSeries& s) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < s.num_bins(); ++i) count += s.bin(i).count;
+  return count;
+}
+
+TEST(TimeSeriesTest, AggregatesTrackPushedValues) {
+  TimeSeries s(SmallConfig(8, 8));
+  s.Push(0, 2.0);
+  s.Push(1, 6.0);
+  s.Push(2, 4.0);
+  EXPECT_EQ(s.num_samples(), 3u);
+  EXPECT_DOUBLE_EQ(s.last(), 4.0);
+  EXPECT_EQ(s.last_time(), 2);
+  EXPECT_DOUBLE_EQ(s.min_seen(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max_seen(), 6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  // EWMA seeded at the first value, alpha 0.1.
+  EXPECT_NEAR(s.ewma(), 2.0 + 0.1 * 4.0 + 0.1 * (4.0 - 2.4), 1e-12);
+}
+
+TEST(TimeSeriesTest, WraparoundFoldsIntoHistoryKeepingEverySample) {
+  TimeSeries s(SmallConfig(4, 4));
+  for (Time t = 0; t < 100; ++t) {
+    s.Push(t, static_cast<double>(t));
+    // The count invariant holds after EVERY push: bins merge, never drop.
+    ASSERT_EQ(RetainedCount(s), s.num_samples()) << "at t=" << t;
+  }
+  EXPECT_EQ(s.num_samples(), 100u);
+  EXPECT_EQ(RetainedCount(s), 100u);
+  // Bins are in time order, oldest first, and span the full range.
+  EXPECT_EQ(s.retained_since(), 0);
+  Time prev_end = -1;
+  for (size_t i = 0; i < s.num_bins(); ++i) {
+    EXPECT_GT(s.bin(i).t_first, prev_end);
+    EXPECT_GE(s.bin(i).t_last, s.bin(i).t_first);
+    prev_end = s.bin(i).t_last;
+  }
+  EXPECT_EQ(prev_end, 99);
+}
+
+TEST(TimeSeriesTest, CompactionDoublesTheStride) {
+  TimeSeries s(SmallConfig(2, 2));
+  EXPECT_EQ(s.history_stride(), 1u);
+  // 2 raw + 2*1 history = 4 samples before the first compaction.
+  for (Time t = 0; t < 64; ++t) s.Push(t, 1.0);
+  EXPECT_GT(s.history_stride(), 1u);
+  // Stride only ever doubles.
+  const size_t stride = s.history_stride();
+  EXPECT_EQ(stride & (stride - 1), 0u) << "stride " << stride;
+  EXPECT_EQ(RetainedCount(s), 64u);
+}
+
+TEST(TimeSeriesTest, CadenceNotDividingCapacityKeepsInvariant) {
+  // 7 raw + 5 history with a cadence of 3 ticks: nothing lines up, the
+  // invariant must hold anyway.
+  TimeSeries s(SmallConfig(7, 5));
+  Time t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    s.Push(t, std::sin(0.1 * static_cast<double>(i)));
+    t += 3;
+    ASSERT_EQ(RetainedCount(s), s.num_samples()) << "at i=" << i;
+  }
+  EXPECT_EQ(s.num_samples(), 1000u);
+  EXPECT_LE(s.num_bins(), 12u);
+}
+
+TEST(TimeSeriesTest, HistoryDisabledDropsOldSamples) {
+  TimeSeries s(SmallConfig(4, 0));
+  for (Time t = 0; t < 10; ++t) s.Push(t, static_cast<double>(t));
+  EXPECT_EQ(s.num_samples(), 10u);
+  EXPECT_EQ(s.num_bins(), 4u);       // raw ring only
+  EXPECT_EQ(RetainedCount(s), 4u);   // invariant waived by config
+  EXPECT_EQ(s.retained_since(), 6);  // oldest retained sample
+}
+
+TEST(TimeSeriesTest, SlopeRecoversALinearTrend) {
+  TimeSeries s(SmallConfig(16, 16));
+  for (Time t = 0; t < 500; ++t) {
+    s.Push(t, 10.0 + 2.5 * static_cast<double>(t));
+  }
+  // Downsampled bins average a linear series symmetrically, so the
+  // least-squares slope comes back almost exactly.
+  EXPECT_NEAR(s.Slope(), 2.5, 0.01);
+
+  TimeSeries flat(SmallConfig(16, 16));
+  for (Time t = 0; t < 500; ++t) flat.Push(t, 7.0);
+  EXPECT_NEAR(flat.Slope(), 0.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, MergeFoldsSameShapeSeries) {
+  TimeSeries a(SmallConfig(4, 4));
+  TimeSeries b(SmallConfig(4, 4));
+  for (Time t = 0; t < 50; ++t) {
+    a.Push(t, 1.0);
+    b.Push(t, 3.0);
+  }
+  ASSERT_TRUE(a.MergeFrom(b));
+  EXPECT_EQ(a.num_samples(), 100u);
+  EXPECT_EQ(RetainedCount(a), 100u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min_seen(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 3.0);
+  // Equal sample counts fold ewma/last as the midpoint.
+  EXPECT_DOUBLE_EQ(a.last(), 2.0);
+}
+
+TEST(TimeSeriesTest, MergeRejectsShapeMismatchAndLeavesTargetUntouched) {
+  TimeSeries a(SmallConfig(4, 4));
+  TimeSeries b(SmallConfig(4, 4));
+  for (Time t = 0; t < 50; ++t) a.Push(t, 1.0);
+  for (Time t = 0; t < 10; ++t) b.Push(t, 9.0);  // different shape
+  EXPECT_FALSE(a.MergeFrom(b));
+  EXPECT_EQ(a.num_samples(), 50u);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 1.0);
+}
+
+TEST(TelemetryRecorderTest, SamplesGaugesCountersAndProbes) {
+  MetricRegistry registry;
+  Gauge* gauge = registry.GetGauge("g");
+  Counter* counter = registry.GetCounter("c");
+
+  TelemetryConfig config;
+  config.sample_interval = 10;
+  TelemetryRecorder rec(config, &registry);
+  rec.TrackGauge("g");
+  rec.TrackCounterRate("c");
+  double probe_value = 0.0;
+  rec.TrackProbe("p", [&probe_value] { return probe_value; });
+
+  gauge->Set(0.5);
+  counter->Inc(7);
+  probe_value = 42.0;
+  rec.SampleNow(10);
+  counter->Inc(3);
+  rec.SampleNow(20);
+
+  EXPECT_EQ(rec.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(rec.series("g")->last(), 0.5);
+  // Counter rates are per-interval deltas under "<name>.rate".
+  EXPECT_EQ(rec.series("c"), nullptr);
+  ASSERT_NE(rec.series("c.rate"), nullptr);
+  EXPECT_DOUBLE_EQ(rec.series("c.rate")->last(), 3.0);
+  EXPECT_DOUBLE_EQ(rec.series("c.rate")->min_seen(), 3.0);
+  EXPECT_DOUBLE_EQ(rec.series("c.rate")->max_seen(), 7.0);
+  EXPECT_DOUBLE_EQ(rec.series("p")->last(), 42.0);
+}
+
+TEST(TelemetryRecorderTest, CounterResetClampsToZeroRate) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  TelemetryRecorder rec({}, &registry);
+  rec.TrackCounterRate("c");
+
+  counter->Inc(100);
+  rec.SampleNow(10);
+  counter->Reset();  // warm restart
+  counter->Inc(5);
+  rec.SampleNow(20);
+  // 5 < 100: the delta would underflow; it must clamp to 0, not 2^64-95.
+  EXPECT_DOUBLE_EQ(rec.series("c.rate")->last(), 0.0);
+  rec.SampleNow(30);
+  EXPECT_DOUBLE_EQ(rec.series("c.rate")->last(), 0.0);
+  counter->Inc(4);
+  rec.SampleNow(40);
+  EXPECT_DOUBLE_EQ(rec.series("c.rate")->last(), 4.0);
+}
+
+TEST(TelemetryRecorderTest, DisabledRecorderSamplesNothing) {
+  MetricRegistry registry;
+  TelemetryRecorder rec({}, &registry);
+  rec.TrackGauge("g");
+  rec.set_enabled(false);
+  rec.SampleNow(10);
+  EXPECT_EQ(rec.num_samples(), 0u);
+  EXPECT_EQ(rec.series("g")->num_samples(), 0u);
+}
+
+TEST(TelemetryRecorderTest, TrackingTwiceReturnsTheSameSeries) {
+  MetricRegistry registry;
+  TelemetryRecorder rec({}, &registry);
+  TimeSeries* first = rec.TrackGauge("g");
+  EXPECT_EQ(rec.TrackGauge("g"), first);
+  EXPECT_EQ(rec.num_series(), 1u);
+}
+
+TEST(TelemetryRecorderTest, RssSeriesReportsAPlausibleResidentSet) {
+  MetricRegistry registry;
+  TelemetryRecorder rec({}, &registry);
+  rec.TrackRss();
+  rec.SampleNow(1);
+  // Any live process is resident somewhere between 1 MB and 100 GB.
+  EXPECT_GT(rec.series("proc.rss_kb")->last(), 1024.0);
+  EXPECT_LT(rec.series("proc.rss_kb")->last(), 100.0 * 1024 * 1024);
+}
+
+TEST(TelemetryRecorderTest, MergeFoldsJobSplitRecorders) {
+  MetricRegistry ra, rb;
+  ra.GetGauge("g")->Set(1.0);
+  rb.GetGauge("g")->Set(5.0);
+  TelemetryRecorder a({}, &ra), b({}, &rb);
+  a.TrackGauge("g");
+  b.TrackGauge("g");
+  for (Time t = 0; t < 30; ++t) {
+    a.SampleNow(t);
+    b.SampleNow(t);
+  }
+  ASSERT_TRUE(a.MergeFrom(b));
+  EXPECT_DOUBLE_EQ(a.series("g")->mean(), 3.0);
+  EXPECT_EQ(a.series("g")->num_samples(), 60u);
+
+  // Mismatched probe sets refuse to merge.
+  TelemetryRecorder c({}, &ra);
+  c.TrackGauge("other");
+  EXPECT_FALSE(a.MergeFrom(c));
+}
+
+TEST(TimelineTest, TimelineJsonIsWellFormedAndCarriesTheSchema) {
+  MetricRegistry registry;
+  registry.GetGauge("g")->Set(2.0);
+  TelemetryRecorder rec({}, &registry);
+  rec.TrackGauge("g");
+  for (Time t = 0; t < 300; ++t) rec.SampleNow(t);
+
+  SloWatchdog watchdog(&rec);
+  watchdog.AddRule("g value >= 10 for 5");  // will breach
+  for (Time t = 300; t < 320; ++t) watchdog.Evaluate(t);
+
+  TimelineMeta meta;
+  meta.benchmark = "unit \"test\"";  // escaping must hold
+  meta.horizon = 320;
+  const std::string json = TimelineToJson(rec, &watchdog, meta);
+  EXPECT_TRUE(ValidateJson(json)) << json;
+  EXPECT_NE(json.find("\"kind\": \"snapq-timeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\": \"breach\""), std::string::npos);
+
+  // Without a watchdog the document still validates with a pass verdict.
+  const std::string bare = TimelineToJson(rec, nullptr, meta);
+  EXPECT_TRUE(ValidateJson(bare)) << bare;
+  EXPECT_NE(bare.find("\"verdict\": \"pass\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapq::obs

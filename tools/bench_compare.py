@@ -9,8 +9,10 @@ Two modes:
   bench_compare.py BASELINE.json CURRENT.json [--warn-only] [tolerances]
       schema-check both, then compare per-benchmark wall time, throughput
       and peak RSS against percentage tolerances. Each wall line carries
-      the baseline/current speedup factor. Exits 1 on regression unless
-      --warn-only; schema violations always exit 2.
+      the baseline/current speedup factor; wall and peak-RSS changes past
+      the tolerance in the good direction print as "[improved]" notes.
+      Exits 1 on regression unless --warn-only; schema violations always
+      exit 2.
 
 With --fail-on-regression, counter mismatches are regressions instead of
 notes: the hot-op counters are fully seeded, so two reports of the same
@@ -149,9 +151,12 @@ def compare(base, cur, args):
                                    f"{old:.0f} -> {new:.0f} ({delta:+.1f}%)")
 
         delta = pct_change(b["peak_rss_kb"], c["peak_rss_kb"])
+        line = (f"{name}: peak RSS {b['peak_rss_kb']} -> "
+                f"{c['peak_rss_kb']} KB ({delta:+.1f}%)")
         if delta > args.rss_tol:
-            regressions.append(f"{name}: peak RSS {b['peak_rss_kb']} -> "
-                               f"{c['peak_rss_kb']} KB ({delta:+.1f}%)")
+            regressions.append(line)
+        elif delta < -args.rss_tol:
+            notes.append(line + " [improved]")
 
         for key, old in b["counters"].items():
             new = c["counters"].get(key)
