@@ -93,6 +93,11 @@ SNAPQ_BENCHMARK(longrun_soak,
       bench::SidecarPath(base.c_str(), ".blackbox.json");
   telemetry_config.blackbox_label = ctx.name;
   net.EnableTelemetry(telemetry_config);
+  // Ground-truth accuracy auditing rides the telemetry sampling: every
+  // sample sweeps the live representation state against actual readings,
+  // so the soak also proves the auditor itself stays memory-flat (the
+  // rss slope SLO below covers it) across a 50k-tick horizon.
+  net.EnableAccuracyAudit();
 
   // The sustain windows span several maintenance rounds, so a burst or a
   // death batch must go unrepaired for multiple updates to count as an

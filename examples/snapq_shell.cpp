@@ -79,6 +79,9 @@ void PrintHelp() {
       "  \\health               sample snapshot health (coverage, violation\n"
       "                        rate, spurious reps, model staleness), plus\n"
       "                        since-start trends and SLO rule status\n"
+      "  \\accuracy             ground-truth audit: per-node error table\n"
+      "                        (audited count, violations, mean/p95/max\n"
+      "                        |error|) and the violation-rate sparkline\n"
       "  \\timeline [substr]    sparkline every telemetry series (health,\n"
       "                        message rates, RSS), optionally filtered\n"
       "  \\trace [id]           list recorded causal traces, or show one\n"
@@ -169,6 +172,10 @@ int main(int argc, char** argv) {
   obs::TelemetryConfig telemetry_config;
   telemetry_config.sample_interval = 5;
   net.EnableTelemetry(telemetry_config);
+  // Ground-truth accuracy auditing: every query below is audited against
+  // the configured T, and each telemetry sample sweeps the representation
+  // state — \accuracy reads the result.
+  net.EnableAccuracyAudit();
   // Profile from the start too, so \profile covers the initial election
   // and every interactive query.
   obs::Profiler::Enable();
@@ -253,6 +260,13 @@ int main(int argc, char** argv) {
                     breaches, breaches == 1 ? "" : "es");
       });
       std::printf("%s", net.watchdog()->ToString().c_str());
+    } else if (line == "\\accuracy") {
+      net.SampleTelemetry();  // fresh sweep audit + telemetry sample
+      std::printf("%s", net.accuracy_auditor()->ToTable().c_str());
+      if (const obs::TimeSeries* s =
+              net.telemetry()->series("accuracy.violation_rate")) {
+        PrintSeriesLine("accuracy.violation_rate", *s);
+      }
     } else if (line.rfind("\\timeline", 0) == 0) {
       net.SampleTelemetry();
       const std::string filter(

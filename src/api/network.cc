@@ -151,6 +151,8 @@ obs::TelemetryRecorder& SensorNetwork::EnableTelemetry(
     flight_recorder_ = raw;
   }
 
+  if (auditor_ != nullptr) TrackAccuracySeries();
+
   watchdog_ = std::make_unique<obs::SloWatchdog>(telemetry_.get(),
                                                  &sim_->journal());
   watchdog_->SetBreachCallback([this](const obs::SloBreach& breach) {
@@ -168,6 +170,42 @@ obs::TelemetryRecorder& SensorNetwork::EnableTelemetry(
   return *telemetry_;
 }
 
+obs::AccuracyAuditor& SensorNetwork::EnableAccuracyAudit(
+    const obs::AccuracyAuditConfig& config) {
+  auditor_ = std::make_unique<obs::AccuracyAuditor>(
+      config, agents_.size(), &sim_->registry(), &sim_->journal());
+  if (telemetry_ != nullptr) TrackAccuracySeries();
+  return *auditor_;
+}
+
+void SensorNetwork::TrackAccuracySeries() {
+  telemetry_->TrackGauge("accuracy.violation_rate");
+  telemetry_->TrackGauge("accuracy.budget_burn");
+  telemetry_->TrackGauge("accuracy.max_abs_error");
+  telemetry_->TrackCounterRate("accuracy.violations");
+}
+
+void SensorNetwork::AuditSnapshotNow() {
+  if (auditor_ == nullptr) return;
+  // Sweep audit: judge every representation a live representative would
+  // answer with right now against the deployment's configured T — the
+  // sampled-tick complement of the per-query hook.
+  const SnapshotConfig& snap_config = config_.snapshot;
+  auditor_->BeginRound(obs::AuditSource::kSweep, /*origin=*/-1,
+                       snap_config.threshold, sim_->now());
+  for (const auto& agent : agents_) {
+    if (!sim_->alive(agent->id())) continue;  // dead reps cannot answer
+    for (const auto& [j, e] : agent->represents()) {
+      const std::optional<double> estimate = agent->EstimateFor(j);
+      if (!estimate.has_value()) continue;
+      const double truth = agents_[j]->measurement();
+      auditor_->ObserveEstimate(j, agent->id(), *estimate - truth,
+                                snap_config.metric.Distance(truth, *estimate));
+    }
+  }
+  auditor_->EndRound();
+}
+
 bool SensorNetwork::AddSloRule(std::string_view text) {
   if (watchdog_ == nullptr) return false;
   return watchdog_->AddRule(text);
@@ -176,6 +214,7 @@ bool SensorNetwork::AddSloRule(std::string_view text) {
 void SensorNetwork::SampleTelemetry() {
   SNAPQ_CHECK(telemetry_ != nullptr);
   SampleHealth();
+  AuditSnapshotNow();  // no-op unless EnableAccuracyAudit ran
   telemetry_->SampleNow(sim_->now());
   watchdog_->Evaluate(sim_->now());
 }
@@ -190,13 +229,22 @@ void SensorNetwork::ScheduleTelemetrySampling(Time first, Time horizon,
   }
 }
 
+ExecutionOptions SensorNetwork::WithAudit(
+    const ExecutionOptions& options) const {
+  ExecutionOptions audited = options;
+  if (audited.audit == nullptr) audited.audit = auditor_.get();
+  return audited;
+}
+
 Result<QueryResult> SensorNetwork::Query(const std::string& sql,
                                          const ExecutionOptions& options) {
+  if (auditor_ != nullptr) return executor_->ExecuteSql(sql, WithAudit(options));
   return executor_->ExecuteSql(sql, options);
 }
 
 Result<ExplainReport> SensorNetwork::Explain(const std::string& sql,
                                              const ExecutionOptions& options) {
+  if (auditor_ != nullptr) return ExplainSql(*executor_, sql, WithAudit(options));
   return ExplainSql(*executor_, sql, options);
 }
 
@@ -204,6 +252,10 @@ Result<int64_t> SensorNetwork::RunContinuousQuery(
     const std::string& sql, Time start,
     ContinuousQueryRunner::EpochCallback callback,
     const ExecutionOptions& options) {
+  if (auditor_ != nullptr) {
+    return continuous_->ScheduleSql(sql, start, WithAudit(options),
+                                    std::move(callback));
+  }
   return continuous_->ScheduleSql(sql, start, options, std::move(callback));
 }
 

@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "net/energy.h"
+#include "obs/accuracy.h"
 #include "obs/flight_recorder.h"
 #include "obs/health_monitor.h"
 #include "obs/slo.h"
@@ -137,6 +138,25 @@ class SensorNetwork {
   /// The journal-teeing flight recorder, or nullptr before EnableTelemetry.
   obs::FlightRecorder* flight_recorder() { return flight_recorder_; }
 
+  /// Enables ground-truth accuracy auditing: creates the auditor (owned;
+  /// gauges in sim().registry(), one `accuracy_audit` journal event per
+  /// round) and injects it into every subsequent Query/Explain/
+  /// RunContinuousQuery round. SampleTelemetry additionally sweeps the
+  /// current representation state (AuditSnapshotNow), so sampled ticks are
+  /// audited even between queries. When telemetry is enabled — before or
+  /// after this call — the accuracy gauges are tracked as time series and
+  /// the SLO grammar sees them (`accuracy.violation_rate value <= 0.05
+  /// for 10`). A second call replaces the auditor (histograms reset).
+  obs::AccuracyAuditor& EnableAccuracyAudit(
+      const obs::AccuracyAuditConfig& config = {});
+  /// The auditor, or nullptr when auditing was never enabled.
+  obs::AccuracyAuditor* accuracy_auditor() { return auditor_.get(); }
+
+  /// Audits every live representation entry against ground truth right now
+  /// (one kSweep round, judged against the deployment's configured T).
+  /// No-op when auditing is not enabled.
+  void AuditSnapshotNow();
+
   /// Parses and installs an SLO rule (`<metric> <stat> <op> <threshold>
   /// [for <ticks>]`). Returns false on malformed text or when telemetry is
   /// not enabled.
@@ -194,11 +214,19 @@ class SensorNetwork {
   std::unique_ptr<MaintenanceDriver> maintenance_;
   std::optional<Dataset> dataset_;
   obs::SnapshotHealthMonitor& EnsureHealthMonitor();
+  /// Tracks the accuracy gauges as telemetry series (idempotent — the
+  /// recorder dedupes by name); called from whichever of EnableTelemetry /
+  /// EnableAccuracyAudit runs second.
+  void TrackAccuracySeries();
+  /// Copies `options` with the auditor injected (when enabled and the
+  /// caller has not set a hook of their own).
+  ExecutionOptions WithAudit(const ExecutionOptions& options) const;
 
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::SnapshotHealthMonitor> monitor_;
   std::unique_ptr<obs::TelemetryRecorder> telemetry_;
   std::unique_ptr<obs::SloWatchdog> watchdog_;
+  std::unique_ptr<obs::AccuracyAuditor> auditor_;
   obs::FlightRecorder* flight_recorder_ = nullptr;  // owned by the journal
 };
 

@@ -76,10 +76,13 @@ std::optional<SloRule> SloRule::Parse(std::string_view text) {
     return std::nullopt;
   }
 
+  // ">" and "<" are accepted as aliases: thresholds are doubles, so the
+  // strict and non-strict forms are operationally indistinguishable and
+  // rule text pasted from dashboards should not bounce on the difference.
   const std::string_view op = NextToken(rest);
-  if (op == ">=") {
+  if (op == ">=" || op == ">") {
     rule.op = Op::kGe;
-  } else if (op == "<=") {
+  } else if (op == "<=" || op == "<") {
     rule.op = Op::kLe;
   } else {
     return std::nullopt;

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "obs/accuracy.h"
 #include "obs/profiler.h"
 #include "obs/span.h"
 #include "query/aggregation.h"
@@ -50,6 +51,15 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec,
   const Rect everywhere{-1e300, -1e300, 1e300, 1e300};
   Result<Rect> region = ResolveRegion(spec, catalog_, everywhere);
   if (!region.ok()) return region.status();
+  if (options.audit != nullptr && spec.snapshot_threshold.has_value() &&
+      !options.audit_threshold.has_value()) {
+    // Audited rounds must be judged against the query's effective T: carry
+    // the per-query USE SNAPSHOT ERROR override down to ExecuteRegion.
+    ExecutionOptions audited = options;
+    audited.audit_threshold = spec.snapshot_threshold;
+    return ExecuteRegion(*region, spec.use_snapshot, spec.TheAggregate(),
+                         audited);
+  }
   return ExecuteRegion(*region, spec.use_snapshot, spec.TheAggregate(),
                        options);
 }
@@ -199,6 +209,27 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
           ? 1.0
           : static_cast<double>(result.covered_nodes) /
                 static_cast<double>(result.matching_nodes);
+
+  if (options.audit != nullptr && use_snapshot) {
+    // Shadow ground-truth audit: judge every estimated claim against the
+    // represented node's true current reading under the deployment's error
+    // metric and the query's effective T. The auditor's observe path is
+    // allocation-free; a null hook costs the branch above and nothing else.
+    obs::AccuracyAuditor& audit = *options.audit;
+    const SnapshotConfig& snap_config = (*agents_)[0]->config();
+    const double threshold =
+        options.audit_threshold.value_or(snap_config.threshold);
+    audit.BeginRound(obs::AuditSource::kQuery,
+                     static_cast<int64_t>(options.sink), threshold,
+                     sim_->now());
+    for (const auto& [j, claim] : claims) {
+      if (!claim.estimated) continue;
+      const double truth = (*agents_)[j]->measurement();
+      audit.ObserveEstimate(j, claim.reporter, claim.value - truth,
+                            snap_config.metric.Distance(truth, claim.value));
+    }
+    audit.EndRound();
+  }
 
   sim_->journal().Emit("query.plan", sim_->now(), [&](obs::JournalEvent& e) {
     size_t estimated = 0;

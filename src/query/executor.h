@@ -32,6 +32,10 @@
 
 namespace snapq {
 
+namespace obs {
+class AccuracyAuditor;
+}  // namespace obs
+
 /// One returned row (drill-through queries).
 struct QueryRow {
   NodeId loc = kInvalidNode;   ///< the node whose measurement this is
@@ -131,6 +135,18 @@ struct ExecutionOptions {
   /// round's actual claims, routing depths and cost. Null (the default)
   /// costs one branch and no allocations.
   QueryProvenance* provenance = nullptr;
+  /// Accuracy-audit hook: when non-null, every snapshot round compares
+  /// each estimated claim against the represented node's true reading (the
+  /// simulator knows it) and feeds the residuals into the auditor. Same
+  /// discipline as the provenance hook: null (the default) costs one
+  /// branch and no heap allocations (see the audit allocation test) — and
+  /// the auditor's observe path is itself allocation-free, so enabling it
+  /// does not disturb the query path either.
+  obs::AccuracyAuditor* audit = nullptr;
+  /// The effective threshold audited estimates are judged against: the
+  /// per-query USE SNAPSHOT ERROR override when the caller filled it
+  /// (Execute and ExplainQuery do), else the agents' configured T.
+  std::optional<double> audit_threshold;
 };
 
 /// Executes queries against the agents' current state.

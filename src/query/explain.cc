@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "model/error_metric.h"
+#include "obs/accuracy.h"
 #include "obs/journal.h"
 #include "obs/metric_registry.h"
 #include "query/parser.h"
@@ -156,25 +157,51 @@ std::string ExplainReport::ToString() const {
 
   os << StrFormat("provenance (%zu matching nodes):\n", matching_nodes);
   {
-    TablePrinter t({"node", "reporter", "via", "epoch", "value", "error",
-                    "d(x,x^)", "<=T", "depth"});
+    // The audited columns (the auditor's ground-truth history per node)
+    // appear only when a round ran with accuracy auditing enabled, so
+    // un-audited reports keep their frozen layout.
+    const bool any_audit =
+        std::any_of(rows.begin(), rows.end(), [](const ExplainNodeRow& row) {
+          return row.audited_mean_error.has_value();
+        });
+    std::vector<std::string> header{"node",  "reporter", "via",
+                                    "epoch", "value",    "error",
+                                    "d(x,x^)", "<=T"};
+    if (any_audit) {
+      header.push_back("audit|e|");
+      header.push_back("audit n");
+    }
+    header.push_back("depth");
+    TablePrinter t(std::move(header));
     for (const ExplainNodeRow& row : rows) {
       if (!row.covered) {
+        // Uncovered rows stay sparse; TablePrinter pads short rows.
         t.AddRow({StrFormat("%zu", static_cast<size_t>(row.node)), "--",
-                  "uncovered", "", "", "", "", "", ""});
+                  "uncovered"});
         continue;
       }
-      t.AddRow({StrFormat("%zu", static_cast<size_t>(row.node)),
-                StrFormat("%zu", static_cast<size_t>(row.reporter)),
-                row.estimated ? "estimate" : "self",
-                StrFormat("%lld", static_cast<long long>(row.epoch)),
-                TablePrinter::Num(row.value, 2),
-                row.model_error.has_value()
-                    ? TablePrinter::Num(*row.model_error, 2)
-                    : std::string(),
-                TablePrinter::Num(row.model_distance, 3),
-                YesNo(row.within_threshold),
-                StrFormat("%d", row.depth)});
+      std::vector<std::string> cells{
+          StrFormat("%zu", static_cast<size_t>(row.node)),
+          StrFormat("%zu", static_cast<size_t>(row.reporter)),
+          row.estimated ? "estimate" : "self",
+          StrFormat("%lld", static_cast<long long>(row.epoch)),
+          TablePrinter::Num(row.value, 2),
+          row.model_error.has_value() ? TablePrinter::Num(*row.model_error, 2)
+                                      : std::string(),
+          TablePrinter::Num(row.model_distance, 3),
+          YesNo(row.within_threshold)};
+      if (any_audit) {
+        if (row.audited_mean_error.has_value()) {
+          cells.push_back(TablePrinter::Num(*row.audited_mean_error, 3));
+          cells.push_back(StrFormat(
+              "%llu", static_cast<unsigned long long>(row.audited_count)));
+        } else {
+          cells.push_back("");
+          cells.push_back("");
+        }
+      }
+      cells.push_back(StrFormat("%d", row.depth));
+      t.AddRow(std::move(cells));
     }
     t.Print(os);
   }
@@ -258,6 +285,9 @@ Result<ExplainReport> ExplainQuery(QueryExecutor& executor,
   if (report.analyze) {
     ExecutionOptions run_options = options;
     run_options.provenance = &actual;
+    // The audited round is judged against the same effective T the report
+    // displays (the per-query override when present).
+    run_options.audit_threshold = report.threshold;
     report.result = executor.ExecuteRegion(*region, spec.use_snapshot,
                                            spec.TheAggregate(), run_options);
     report.actual = CostFrom(actual);
@@ -267,6 +297,18 @@ Result<ExplainReport> ExplainQuery(QueryExecutor& executor,
   report.rows =
       BuildRows(agents, *region, sim.links(), *rows_source, config.metric,
                 report.threshold);
+
+  if (options.audit != nullptr) {
+    // Join the auditor's per-node ground-truth history onto the rows: the
+    // "audited actual error" column next to the model's claimed error.
+    // Under ANALYZE the execution above already audited this round.
+    for (ExplainNodeRow& row : report.rows) {
+      const obs::AuditNodeStats stats = options.audit->NodeStats(row.node);
+      if (stats.audited == 0) continue;
+      row.audited_count = stats.audited;
+      row.audited_mean_error = stats.mean_abs_error;
+    }
+  }
 
   if (report.analyze) {
     reg.GetCounter("explain.analyze.runs")->Inc();

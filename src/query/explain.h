@@ -58,6 +58,15 @@ struct ExplainNodeRow {
   bool within_threshold = true;
   /// Routing-tree depth of the reporter; -1 when uncovered/unreachable.
   int depth = -1;
+  /// Audited actual error, from the accuracy auditor's cumulative history
+  /// for this node (ExecutionOptions::audit): how far estimates for this
+  /// node have *actually* been from ground truth across every audited
+  /// round, next to the row's claimed error above. Absent when auditing
+  /// is off or the node was never audited. Under ANALYZE the round just
+  /// executed is included (the executor audits before the report is
+  /// built).
+  std::optional<double> audited_mean_error;
+  uint64_t audited_count = 0;
 };
 
 /// One side of the cost join (estimated at plan time / actual at run

@@ -1,0 +1,138 @@
+// The accuracy auditor's lossless invariant: with zero message loss and
+// benign stationary data, representative discovery guarantees every
+// estimate sits within its own threshold T — the auditor must therefore
+// report a violation rate of exactly 0 and every audited |x - x^| within
+// bound. This is the invariant CI's accuracy_audit gate enforces on real
+// workloads; here it is pinned end to end through SensorNetwork (query
+// hook injection, sweep audits, telemetry series) and through the §6.1
+// weather pipeline the bench driver runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "api/experiment.h"
+#include "api/network.h"
+#include "obs/accuracy.h"
+
+namespace snapq {
+namespace {
+
+/// A 4-node line network where every node reads 10+i and each pairwise
+/// linear model reproduces the neighbor's value with a constant `bias`
+/// (0 = exact models; after election, estimates are perfect).
+std::unique_ptr<SensorNetwork> MakeLineNetwork(double bias) {
+  NetworkConfig config;
+  config.num_nodes = 4;
+  config.transmission_range = 10.0;
+  config.snapshot.threshold = 1.0;
+  config.positions = {{0.1, 0.1}, {0.3, 0.1}, {0.5, 0.1}, {0.7, 0.1}};
+  auto net = std::make_unique<SensorNetwork>(config);
+  net->SetMeasurements({10.0, 11.0, 12.0, 13.0});
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const double vi = net->agent(i).measurement();
+      const double vj = net->agent(j).measurement() + bias;
+      net->agent(i).models().cache().Observe(j, vi - 1, vj - 1, 0);
+      net->agent(i).models().cache().Observe(j, vi + 1, vj + 1, 0);
+    }
+  }
+  net->RunElection(net->now());
+  return net;
+}
+
+std::unique_ptr<SensorNetwork> MakeExactNetwork() {
+  return MakeLineNetwork(0.0);
+}
+
+TEST(AccuracyInvariantTest, LosslessStationaryNetworkHasZeroViolations) {
+  std::unique_ptr<SensorNetwork> net = MakeExactNetwork();
+  obs::AccuracyAuditor& audit = net->EnableAccuracyAudit();
+
+  // The query path: the network injects the auditor into every round.
+  Result<QueryResult> result =
+      net->Query("SELECT avg(value) FROM sensors USE SNAPSHOT");
+  ASSERT_TRUE(result.ok());
+  // The sweep path: every live representation entry, audited in place.
+  net->AuditSnapshotNow();
+
+  ASSERT_GT(audit.audited_total(), 0u);  // something was actually estimated
+  EXPECT_EQ(audit.violations_total(), 0u);
+  EXPECT_DOUBLE_EQ(audit.violation_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(audit.budget_burn(), 0.0);
+  // Every audited |x - x^| within the effective bound: with exact models
+  // the residual is zero, well inside T = 1.
+  EXPECT_LE(audit.error_histogram().max_seen(),
+            net->config().snapshot.threshold);
+}
+
+TEST(AccuracyInvariantTest, PerQueryThresholdOverrideReachesTheAuditor) {
+  // Models are off by a constant 0.5, so every estimate sits at SSE
+  // distance 0.25 from ground truth: fine under the deployment T = 1,
+  // a violation under a per-query ERROR 0.1 override. The auditor must
+  // judge each round against ITS effective T.
+  std::unique_ptr<SensorNetwork> net = MakeLineNetwork(/*bias=*/0.5);
+  obs::AccuracyAuditor& audit = net->EnableAccuracyAudit();
+
+  ASSERT_TRUE(net->Query("SELECT avg(value) FROM sensors USE SNAPSHOT").ok());
+  ASSERT_GT(audit.audited_total(), 0u);
+  EXPECT_EQ(audit.violations_total(), 0u);  // 0.25 <= 1.0
+
+  const uint64_t audited_before = audit.audited_total();
+  ASSERT_TRUE(net->Query("SELECT avg(value) FROM sensors "
+                         "USE SNAPSHOT ERROR 0.1")
+                  .ok());
+  const uint64_t audited_in_round = audit.audited_total() - audited_before;
+  ASSERT_GT(audited_in_round, 0u);
+  // Every estimate in the overridden round violates its tightened bound.
+  EXPECT_EQ(audit.violations_total(), audited_in_round);
+}
+
+TEST(AccuracyInvariantTest, AccuracySeriesRideTelemetryWhicheverEnableOrder) {
+  std::unique_ptr<SensorNetwork> net = MakeExactNetwork();
+  net->EnableAccuracyAudit();
+  net->EnableTelemetry({});
+  net->SampleTelemetry();  // sweeps the audit, then samples the series
+  const obs::TimeSeries* series =
+      net->telemetry()->series("accuracy.violation_rate");
+  ASSERT_NE(series, nullptr);
+  EXPECT_DOUBLE_EQ(series->last(), 0.0);
+  ASSERT_NE(net->telemetry()->series("accuracy.budget_burn"), nullptr);
+
+  // The SLO grammar sees the auditor's gauges with no extra plumbing.
+  EXPECT_TRUE(net->AddSloRule("accuracy.violation_rate value <= 0.05 for 2"));
+
+  // Reverse order: telemetry first, auditing second.
+  std::unique_ptr<SensorNetwork> other = MakeExactNetwork();
+  other->EnableTelemetry({});
+  other->EnableAccuracyAudit();
+  other->SampleTelemetry();
+  EXPECT_NE(other->telemetry()->series("accuracy.violation_rate"), nullptr);
+}
+
+TEST(AccuracyInvariantTest, WeatherPipelineAtZeroLossStaysWithinBudget) {
+  // The exact run the bench driver gates on, one cell of it: §6.1 weather
+  // pipeline, zero loss, audited at discovery time while the data is
+  // frozen. Discovery only elects representations that honor T, so no
+  // estimate may violate.
+  SensitivityConfig config;
+  config.workload = WorkloadKind::kWeather;
+  config.threshold = 1.0;
+  config.loss_probability = 0.0;
+  config.seed = 7;
+  SensitivityOutcome outcome = RunSensitivityTrial(config);
+  SensorNetwork& net = *outcome.network;
+
+  obs::AccuracyAuditor& audit = net.EnableAccuracyAudit();
+  ASSERT_TRUE(net.Query("SELECT avg(value) FROM sensors USE SNAPSHOT").ok());
+  net.AuditSnapshotNow();
+
+  ASSERT_GT(audit.audited_total(), 0u);
+  EXPECT_EQ(audit.violations_total(), 0u);
+  EXPECT_DOUBLE_EQ(audit.violation_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace snapq

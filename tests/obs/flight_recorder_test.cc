@@ -64,6 +64,63 @@ TEST(FlightRecorderTest, SplicesInFrontOfAJournalSinkViaReplaceSink) {
   EXPECT_EQ(Retained(*rec), old_sink->lines());
 }
 
+TEST(FlightRecorderTest, DoubleSpliceTeesEachLineToTheOriginalSinkOnce) {
+  // Two recorders spliced in sequence (e.g. EnableTelemetry called while
+  // another tee is already installed) must chain, not fork: the newest
+  // ring sees the line first, forwards to the older ring, which forwards
+  // to the original sink — each line lands there exactly once.
+  EventJournal journal;
+  auto* original = static_cast<MemoryJournalSink*>(
+      journal.SetSink(std::make_unique<MemoryJournalSink>()));
+
+  auto first = std::make_unique<FlightRecorder>(8);
+  FlightRecorder* inner = first.get();
+  inner->SetForward(journal.ReplaceSink(std::move(first)));
+
+  auto second = std::make_unique<FlightRecorder>(8);
+  FlightRecorder* outer = second.get();
+  outer->SetForward(journal.ReplaceSink(std::move(second)));
+
+  for (int i = 0; i < 3; ++i) {
+    journal.Emit("e", i, [i](JournalEvent& e) { e.Int("k", i); });
+  }
+  EXPECT_EQ(outer->size(), 3u);
+  EXPECT_EQ(inner->size(), 3u);
+  ASSERT_EQ(original->lines().size(), 3u);  // once each, no duplication
+  EXPECT_EQ(Retained(*outer), original->lines());
+  EXPECT_EQ(Retained(*inner), original->lines());
+}
+
+TEST(FlightRecorderTest, TakeForwardTeardownRestoresTheOriginalSinkOnce) {
+  // Mid-run teardown: relinquish the recorder's forward sink and splice it
+  // back as the journal's sink. The original sink must come back exactly
+  // once (no line lost, none duplicated) and the recorder — destroyed by
+  // the ReplaceSink return value going out of scope — must stop seeing
+  // traffic. TakeForward evaluates fully before ReplaceSink destroys the
+  // recorder, so the unsplice is safe in one expression.
+  EventJournal journal;
+  auto* original = static_cast<MemoryJournalSink*>(
+      journal.SetSink(std::make_unique<MemoryJournalSink>()));
+
+  auto recorder = std::make_unique<FlightRecorder>(8);
+  FlightRecorder* rec = recorder.get();
+  rec->SetForward(journal.ReplaceSink(std::move(recorder)));
+
+  journal.Emit("e", 1, [](JournalEvent& e) { e.Int("k", 1); });
+  EXPECT_EQ(rec->size(), 1u);
+  EXPECT_EQ(original->lines().size(), 1u);
+
+  journal.ReplaceSink(rec->TakeForward());  // rec is dead past this point
+  EXPECT_TRUE(journal.enabled());
+
+  journal.Emit("e", 2, [](JournalEvent& e) { e.Int("k", 2); });
+  ASSERT_EQ(original->lines().size(), 2u);
+  std::optional<JournalEvent> event = JournalEvent::Parse(original->lines()[1]);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->name(), "e");
+  EXPECT_EQ(event->GetInt("k"), 2);
+}
+
 TEST(FlightRecorderTest, InstallingOnADisabledJournalEnablesIt) {
   EventJournal journal;
   EXPECT_FALSE(journal.enabled());

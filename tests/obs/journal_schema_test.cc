@@ -93,6 +93,16 @@ const std::map<std::string, Schema>& GoldenSchemas() {
         {"violation_rate", "num"},
         {"reelection_rate", "num"},
         {"staleness", "num"}}},
+      {"accuracy_audit",
+       {{"node", "int"},  // query sink, or -1 for a sweep round
+        {"source", "str"},
+        {"threshold", "num"},
+        {"audited", "int"},
+        {"violations", "int"},
+        {"max_abs_error", "num"},
+        {"mean_abs_error", "num"},
+        {"violation_rate", "num"},
+        {"budget_burn", "num"}}},
   };
   return golden;
 }
@@ -204,6 +214,7 @@ TEST(JournalSchemaTest, NetworkLifecycleEventsMatchGoldenSchemas) {
   net.ScheduleTrainingBroadcasts(0, 10);
   net.RunUntil(30);
   net.RunElection(30);
+  net.EnableAccuracyAudit();  // audits the query + explain rounds below
   ASSERT_TRUE(
       net.Query("SELECT avg(value) FROM sensors WHERE loc IN NORTH_HALF "
                 "USE SNAPSHOT")
@@ -220,7 +231,8 @@ TEST(JournalSchemaTest, NetworkLifecycleEventsMatchGoldenSchemas) {
   const std::set<std::string> seen = CheckLines(sink->lines());
   for (const char* required :
        {"election.start", "election.select", "election.mode", "election.done",
-        "query.plan", "query_explain", "maintenance.round", "health.sample"}) {
+        "query.plan", "query_explain", "maintenance.round", "health.sample",
+        "accuracy_audit"}) {
     EXPECT_TRUE(seen.count(required)) << "scenario never emitted " << required;
   }
 }

@@ -41,6 +41,22 @@ TEST(SloRuleTest, ParsesTheCanonicalGrammar) {
   EXPECT_DOUBLE_EQ(rule->threshold, -2.0);
 }
 
+TEST(SloRuleTest, StrictComparisonsAliasTheInclusiveOps) {
+  // Thresholds are doubles, so `>` and `<` are accepted as spellings of
+  // the inclusive ops — `accuracy.violation_rate value > 0.05 for 10`
+  // reads naturally even though the evaluation is >=.
+  std::optional<SloRule> rule =
+      SloRule::Parse("accuracy.violation_rate value > 0.05 for 10");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->op, SloRule::Op::kGe);
+  EXPECT_DOUBLE_EQ(rule->threshold, 0.05);
+  EXPECT_EQ(rule->for_ticks, 10);
+
+  rule = SloRule::Parse("accuracy.budget_burn ewma < 1");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->op, SloRule::Op::kLe);
+}
+
 TEST(SloRuleTest, RejectsMalformedRules) {
   const char* bad[] = {
       "",
@@ -49,7 +65,8 @@ TEST(SloRuleTest, RejectsMalformedRules) {
       "metric value >=",
       "metric value >= abc",
       "metric median >= 1",      // unknown stat
-      "metric value > 1",        // unsupported op
+      "metric value == 1",       // unsupported op
+      "metric value => 1",       // misspelled op
       "metric value >= 1 for",   // missing ticks
       "metric value >= 1 for -3",
       "metric value >= 1 for 3 extra",

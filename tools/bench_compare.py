@@ -108,9 +108,16 @@ def validate(report, path, min_benchmarks):
 
 
 def pct_change(old, new):
+    """Percentage change, or None when it is undefined (zero baseline,
+    nonzero current): the old float("inf") rendered as a bogus "+inf%"
+    and poisoned tolerance comparisons."""
     if old == 0:
-        return 0.0 if new == 0 else float("inf")
+        return 0.0 if new == 0 else None
     return 100.0 * (new - old) / old
+
+
+def fmt_delta(delta):
+    return "new: zero baseline" if delta is None else f"{delta:+.1f}%"
 
 
 def compare(base, cur, args):
@@ -135,8 +142,12 @@ def compare(base, cur, args):
         speedup = f", {old_wall / new_wall:.2f}x speedup" if new_wall > 0 \
             else ""
         line = (f"{name}: wall {old_wall:.1f} -> {new_wall:.1f} ms "
-                f"({delta:+.1f}%{speedup})")
-        if delta > args.wall_tol:
+                f"({fmt_delta(delta)}{speedup})")
+        if delta is None:
+            # A zero baseline cannot be compared against a tolerance; flag
+            # the measurement explicitly instead of failing on "+inf%".
+            notes.append(line)
+        elif delta > args.wall_tol:
             regressions.append(line)
         elif delta < -args.wall_tol:
             notes.append(line + " [improved]")
@@ -152,8 +163,10 @@ def compare(base, cur, args):
 
         delta = pct_change(b["peak_rss_kb"], c["peak_rss_kb"])
         line = (f"{name}: peak RSS {b['peak_rss_kb']} -> "
-                f"{c['peak_rss_kb']} KB ({delta:+.1f}%)")
-        if delta > args.rss_tol:
+                f"{c['peak_rss_kb']} KB ({fmt_delta(delta)})")
+        if delta is None:
+            notes.append(line)
+        elif delta > args.rss_tol:
             regressions.append(line)
         elif delta < -args.rss_tol:
             notes.append(line + " [improved]")

@@ -4,9 +4,12 @@
 Two modes:
 
   timeline_check.py --validate CURRENT.json [--require-pass] [--min-series N]
+                    [--json PATH]
       schema-check one sidecar (the soak-smoke CI job gates on this).
       --require-pass additionally fails (exit 1) when the SLO verdict is
-      "breach".
+      "breach". --json writes a machine-readable verdict object to PATH
+      ("-" for stdout) regardless of outcome — schema violations included —
+      so CI consumes one JSON document instead of scraping stdout.
 
   timeline_check.py BASELINE.json CURRENT.json [--tol PCT]
       schema-check both, then compare per-series all-time mean and max
@@ -180,19 +183,32 @@ def compare(base, cur, args):
     return regressions, notes
 
 
-def load(path, min_series):
+def load_lenient(path, min_series):
+    """Returns (doc_or_None, error_strings); never exits."""
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"error: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
-    errors = validate(doc, path, min_series)
+        return None, [f"cannot read {path}: {e}"]
+    return doc, validate(doc, path, min_series)
+
+
+def load(path, min_series):
+    doc, errors = load_lenient(path, min_series)
     if errors:
         for e in errors:
             print(f"schema error: {e}", file=sys.stderr)
         sys.exit(2)
     return doc
+
+
+def write_json_verdict(dest, payload):
+    text = json.dumps(payload, indent=2) + "\n"
+    if dest == "-":
+        sys.stdout.write(text)
+    else:
+        with open(dest, "w", encoding="utf-8") as f:
+            f.write(text)
 
 
 def main():
@@ -214,22 +230,46 @@ def main():
                         help="slope magnitude treated as flat")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0")
+    parser.add_argument("--json", metavar="PATH",
+                        help="with --validate, write a machine-readable "
+                             "verdict object to PATH ('-' for stdout)")
     args = parser.parse_args()
+
+    if args.json and not args.validate:
+        parser.error("--json requires --validate")
 
     if args.validate:
         if args.current:
             parser.error("--validate takes a single file")
-        doc = load(args.baseline, args.min_series)
-        verdict = doc["slo"]["verdict"]
-        print(f"{args.baseline}: valid (schema {SCHEMA_VERSION}, "
-              f"{len(doc['series'])} series, {doc['samples']} samples, "
-              f"slo {verdict})")
-        if args.require_pass and verdict != "pass":
-            for b in doc["slo"]["breaches"]:
-                print(f"SLO breach: {b['rule']} (observed "
-                      f"{b['observed']:.4g} at t={b['confirmed']})")
-            return 1
-        return 0
+        doc, errors = load_lenient(args.baseline, args.min_series)
+        for e in errors:
+            print(f"schema error: {e}", file=sys.stderr)
+        valid = not errors
+        verdict = doc["slo"]["verdict"] if valid else "invalid"
+        breaches = doc["slo"]["breaches"] if valid else []
+        if valid:
+            print(f"{args.baseline}: valid (schema {SCHEMA_VERSION}, "
+                  f"{len(doc['series'])} series, {doc['samples']} samples, "
+                  f"slo {verdict})")
+            if args.require_pass and verdict != "pass":
+                for b in breaches:
+                    print(f"SLO breach: {b['rule']} (observed "
+                          f"{b['observed']:.4g} at t={b['confirmed']})")
+        exit_code = 2 if not valid else (
+            1 if args.require_pass and verdict != "pass" else 0)
+        if args.json:
+            write_json_verdict(args.json, {
+                "file": args.baseline,
+                "valid": valid,
+                "schema_version": SCHEMA_VERSION,
+                "series": len(doc["series"]) if valid else 0,
+                "samples": doc["samples"] if valid else 0,
+                "verdict": verdict,
+                "breaches": breaches,
+                "errors": errors,
+                "exit_code": exit_code,
+            })
+        return exit_code
 
     if not args.current:
         parser.error("need BASELINE and CURRENT (or --validate)")
