@@ -14,6 +14,8 @@
 #include <string>
 
 #include "bench_registry.h"
+#include "bench_report.h"
+#include "obs/energy_ledger.h"
 #include "obs/metric_registry.h"
 #include "obs/perfetto_export.h"
 #include "obs/tracer.h"
@@ -122,6 +124,23 @@ inline void WriteTraceSidecar(const char* argv0, const obs::Tracer& tracer) {
               static_cast<unsigned long long>(tracer.num_traces()));
 }
 
+/// Writes an energy ledger snapshot as the schema-versioned
+/// `<basename(argv0)>.energymap.json` sidecar (node positions, per-cause
+/// joule breakdown, remaining charge, lifetime forecasts). Consumed by
+/// tools/energy_report.py — including the CI energy-savings gate.
+inline void WriteEnergyMapSidecar(const char* argv0,
+                                  const obs::EnergyLedgerSnapshot& snap,
+                                  const std::vector<Point>& positions,
+                                  const obs::EnergyMapMeta& meta) {
+  const std::string path = SidecarPath(argv0, ".energymap.json");
+  if (!WriteFileAtomic(path, obs::EnergyMapToJson(snap, positions, meta))) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf("energymap sidecar: %s (%zu nodes, %llu runs)\n", path.c_str(),
+              snap.num_nodes, static_cast<unsigned long long>(snap.runs));
+}
+
 /// RAII frame around one driver body: prints the standard header on entry
 /// and writes the metrics sidecar on exit (when the context asks for
 /// sidecars), replacing the PrintHeader/WriteMetricsSidecar pairs every
@@ -146,6 +165,24 @@ class Driver {
 
   void WriteTrace(const obs::Tracer& tracer) const {
     if (ctx_.write_sidecars) WriteTraceSidecar(SidecarBase().c_str(), tracer);
+  }
+
+  /// Writes the `.energymap.json` sidecar, stamping the benchmark name,
+  /// git sha and quick flag from the run context. `t` is the sim tick the
+  /// snapshot was taken at; `extras` carries driver-specific scalars
+  /// (AUCs, savings ratios) for the report tooling.
+  void WriteEnergyMap(
+      const obs::EnergyLedgerSnapshot& snap,
+      const std::vector<Point>& positions, Time t,
+      std::vector<std::pair<std::string, double>> extras) const {
+    if (!ctx_.write_sidecars) return;
+    obs::EnergyMapMeta meta;
+    meta.benchmark = ctx_.name;
+    meta.git_sha = GitSha();
+    meta.quick = ctx_.quick;
+    meta.t = t;
+    meta.extras = std::move(extras);
+    WriteEnergyMapSidecar(SidecarBase().c_str(), snap, positions, meta);
   }
 
  private:

@@ -50,7 +50,17 @@ struct LifetimeCurve {
 /// addition order regardless of --jobs.
 using LifetimeSamples = std::vector<std::vector<double>>;
 
-LifetimeSamples RunLifetime(bool use_snapshot, uint64_t seed, Time horizon) {
+/// Everything one lifetime run hands back to the driver: the coverage
+/// samples plus the run's energy ledger snapshot and node layout, so the
+/// driver can attribute the drain and write the spatial energy map.
+struct LifetimeRun {
+  LifetimeSamples samples;
+  obs::EnergyLedgerSnapshot energy;
+  std::vector<Point> positions;
+  Time end = 0;
+};
+
+LifetimeRun RunLifetime(bool use_snapshot, uint64_t seed, Time horizon) {
   NetworkConfig config;
   config.num_nodes = 100;
   config.transmission_range = 0.7;
@@ -70,6 +80,11 @@ LifetimeSamples RunLifetime(bool use_snapshot, uint64_t seed, Time horizon) {
       Dataset::Create(GenerateRandomWalk(walk, data_rng).series);
   SNAPQ_CHECK(dataset.ok());
   SNAPQ_CHECK(net.AttachDataset(std::move(*dataset)).ok());
+
+  // Attribute every joule of the run: tx/rx per message type, cache
+  // maintenance, and (in the snapshot run) the election/heartbeat
+  // machinery all land in distinct ledger cells.
+  obs::EnergyLedger& ledger = net.EnableEnergyLedger();
 
   if (use_snapshot) {
     // Election + maintenance only happen in the snapshot run; the regular
@@ -105,9 +120,22 @@ LifetimeSamples RunLifetime(bool use_snapshot, uint64_t seed, Time horizon) {
       samples[std::min<size_t>(bucket, kBuckets - 1)].push_back(
           result.coverage);
     }
+    // Per-tick gauge refresh feeds the min/median remaining-charge trend
+    // series the first-death / coverage-knee forecasts project from.
+    ledger.UpdateGauges(t);
   }
+  ledger.UpdateGauges(net.now());
   obs::MetricSink().MergeFrom(net.sim().registry());
-  return samples;
+
+  LifetimeRun run;
+  run.samples = std::move(samples);
+  run.energy = ledger.TakeSnapshot();
+  run.positions.reserve(config.num_nodes);
+  for (NodeId id = 0; id < static_cast<NodeId>(config.num_nodes); ++id) {
+    run.positions.push_back(net.position(id));
+  }
+  run.end = net.now();
+  return run;
 }
 
 }  // namespace
@@ -129,20 +157,27 @@ SNAPQ_BENCHMARK(fig10_network_lifetime,
   // Even task indices are the regular runs, odd the snapshot runs, both
   // ordered by seed — the same order the old serial loop used, so the
   // index-ordered reduction reproduces it exactly.
-  const auto per_run = exec::ParallelMap<LifetimeSamples>(
+  const auto per_run = exec::ParallelMap<LifetimeRun>(
       static_cast<size_t>(reps) * 2, ctx.jobs, [&](size_t i) {
         return RunLifetime(/*use_snapshot=*/(i % 2) == 1,
                            bench::kBaseSeed + static_cast<uint64_t>(i / 2),
                            horizon);
       });
   LifetimeCurve regular, snapshot;
+  RunningStats drained_regular, drained_snapshot, deaths_regular,
+      deaths_snapshot;
   for (size_t i = 0; i < per_run.size(); ++i) {
     LifetimeCurve& curve = (i % 2) == 1 ? snapshot : regular;
     for (size_t b = 0; b < static_cast<size_t>(kBuckets); ++b) {
-      for (double coverage : per_run[i][b]) {
+      for (double coverage : per_run[i].samples[b]) {
         curve.coverage[b].Add(coverage);
       }
     }
+    const obs::EnergyLedgerSnapshot& energy = per_run[i].energy;
+    ((i % 2) == 1 ? drained_snapshot : drained_regular)
+        .Add(energy.TotalDrained());
+    ((i % 2) == 1 ? deaths_snapshot : deaths_regular)
+        .Add(static_cast<double>(energy.TotalDeaths()));
   }
 
   TablePrinter table({"time", "regular coverage", "snapshot coverage"});
@@ -160,4 +195,27 @@ SNAPQ_BENCHMARK(fig10_network_lifetime,
   table.Print(std::cout);
   std::printf("\narea under curve: regular=%.2f snapshot=%.2f (of %d)\n",
               area_regular, area_snapshot, kBuckets);
+
+  // Energy attribution (rep 0): where the joules went and when the runs
+  // started losing nodes. The spatial map sidecar uses the snapshot run —
+  // it is the one with per-cause structure (election/maintenance vs
+  // query) worth mapping; per-node cells cannot be merged across seeds
+  // because each seed lays the nodes out differently.
+  const LifetimeRun& showcase = per_run[1];
+  std::printf("energy drained per run (mean J): regular=%.1f snapshot=%.1f\n",
+              drained_regular.mean(), drained_snapshot.mean());
+  std::printf("node deaths per run (mean):      regular=%.1f snapshot=%.1f\n",
+              deaths_regular.mean(), deaths_snapshot.mean());
+  if (showcase.energy.first_death_runs > 0) {
+    std::printf("snapshot rep 0 first death: tick %.0f\n",
+                showcase.energy.first_death_sum);
+  }
+  driver.WriteEnergyMap(
+      showcase.energy, showcase.positions, showcase.end,
+      {{"auc_regular", area_regular},
+       {"auc_snapshot", area_snapshot},
+       {"drained_mean_regular", drained_regular.mean()},
+       {"drained_mean_snapshot", drained_snapshot.mean()},
+       {"deaths_mean_regular", deaths_regular.mean()},
+       {"deaths_mean_snapshot", deaths_snapshot.mean()}});
 }

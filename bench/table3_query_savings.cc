@@ -10,9 +10,20 @@
 //   W^2=0.01   11%   29%        3%    7%
 //   W^2=0.1    38%   77%       16%   24%
 //   W^2=0.5    52%   91%       23%   49%
+//
+// Every query is charged to the energy ledger (charge_energy; the
+// sensitivity networks run an unlimited battery, so attribution changes
+// nothing behaviorally), which turns the participation savings into a
+// joules-per-answer figure and a spatial energy map. The per-cell savings
+// land in the `.energymap.json` extras, where tools/energy_report.py
+// gates them against the committed baseline in CI.
 #include <cmath>
+#include <cstdio>
 #include <iostream>
 #include <limits>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "api/experiment.h"
 #include "bench_util.h"
@@ -24,14 +35,36 @@ namespace {
 
 using namespace snapq;
 
-/// Average savings of snapshot over regular execution, for one Table-3
-/// cell, over `repetitions` independently elected networks. Repetitions
-/// run in parallel; a rep with no regular participants (possible only in
-/// degenerate quick runs) yields NaN and is skipped in the seed-order fold.
-double SavingsFor(size_t num_classes, double range, double w_squared,
-                  int repetitions, uint64_t base_seed, int queries,
-                  int jobs) {
-  const auto samples = exec::ParallelMap<double>(
+/// One repetition's outcome: the savings ratio plus the ledger's joule
+/// attribution of the query workload. The energy snapshot and layout ride
+/// along so the driver can write the spatial map from the showcase rep.
+struct RepOutcome {
+  double savings = std::numeric_limits<double>::quiet_NaN();
+  double regular_joules = 0.0;
+  double snapshot_joules = 0.0;
+  obs::EnergyLedgerSnapshot energy;
+  std::vector<Point> positions;
+  Time end = 0;
+};
+
+/// Seed-order fold of one Table-3 cell.
+struct CellResult {
+  double savings = 0.0;
+  double regular_joules_per_query = 0.0;
+  double snapshot_joules_per_query = 0.0;
+  /// Rep 0's full outcome, for the sidecar.
+  RepOutcome showcase;
+};
+
+/// Average savings (and ledger-attributed joules) of snapshot over regular
+/// execution for one Table-3 cell, over `repetitions` independently
+/// elected networks. Repetitions run in parallel; a rep with no regular
+/// participants (possible only in degenerate quick runs) yields NaN and is
+/// skipped in the seed-order fold.
+CellResult CellFor(size_t num_classes, double range, double w_squared,
+                   int repetitions, uint64_t base_seed, int queries,
+                   int jobs) {
+  auto reps = exec::ParallelMap<RepOutcome>(
       static_cast<size_t>(repetitions), jobs, [&](size_t r) {
         SensitivityConfig config;
         config.num_classes = num_classes;
@@ -39,37 +72,72 @@ double SavingsFor(size_t num_classes, double range, double w_squared,
         config.seed = base_seed + r;
         SensitivityOutcome outcome = RunSensitivityTrial(config);
         SensorNetwork& net = *outcome.network;
+        // Attached after the trial's election, so the ledger sees exactly
+        // the query workload below (the battery is unlimited — attribution
+        // is pure bookkeeping here).
+        obs::EnergyLedger& ledger = net.EnableEnergyLedger();
 
         Rng rng(config.seed ^ 0x51AB5EEDULL);
         const double w = std::sqrt(w_squared);
         uint64_t regular_total = 0;
         uint64_t snapshot_total = 0;
+        RepOutcome rep;
         for (int q = 0; q < queries; ++q) {
           ExecutionOptions options;
           options.sink = static_cast<NodeId>(
               rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+          options.charge_energy = true;
           const Point center{rng.NextDouble(), rng.NextDouble()};
           const Rect region = Rect::CenteredSquare(center, w);
+          double mark = ledger.total_drained();
           const QueryResult regular = net.executor().ExecuteRegion(
               region, /*use_snapshot=*/false, AggregateFunction::kSum,
               options);
+          rep.regular_joules += ledger.total_drained() - mark;
+          mark = ledger.total_drained();
           const QueryResult snap = net.executor().ExecuteRegion(
               region, /*use_snapshot=*/true, AggregateFunction::kSum,
               options);
+          rep.snapshot_joules += ledger.total_drained() - mark;
           regular_total += regular.participants;
           snapshot_total += snap.participants;
         }
-        if (regular_total == 0) {
-          return std::numeric_limits<double>::quiet_NaN();
+        if (regular_total != 0) {
+          rep.savings = 1.0 - static_cast<double>(snapshot_total) /
+                                  static_cast<double>(regular_total);
         }
-        return 1.0 - static_cast<double>(snapshot_total) /
-                         static_cast<double>(regular_total);
+        rep.energy = ledger.TakeSnapshot();
+        rep.positions.reserve(net.num_nodes());
+        for (NodeId id = 0; id < static_cast<NodeId>(net.num_nodes()); ++id) {
+          rep.positions.push_back(net.position(id));
+        }
+        rep.end = net.now();
+        return rep;
       });
-  RunningStats savings;
-  for (double sample : samples) {
-    if (!std::isnan(sample)) savings.Add(sample);
+  RunningStats savings, regular_j, snapshot_j;
+  for (const RepOutcome& rep : reps) {
+    if (!std::isnan(rep.savings)) savings.Add(rep.savings);
+    if (queries > 0) {
+      regular_j.Add(rep.regular_joules / queries);
+      snapshot_j.Add(rep.snapshot_joules / queries);
+    }
   }
-  return savings.mean();
+  CellResult cell;
+  cell.savings = savings.mean();
+  cell.regular_joules_per_query = regular_j.mean();
+  cell.snapshot_joules_per_query = snapshot_j.mean();
+  cell.showcase = std::move(reps.front());
+  return cell;
+}
+
+/// Extras key for one cell's savings, e.g. "savings.k1.r07.w010"
+/// (range and W^2 scaled to two/three digits to stay dot-free).
+std::string SavingsKey(size_t k, double range, double w2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "savings.k%zu.r%02d.w%03d", k,
+                static_cast<int>(range * 10 + 0.5),
+                static_cast<int>(w2 * 100 + 0.5));
+  return buf;
 }
 
 }  // namespace
@@ -85,13 +153,19 @@ SNAPQ_BENCHMARK(table3_query_savings,
   const int queries = static_cast<int>(ctx.Scaled(200));
   TablePrinter table({"query range", "K=1 r=0.2", "K=1 r=0.7", "K=100 r=0.2",
                       "K=100 r=0.7"});
+  std::vector<std::pair<std::string, double>> extras;
+  RunningStats savings_all;
+  CellResult headline;  // K=1, r=0.7, W^2=0.1 — the paper's 77% cell
   for (double w2 : {0.01, 0.1, 0.5}) {
     std::vector<std::string> row = {"W^2 = " + TablePrinter::Num(w2, 2)};
     for (size_t k : {1u, 100u}) {
       for (double range : {0.2, 0.7}) {
-        const double s = SavingsFor(k, range, w2, ctx.repetitions,
-                                    bench::kBaseSeed, queries, ctx.jobs);
-        row.push_back(TablePrinter::Num(100.0 * s, 0) + "%");
+        CellResult cell = CellFor(k, range, w2, ctx.repetitions,
+                                  bench::kBaseSeed, queries, ctx.jobs);
+        row.push_back(TablePrinter::Num(100.0 * cell.savings, 0) + "%");
+        extras.emplace_back(SavingsKey(k, range, w2), cell.savings);
+        savings_all.Add(cell.savings);
+        if (k == 1 && range == 0.7 && w2 == 0.1) headline = std::move(cell);
       }
     }
     // Reorder: the loop above produced K1r02, K1r07, K100r02, K100r07 --
@@ -99,4 +173,17 @@ SNAPQ_BENCHMARK(table3_query_savings,
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
+
+  // Joules per answer, straight off the ledger, for the headline cell.
+  std::printf(
+      "\njoules per query (K=1, r=0.7, W^2=0.1): regular=%.2f "
+      "snapshot=%.2f\n",
+      headline.regular_joules_per_query, headline.snapshot_joules_per_query);
+  extras.emplace_back("savings_mean", savings_all.mean());
+  extras.emplace_back("joules_per_query_regular",
+                      headline.regular_joules_per_query);
+  extras.emplace_back("joules_per_query_snapshot",
+                      headline.snapshot_joules_per_query);
+  driver.WriteEnergyMap(headline.showcase.energy, headline.showcase.positions,
+                        headline.showcase.end, std::move(extras));
 }

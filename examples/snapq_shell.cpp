@@ -82,6 +82,9 @@ void PrintHelp() {
       "  \\accuracy             ground-truth audit: per-node error table\n"
       "                        (audited count, violations, mean/p95/max\n"
       "                        |error|) and the violation-rate sparkline\n"
+      "  \\energy               energy ledger: per-cause joule attribution,\n"
+      "                        remaining charge, deaths and lifetime\n"
+      "                        forecasts, plus the burn-rate sparkline\n"
       "  \\timeline [substr]    sparkline every telemetry series (health,\n"
       "                        message rates, RSS), optionally filtered\n"
       "  \\trace [id]           list recorded causal traces, or show one\n"
@@ -153,6 +156,10 @@ int main(int argc, char** argv) {
   config.num_nodes = data->num_nodes();
   config.snapshot.threshold = 1.0;
   config.seed = 42;
+  // The paper's finite battery (500 transmissions) so the energy ledger
+  // has real drains to attribute — the scripted bootstrap uses a small
+  // fraction of it, so interactive sessions never start with dead nodes.
+  config.energy = EnergyModel();
   SensorNetwork net(config);
   // The simulated deployment carries one reading per node; expose it under
   // the conventional measurement name too so `avg(temperature)` works.
@@ -176,6 +183,9 @@ int main(int argc, char** argv) {
   // the configured T, and each telemetry sample sweeps the representation
   // state — \accuracy reads the result.
   net.EnableAccuracyAudit();
+  // Per-joule drain attribution from tick 0 (\energy, and EXPLAIN ANALYZE
+  // gains its per-query joule breakdown).
+  net.EnableEnergyLedger();
   // Profile from the start too, so \profile covers the initial election
   // and every interactive query.
   obs::Profiler::Enable();
@@ -202,6 +212,11 @@ int main(int argc, char** argv) {
 
   std::string line;
   std::string last_query;  // last successful plain query, for \explain
+  // Interactive queries drain the (finite) batteries like any deployed
+  // workload would, so \energy attributes them and EXPLAIN ANALYZE's
+  // joule column reflects what the query actually cost.
+  ExecutionOptions exec_options;
+  exec_options.charge_energy = true;
   std::printf("snapq> ");
   std::fflush(stdout);
   while (std::getline(std::cin, line)) {
@@ -238,7 +253,7 @@ int main(int argc, char** argv) {
                     "then \\explain replays it as EXPLAIN ANALYZE.\n");
       } else {
         const Result<ExplainReport> report =
-            net.Explain("EXPLAIN ANALYZE " + last_query);
+            net.Explain("EXPLAIN ANALYZE " + last_query, exec_options);
         if (report.ok()) {
           std::printf("%s", report->ToString().c_str());
         } else {
@@ -266,6 +281,13 @@ int main(int argc, char** argv) {
       if (const obs::TimeSeries* s =
               net.telemetry()->series("accuracy.violation_rate")) {
         PrintSeriesLine("accuracy.violation_rate", *s);
+      }
+    } else if (line == "\\energy") {
+      net.SampleTelemetry();  // fresh gauges + forecast series
+      std::printf("%s", net.energy_ledger()->ToTable().c_str());
+      if (const obs::TimeSeries* s =
+              net.telemetry()->series("energy.burn_rate")) {
+        PrintSeriesLine("energy.burn_rate", *s);
       }
     } else if (line.rfind("\\timeline", 0) == 0) {
       net.SampleTelemetry();
@@ -333,14 +355,14 @@ int main(int argc, char** argv) {
                       net.sim().journal().events_emitted()),
                   events.size());
     } else if (EqualsIgnoreCase(FirstWord(line), "explain")) {
-      const Result<ExplainReport> report = net.Explain(line);
+      const Result<ExplainReport> report = net.Explain(line, exec_options);
       if (report.ok()) {
         std::printf("%s", report->ToString().c_str());
       } else {
         std::printf("error: %s\n", report.status().ToString().c_str());
       }
     } else if (!line.empty()) {
-      const Result<QueryResult> r = net.Query(line);
+      const Result<QueryResult> r = net.Query(line, exec_options);
       if (r.ok()) {
         PrintResult(*r);
         last_query = line;

@@ -152,6 +152,7 @@ obs::TelemetryRecorder& SensorNetwork::EnableTelemetry(
   }
 
   if (auditor_ != nullptr) TrackAccuracySeries();
+  if (energy_ledger_ != nullptr) TrackEnergySeries();
 
   watchdog_ = std::make_unique<obs::SloWatchdog>(telemetry_.get(),
                                                  &sim_->journal());
@@ -168,6 +169,29 @@ obs::TelemetryRecorder& SensorNetwork::EnableTelemetry(
     obs::WriteBlackbox(flight_recorder_, ctx, cfg.blackbox_path);
   });
   return *telemetry_;
+}
+
+obs::EnergyLedger& SensorNetwork::EnableEnergyLedger() {
+  energy_ledger_ = std::make_unique<obs::EnergyLedger>(
+      config_.energy, agents_.size(), &sim_->registry());
+  sim_->SetEnergyLedger(energy_ledger_.get());
+  if (telemetry_ != nullptr) TrackEnergySeries();
+  return *energy_ledger_;
+}
+
+void SensorNetwork::TrackEnergySeries() {
+  telemetry_->TrackGauge("energy.drained");
+  telemetry_->TrackGauge("energy.burn_rate");
+  telemetry_->TrackCounterRate("net.node_deaths");
+  // Remaining-charge and forecast gauges only exist for finite batteries
+  // (an unlimited model's would be infinite, and TrackGauge would create
+  // them in the registry just to serialize null into sidecars).
+  if (!energy_ledger_->unlimited()) {
+    telemetry_->TrackGauge("energy.remaining_total");
+    telemetry_->TrackGauge("energy.remaining_min");
+    telemetry_->TrackGauge("energy.first_death_tick");
+    telemetry_->TrackGauge("energy.coverage_knee_tick");
+  }
 }
 
 obs::AccuracyAuditor& SensorNetwork::EnableAccuracyAudit(
@@ -215,6 +239,7 @@ void SensorNetwork::SampleTelemetry() {
   SNAPQ_CHECK(telemetry_ != nullptr);
   SampleHealth();
   AuditSnapshotNow();  // no-op unless EnableAccuracyAudit ran
+  if (energy_ledger_ != nullptr) energy_ledger_->UpdateGauges(sim_->now());
   telemetry_->SampleNow(sim_->now());
   watchdog_->Evaluate(sim_->now());
 }

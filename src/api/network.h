@@ -138,6 +138,21 @@ class SensorNetwork {
   /// The journal-teeing flight recorder, or nullptr before EnableTelemetry.
   obs::FlightRecorder* flight_recorder() { return flight_recorder_; }
 
+  /// Enables per-joule energy accounting: creates the energy ledger
+  /// (owned; `energy.*` gauges in sim().registry()) and attaches it to the
+  /// simulator, so every subsequent battery drain is attributed by message
+  /// type, direction, cache/direct cause and causal trace-root kind.
+  /// Enable before running the simulation — the ledger mirrors each
+  /// battery from full charge. When telemetry is enabled (before or after
+  /// this call) the energy gauges are tracked as time series and the SLO
+  /// grammar sees them (`energy.burn_rate slope >= 0.5 for 10`); with an
+  /// unlimited battery the remaining-charge/forecast series are skipped
+  /// (they would be infinite and serialize as JSON null). A second call
+  /// replaces the ledger (accounting restarts from full charge).
+  obs::EnergyLedger& EnableEnergyLedger();
+  /// The ledger, or nullptr when energy accounting was never enabled.
+  obs::EnergyLedger* energy_ledger() { return energy_ledger_.get(); }
+
   /// Enables ground-truth accuracy auditing: creates the auditor (owned;
   /// gauges in sim().registry(), one `accuracy_audit` journal event per
   /// round) and injects it into every subsequent Query/Explain/
@@ -218,6 +233,11 @@ class SensorNetwork {
   /// recorder dedupes by name); called from whichever of EnableTelemetry /
   /// EnableAccuracyAudit runs second.
   void TrackAccuracySeries();
+  /// Tracks the energy gauges as telemetry series (idempotent); called
+  /// from whichever of EnableTelemetry / EnableEnergyLedger runs second.
+  /// Remaining-charge and forecast series are skipped for unlimited
+  /// batteries (satellite: no infinite gauges in timeline/blackbox JSON).
+  void TrackEnergySeries();
   /// Copies `options` with the auditor injected (when enabled and the
   /// caller has not set a hook of their own).
   ExecutionOptions WithAudit(const ExecutionOptions& options) const;
@@ -227,6 +247,7 @@ class SensorNetwork {
   std::unique_ptr<obs::TelemetryRecorder> telemetry_;
   std::unique_ptr<obs::SloWatchdog> watchdog_;
   std::unique_ptr<obs::AccuracyAuditor> auditor_;
+  std::unique_ptr<obs::EnergyLedger> energy_ledger_;
   obs::FlightRecorder* flight_recorder_ = nullptr;  // owned by the journal
 };
 

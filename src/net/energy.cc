@@ -2,14 +2,22 @@
 
 namespace snapq {
 
-bool Battery::Consume(double amount) {
-  if (remaining_ <= 0.0) return false;
-  if (amount > remaining_) {
+DrainOutcome Battery::Consume(double amount, double* applied) {
+  if (remaining_ <= 0.0) {
+    if (applied != nullptr) *applied = 0.0;
+    return DrainOutcome::kAlreadyDead;
+  }
+  if (amount >= remaining_) {
+    // Exactly draining the last unit is still a successful transmission
+    // (the node dies transmitting); an overdraft applies only what was
+    // left. Either way the battery is empty afterwards.
+    if (applied != nullptr) *applied = remaining_;
     remaining_ = 0.0;
-    return false;
+    return DrainOutcome::kDiedNow;
   }
   remaining_ -= amount;
-  return true;
+  if (applied != nullptr) *applied = amount;
+  return DrainOutcome::kOk;
 }
 
 }  // namespace snapq

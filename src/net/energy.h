@@ -5,6 +5,7 @@
 #ifndef SNAPQ_NET_ENERGY_H_
 #define SNAPQ_NET_ENERGY_H_
 
+#include <cstdint>
 #include <limits>
 
 namespace snapq {
@@ -27,6 +28,20 @@ struct EnergyModel {
     m.initial_battery = std::numeric_limits<double>::infinity();
     return m;
   }
+
+  /// True when the model never kills a node (infinite initial battery).
+  bool unlimited() const {
+    return initial_battery == std::numeric_limits<double>::infinity();
+  }
+};
+
+/// What one Battery::Consume call did. Distinguishing "this drain killed
+/// the node" from "the node was already dead" lets the charge sites emit
+/// node_death events exactly once per node.
+enum class DrainOutcome : uint8_t {
+  kOk = 0,       ///< charge applied, node still alive
+  kDiedNow,      ///< charge (or overdraft) applied and emptied the battery
+  kAlreadyDead,  ///< the node was dead before the call; nothing applied
 };
 
 /// Per-node battery with strict accounting: a drain either fits in the
@@ -36,9 +51,11 @@ class Battery {
   Battery() : remaining_(0.0) {}
   explicit Battery(double capacity) : remaining_(capacity) {}
 
-  /// Attempts to consume `amount`. Returns true when the node had enough
-  /// charge; otherwise the node is drained to zero and declared dead.
-  bool Consume(double amount);
+  /// Attempts to consume `amount`. When `applied` is non-null it receives
+  /// the charge actually drained: `amount` normally, the remaining charge
+  /// on an overdraft kill, 0 when the node was already dead — so a ledger
+  /// summing applied drains reproduces `initial - remaining()` exactly.
+  DrainOutcome Consume(double amount, double* applied = nullptr);
 
   bool alive() const { return remaining_ > 0.0; }
   double remaining() const { return remaining_; }

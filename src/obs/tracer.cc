@@ -133,6 +133,12 @@ const TraceSpan* Tracer::FindSpan(uint64_t span_id) const {
   return it == span_index_.end() ? nullptr : &spans_[it->second];
 }
 
+int Tracer::RootKindIndex(uint64_t trace_id) const {
+  const auto it = root_index_.find(trace_id);
+  if (it == root_index_.end()) return -1;
+  return static_cast<int>(spans_[it->second].root_kind);
+}
+
 std::vector<uint64_t> Tracer::TraceIds() const {
   std::vector<uint64_t> ids;
   ids.reserve(root_index_.size());

@@ -136,6 +136,12 @@ class Tracer {
   /// Spans of one trace, in recording order (empty for unknown ids).
   std::vector<const TraceSpan*> SpansOfTrace(uint64_t trace_id) const;
 
+  /// The TraceRootKind of `trace_id`'s root as an int index, or -1 when
+  /// the trace is unknown (unsampled, cleared, or foreign). One hash
+  /// lookup, no allocation — the energy ledger uses this to attribute
+  /// drains to their causal root kind on the simulator's charge sites.
+  int RootKindIndex(uint64_t trace_id) const;
+
   /// Traces minted so far (sampled roots only).
   uint64_t num_traces() const { return num_traces_; }
   /// Spans rejected by the max_spans budget.

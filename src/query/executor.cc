@@ -191,7 +191,9 @@ QueryResult QueryExecutor::ExecuteRegion(const Rect& region,
     const double tx = sim_->config().energy.tx_cost;
     for (NodeId i = 0; i < n; ++i) {
       if (!participates[i] || i == options.sink) continue;
-      sim_->Drain(i, tx);
+      // DrainAs lands the joules in the energy ledger's kQueryReply/tx
+      // cell, matching the CountSent attribution below.
+      sim_->DrainAs(i, tx, MessageType::kQueryReply);
       sim_->metrics().CountSent(MessageType::kQueryReply);
       reg.GetCounter("query.energy.tx", i)->Inc();
     }

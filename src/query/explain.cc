@@ -155,6 +155,18 @@ std::string ExplainReport::ToString() const {
     os << "\n";
   }
 
+  if (energy.has_value()) {
+    os << StrFormat("energy by cause (ledger): total %s J |",
+                    TablePrinter::Num(energy->total, 3).c_str());
+    for (size_t c = 0; c < obs::kNumEnergyCauses; ++c) {
+      if (energy->by_cause[c] == 0.0) continue;
+      os << StrFormat(
+          " %s=%s", obs::EnergyCauseName(static_cast<obs::EnergyCause>(c)),
+          TablePrinter::Num(energy->by_cause[c], 3).c_str());
+    }
+    os << "\n\n";
+  }
+
   os << StrFormat("provenance (%zu matching nodes):\n", matching_nodes);
   {
     // The audited columns (the auditor's ground-truth history per node)
@@ -288,8 +300,27 @@ Result<ExplainReport> ExplainQuery(QueryExecutor& executor,
     // The audited round is judged against the same effective T the report
     // displays (the per-query override when present).
     run_options.audit_threshold = report.threshold;
+    // With an energy ledger attached, bracket the execution with per-cause
+    // totals: the delta is this query's own drain — protocol messages it
+    // induced included, not just the executor's aggregate charge.
+    obs::EnergyLedger* ledger = sim.energy_ledger();
+    std::array<double, obs::kNumEnergyCauses> before{};
+    if (ledger != nullptr) {
+      for (size_t c = 0; c < obs::kNumEnergyCauses; ++c) {
+        before[c] = ledger->CauseJoules(static_cast<obs::EnergyCause>(c));
+      }
+    }
     report.result = executor.ExecuteRegion(*region, spec.use_snapshot,
                                            spec.TheAggregate(), run_options);
+    if (ledger != nullptr) {
+      ExplainEnergyBreakdown breakdown;
+      for (size_t c = 0; c < obs::kNumEnergyCauses; ++c) {
+        breakdown.by_cause[c] =
+            ledger->CauseJoules(static_cast<obs::EnergyCause>(c)) - before[c];
+        breakdown.total += breakdown.by_cause[c];
+      }
+      report.energy = breakdown;
+    }
     report.actual = CostFrom(actual);
     rows_source = &actual;
   }

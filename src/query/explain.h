@@ -22,6 +22,7 @@
 #ifndef SNAPQ_QUERY_EXPLAIN_H_
 #define SNAPQ_QUERY_EXPLAIN_H_
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -29,6 +30,7 @@
 
 #include "common/geometry.h"
 #include "common/status.h"
+#include "obs/energy_ledger.h"
 #include "query/ast.h"
 #include "query/executor.h"
 
@@ -80,6 +82,16 @@ struct ExplainCost {
   int tree_depth = -1;
 };
 
+/// Per-cause joule deltas captured around an ANALYZE execution, straight
+/// off the energy ledger (total and one slot per obs::EnergyCause).
+/// Present only when a ledger is attached to the simulator — this is the
+/// query's own drain, including every protocol message it induced, not
+/// just the executor's aggregate charge.
+struct ExplainEnergyBreakdown {
+  std::array<double, obs::kNumEnergyCauses> by_cause{};
+  double total = 0.0;
+};
+
 /// The full report. ToString() renders the shell's plan text.
 struct ExplainReport {
   /// The normalized query (no EXPLAIN prefix).
@@ -116,6 +128,9 @@ struct ExplainReport {
   ExplainCost estimated;
   /// Actuals captured during execution; ANALYZE only.
   std::optional<ExplainCost> actual;
+  /// Ledger joule deltas around the execution; ANALYZE with an energy
+  /// ledger attached only.
+  std::optional<ExplainEnergyBreakdown> energy;
   /// The query's answer; ANALYZE only.
   std::optional<QueryResult> result;
 

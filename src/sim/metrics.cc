@@ -41,6 +41,7 @@ void Metrics::BindInstruments() {
   total_delivered_ = registry_->GetCounter("net.delivered");
   total_lost_ = registry_->GetCounter("net.lost");
   cache_ops_ = registry_->GetCounter("net.cache_ops");
+  node_deaths_ = registry_->GetCounter("net.node_deaths");
 }
 
 MetricsSnapshot Metrics::Snapshot() const {
@@ -55,6 +56,7 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.total_delivered = total_delivered_->value();
   snap.total_lost = total_lost_->value();
   snap.cache_ops = cache_ops_->value();
+  snap.node_deaths = node_deaths_->value();
   return snap;
 }
 
@@ -70,6 +72,7 @@ MetricsSnapshot Metrics::Delta(const MetricsSnapshot& since) const {
   delta.total_delivered -= since.total_delivered;
   delta.total_lost -= since.total_lost;
   delta.cache_ops -= since.cache_ops;
+  delta.node_deaths -= since.node_deaths;
   return delta;
 }
 
@@ -84,6 +87,7 @@ void Metrics::Reset() {
   total_delivered_->Reset();
   total_lost_->Reset();
   cache_ops_->Reset();
+  node_deaths_->Reset();
 }
 
 std::string Metrics::ToString() const {

@@ -32,6 +32,7 @@ struct MetricsSnapshot {
   uint64_t total_delivered = 0;
   uint64_t total_lost = 0;
   uint64_t cache_ops = 0;
+  uint64_t node_deaths = 0;
 };
 
 /// Plain counters; reset between experiment phases via snapshots/deltas.
@@ -61,6 +62,7 @@ class Metrics {
   }
   void CountSnooped(MessageType type) { snooped_[Index(type)]->Inc(); }
   void CountCacheOp() { cache_ops_->Inc(); }
+  void CountNodeDeath() { node_deaths_->Inc(); }
 
   uint64_t sent(MessageType type) const {
     return sent_[Index(type)]->value();
@@ -79,6 +81,7 @@ class Metrics {
   uint64_t total_delivered() const { return total_delivered_->value(); }
   uint64_t total_lost() const { return total_lost_->value(); }
   uint64_t cache_ops() const { return cache_ops_->value(); }
+  uint64_t node_deaths() const { return node_deaths_->value(); }
 
   /// Captures every counter's current value.
   MetricsSnapshot Snapshot() const;
@@ -110,6 +113,7 @@ class Metrics {
   obs::Counter* total_delivered_ = nullptr;
   obs::Counter* total_lost_ = nullptr;
   obs::Counter* cache_ops_ = nullptr;
+  obs::Counter* node_deaths_ = nullptr;
 };
 
 }  // namespace snapq

@@ -58,12 +58,35 @@ TraceContext Simulator::MintTraceRoot(obs::TraceRootKind kind, NodeId node,
   return root.sampled() ? root : current_trace_;
 }
 
+int Simulator::RootSlotOf(const TraceContext& ctx) const {
+  if (tracer_ == nullptr || !tracer_->enabled() || !ctx.sampled()) return -1;
+  return tracer_->RootKindIndex(ctx.trace_id);
+}
+
+void Simulator::OnNodeDeath(NodeId id, const char* cause) {
+  metrics_.CountNodeDeath();
+  if (energy_ledger_ != nullptr) {
+    energy_ledger_->RecordDeath(id, queue_.now());
+  }
+  journal_.Emit("node_death", queue_.now(), [&](obs::JournalEvent& e) {
+    e.Int("node", static_cast<int64_t>(id)).Str("cause", cause);
+  });
+}
+
 bool Simulator::Send(const Message& msg) {
   const NodeId from = msg.from;
   SNAPQ_CHECK_LT(from, num_nodes());
   if (!batteries_[from].alive()) return false;
   // A node may die on its final transmission; the message still goes out.
-  batteries_[from].Consume(config_.energy.tx_cost);
+  double applied = 0.0;
+  const DrainOutcome drain =
+      batteries_[from].Consume(config_.energy.tx_cost, &applied);
+  if (energy_ledger_ != nullptr) {
+    energy_ledger_->RecordMessage(
+        from, msg.type, obs::EnergyDirection::kTx, applied,
+        RootSlotOf(msg.trace.sampled() ? msg.trace : current_trace_));
+  }
+  if (drain == DrainOutcome::kDiedNow) OnNodeDeath(from, "tx");
   obs::ProfCount(obs::HotOp::kMessagesSent);
   metrics_.CountSent(msg.type);
   ++sent_by_[from];
@@ -145,7 +168,16 @@ void Simulator::RunDelivery(DeliveryEvent* event) {
 
 void Simulator::Deliver(NodeId to, const Message& msg, bool snooped) {
   if (!batteries_[to].alive()) return;
-  batteries_[to].Consume(config_.energy.rx_cost);
+  double applied = 0.0;
+  const DrainOutcome drain =
+      batteries_[to].Consume(config_.energy.rx_cost, &applied);
+  if (energy_ledger_ != nullptr) {
+    energy_ledger_->RecordMessage(
+        to, msg.type,
+        snooped ? obs::EnergyDirection::kSnoop : obs::EnergyDirection::kRx,
+        applied, RootSlotOf(msg.trace));
+  }
+  if (drain == DrainOutcome::kDiedNow) OnNodeDeath(to, "rx");
   if (snooped) {
     obs::ProfCount(obs::HotOp::kMessagesSnooped);
     metrics_.CountSnooped(msg.type);
@@ -173,9 +205,45 @@ void Simulator::Deliver(NodeId to, const Message& msg, bool snooped) {
 
 void Simulator::ChargeCacheOp(NodeId id) {
   SNAPQ_CHECK_LT(id, num_nodes());
-  batteries_[id].Consume(config_.energy.cache_op_cost);
+  double applied = 0.0;
+  const DrainOutcome drain =
+      batteries_[id].Consume(config_.energy.cache_op_cost, &applied);
+  if (energy_ledger_ != nullptr) {
+    energy_ledger_->RecordCacheOp(id, applied, RootSlotOf(current_trace_));
+  }
+  if (drain == DrainOutcome::kDiedNow) OnNodeDeath(id, "cache");
   obs::ProfCount(obs::HotOp::kCacheOps);
   metrics_.CountCacheOp();
+}
+
+void Simulator::Drain(NodeId id, double amount) {
+  double applied = 0.0;
+  const DrainOutcome drain = batteries_[id].Consume(amount, &applied);
+  if (energy_ledger_ != nullptr) {
+    energy_ledger_->RecordDirect(id, applied, RootSlotOf(current_trace_));
+  }
+  if (drain == DrainOutcome::kDiedNow) OnNodeDeath(id, "drain");
+}
+
+void Simulator::DrainAs(NodeId id, double amount, MessageType as_type) {
+  double applied = 0.0;
+  const DrainOutcome drain = batteries_[id].Consume(amount, &applied);
+  if (energy_ledger_ != nullptr) {
+    energy_ledger_->RecordMessage(id, as_type, obs::EnergyDirection::kTx,
+                                  applied, RootSlotOf(current_trace_));
+  }
+  if (drain == DrainOutcome::kDiedNow) OnNodeDeath(id, "drain");
+}
+
+void Simulator::Kill(NodeId id) {
+  const bool was_alive = batteries_[id].alive();
+  const double discarded = batteries_[id].remaining();
+  batteries_[id].Kill();
+  if (!was_alive) return;
+  if (energy_ledger_ != nullptr) {
+    energy_ledger_->RecordKillDiscard(id, discarded);
+  }
+  OnNodeDeath(id, "killed");
 }
 
 void Simulator::ResetPerNodeCounters() {

@@ -24,6 +24,7 @@
 #include "net/message.h"
 #include "net/node_id.h"
 #include "net/trace_context.h"
+#include "obs/energy_ledger.h"
 #include "obs/journal.h"
 #include "obs/metric_registry.h"
 #include "obs/tracer.h"
@@ -79,12 +80,19 @@ class Simulator {
 
   /// Drains `amount` energy units from `id` directly (used by layers that
   /// account traffic in aggregate, e.g. the query executor's tree traffic).
-  void Drain(NodeId id, double amount) { batteries_[id].Consume(amount); }
+  void Drain(NodeId id, double amount);
+
+  /// Drains `amount` from `id`, attributed in the energy ledger as a
+  /// transmission of `as_type` (aggregate accounting that stands in for
+  /// real traffic — the query executor's per-reply tree hops).
+  void DrainAs(NodeId id, double amount, MessageType as_type);
 
   bool alive(NodeId id) const { return batteries_[id].alive(); }
   const Battery& battery(NodeId id) const { return batteries_[id]; }
-  /// Forced node failure (failure injection in tests/experiments).
-  void Kill(NodeId id) { batteries_[id].Kill(); }
+  /// Forced node failure (failure injection in tests/experiments). The
+  /// discarded charge is attributed to the ledger's "killed" cause so the
+  /// conservation invariant survives failure injection.
+  void Kill(NodeId id);
 
   /// Moves node `id` (mobility): subsequent transmissions use the new
   /// position's reachability.
@@ -139,6 +147,13 @@ class Simulator {
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() { return tracer_; }
 
+  /// Attaches an energy ledger (nullptr detaches). Not owned. With a
+  /// ledger attached every charge site reports its applied drain — typed
+  /// by message, direction and (when tracing) causal root kind; without
+  /// one each site pays a single null-pointer branch.
+  void SetEnergyLedger(obs::EnergyLedger* ledger) { energy_ledger_ = ledger; }
+  obs::EnergyLedger* energy_ledger() { return energy_ledger_; }
+
   /// True when a tracer is attached and its sampling is non-zero.
   bool tracing_enabled() const {
     return tracer_ != nullptr && tracer_->enabled();
@@ -192,6 +207,11 @@ class Simulator {
   };
 
   void Deliver(NodeId to, const Message& msg, bool snooped);
+  /// Ledger attribution slot of `ctx`'s trace root (-1 when untraced).
+  int RootSlotOf(const TraceContext& ctx) const;
+  /// Death bookkeeping shared by every charge site: net.node_deaths,
+  /// ledger death tick, and the frozen-schema node_death journal event.
+  void OnNodeDeath(NodeId id, const char* cause);
   /// Pops a pooled delivery record (allocating only when the pool is dry).
   DeliveryEvent* AcquireDelivery();
   /// Runs one pooled delivery and returns the record to the pool.
@@ -215,6 +235,7 @@ class Simulator {
   std::array<double, kNumMessageTypes> type_loss_{};
   TraceRecorder* trace_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::EnergyLedger* energy_ledger_ = nullptr;
   TraceContext current_trace_{};
 };
 

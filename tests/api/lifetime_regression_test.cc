@@ -1,0 +1,121 @@
+// Satellite regression pinning the paper's Figure 10 headline at library
+// level: under a finite battery and continuous random spatial queries,
+// snapshot queries outlive regular ones. The run is compressed from the
+// benchmark's 9,000 ticks by raising the query pressure (12 queries per
+// tick against the paper's 500-transmission battery) rather than by
+// shrinking the battery — a smaller battery would let the snapshot run's
+// fixed election cost dominate and invert the comparison. The shape is
+// the paper's: the regular network drains uniformly and collapses below
+// 20% coverage by the end of the run, while the snapshot network's area
+// under the coverage curve stays strictly larger. Deterministic seed —
+// this is a regression gate, not a statistics experiment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/network.h"
+#include "data/random_walk.h"
+#include "query/executor.h"
+
+namespace snapq {
+namespace {
+
+constexpr uint64_t kSeed = 3;
+constexpr Time kQueryStart = 90;
+constexpr Time kHorizon = 900;
+constexpr int kQueriesPerTick = 12;  // compresses 9,000 ticks into ~900
+// The maintenance cadence compresses with the time axis: the benchmark's
+// 100-tick rounds become ~10, or representatives would die between
+// rounds faster than the failover can replace them.
+constexpr Time kMaintenanceInterval = 10;
+
+struct LifetimeOutcome {
+  double auc = 0.0;             // mean coverage over every answered query
+  double final_coverage = 0.0;  // mean over the last sixth of the run
+  uint64_t deaths = 0;
+};
+
+LifetimeOutcome RunLifetime(bool use_snapshot) {
+  NetworkConfig config;
+  config.num_nodes = 100;
+  config.transmission_range = 0.7;
+  config.energy = EnergyModel();  // the paper's 500-transmission battery
+  config.snapshot.threshold = 1.0;
+  config.snapshot.heartbeat_miss_limit = 1;
+  config.seed = kSeed;
+  SensorNetwork net(config);
+
+  Rng data_rng = Rng(kSeed).SplitNamed("data");
+  RandomWalkConfig walk;
+  walk.num_nodes = 100;
+  walk.num_classes = 1;
+  walk.horizon = static_cast<size_t>(kHorizon) + 1;
+  Result<Dataset> dataset =
+      Dataset::Create(GenerateRandomWalk(walk, data_rng).series);
+  SNAPQ_CHECK(dataset.ok());
+  SNAPQ_CHECK(net.AttachDataset(std::move(*dataset)).ok());
+
+  if (use_snapshot) {
+    net.ScheduleTrainingBroadcasts(0, 10);
+    net.RunUntil(20);
+    net.RunElection(20);
+    net.ScheduleMaintenance(net.now() + kMaintenanceInterval, kHorizon,
+                            kMaintenanceInterval);
+  }
+
+  LifetimeOutcome outcome;
+  size_t answered = 0;
+  size_t final_answered = 0;
+  const Time final_window = kHorizon - (kHorizon - kQueryStart) / 6;
+  Rng query_rng = Rng(kSeed).SplitNamed("queries");
+  const double w = std::sqrt(0.1);
+  for (Time t = kQueryStart; t < kHorizon; ++t) {
+    net.RunUntil(t);
+    for (int q = 0; q < kQueriesPerTick; ++q) {
+      ExecutionOptions options;
+      NodeId sink = static_cast<NodeId>(query_rng.UniformInt(0, 99));
+      for (int tries = 0; tries < 200 && !net.sim().alive(sink); ++tries) {
+        sink = static_cast<NodeId>(query_rng.UniformInt(0, 99));
+      }
+      options.sink = sink;
+      options.charge_energy = true;
+      const Point center{query_rng.NextDouble(), query_rng.NextDouble()};
+      const QueryResult result = net.executor().ExecuteRegion(
+          Rect::CenteredSquare(center, w), use_snapshot,
+          AggregateFunction::kSum, options);
+      if (result.matching_nodes == 0) continue;
+      outcome.auc += result.coverage;
+      ++answered;
+      if (t >= final_window) {
+        outcome.final_coverage += result.coverage;
+        ++final_answered;
+      }
+    }
+  }
+  outcome.auc /= static_cast<double>(answered > 0 ? answered : 1);
+  outcome.final_coverage /=
+      static_cast<double>(final_answered > 0 ? final_answered : 1);
+  outcome.deaths = net.sim().metrics().node_deaths();
+  return outcome;
+}
+
+TEST(LifetimeRegressionTest, SnapshotQueriesOutliveRegularQueries) {
+  const LifetimeOutcome regular = RunLifetime(/*use_snapshot=*/false);
+  const LifetimeOutcome snapshot = RunLifetime(/*use_snapshot=*/true);
+
+  // Figure 10's headline: the snapshot network preserves strictly more
+  // coverage over the run than the regular network.
+  EXPECT_GT(snapshot.auc, regular.auc);
+
+  // The regular network's uniform drain collapses it by end-of-horizon
+  // (the paper's "falls under 20%" knee).
+  EXPECT_LT(regular.final_coverage, 0.2);
+  EXPECT_GT(regular.deaths, 0u);
+
+  // The compressed setup must still be a live comparison, not two dead
+  // networks: the snapshot run ends the horizon well above the knee.
+  EXPECT_GT(snapshot.final_coverage, regular.final_coverage);
+}
+
+}  // namespace
+}  // namespace snapq

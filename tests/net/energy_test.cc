@@ -18,37 +18,69 @@ TEST(BatteryTest, DefaultIsDead) {
 
 TEST(BatteryTest, ConsumeDecrements) {
   Battery b(10.0);
-  EXPECT_TRUE(b.Consume(3.0));
+  double applied = -1.0;
+  EXPECT_EQ(b.Consume(3.0, &applied), DrainOutcome::kOk);
+  EXPECT_DOUBLE_EQ(applied, 3.0);
   EXPECT_DOUBLE_EQ(b.remaining(), 7.0);
 }
 
 TEST(BatteryTest, ExactlyDrainingLastUnitSucceedsThenDead) {
-  // The paper's battery of "500 transmissions" allows exactly 500 sends.
+  // The paper's battery of "500 transmissions" allows exactly 500 sends:
+  // the final transmission applies in full (the node dies transmitting).
   Battery b(2.0);
-  EXPECT_TRUE(b.Consume(1.0));
-  EXPECT_TRUE(b.Consume(1.0));  // final transmission succeeds
+  double applied = -1.0;
+  EXPECT_EQ(b.Consume(1.0, &applied), DrainOutcome::kOk);
+  EXPECT_DOUBLE_EQ(applied, 1.0);
+  EXPECT_EQ(b.Consume(1.0, &applied), DrainOutcome::kDiedNow);
+  EXPECT_DOUBLE_EQ(applied, 1.0);  // the full cost was applied
   EXPECT_FALSE(b.alive());
-  EXPECT_FALSE(b.Consume(1.0));
+  EXPECT_EQ(b.Consume(1.0, &applied), DrainOutcome::kAlreadyDead);
+  EXPECT_DOUBLE_EQ(applied, 0.0);  // nothing left to drain
 }
 
-TEST(BatteryTest, OverdraftKillsWithoutSucceeding) {
+TEST(BatteryTest, OverdraftKillsAndAppliesOnlyTheRemainder) {
   Battery b(0.5);
-  EXPECT_FALSE(b.Consume(1.0));
+  double applied = -1.0;
+  EXPECT_EQ(b.Consume(1.0, &applied), DrainOutcome::kDiedNow);
+  EXPECT_DOUBLE_EQ(applied, 0.5);  // only the remaining charge drains
   EXPECT_FALSE(b.alive());
   EXPECT_DOUBLE_EQ(b.remaining(), 0.0);
+}
+
+TEST(BatteryTest, AppliedDrainsSumToCapacityExactly) {
+  // The out-param contract the energy ledger's conservation invariant
+  // rests on: summing `applied` across any drain sequence reproduces
+  // initial - remaining() exactly, overdrafts and dead calls included.
+  Battery b(2.5);
+  double total = 0.0;
+  double applied = 0.0;
+  b.Consume(1.0, &applied);
+  total += applied;
+  b.Consume(2.0, &applied);  // overdraft: applies only 1.5
+  total += applied;
+  b.Consume(1.0, &applied);  // already dead: applies 0
+  total += applied;
+  EXPECT_EQ(total, 2.5);  // bitwise, no epsilon
+  EXPECT_EQ(b.remaining(), 0.0);
+}
+
+TEST(BatteryTest, ConsumeWithoutOutParamStillWorks) {
+  Battery b(1.0);
+  EXPECT_EQ(b.Consume(0.25), DrainOutcome::kOk);
+  EXPECT_DOUBLE_EQ(b.remaining(), 0.75);
 }
 
 TEST(BatteryTest, KillForcesDeath) {
   Battery b(100.0);
   b.Kill();
   EXPECT_FALSE(b.alive());
-  EXPECT_FALSE(b.Consume(0.1));
+  EXPECT_EQ(b.Consume(0.1), DrainOutcome::kAlreadyDead);
 }
 
 TEST(BatteryTest, InfiniteCapacityNeverDies) {
   Battery b(EnergyModel::Unlimited().initial_battery);
   for (int i = 0; i < 10000; ++i) {
-    ASSERT_TRUE(b.Consume(1000.0));
+    ASSERT_EQ(b.Consume(1000.0), DrainOutcome::kOk);
   }
   EXPECT_TRUE(b.alive());
 }
@@ -58,11 +90,18 @@ TEST(EnergyModelTest, PaperDefaults) {
   EXPECT_DOUBLE_EQ(m.tx_cost, 1.0);
   EXPECT_DOUBLE_EQ(m.cache_op_cost, 0.1);  // one tenth of a transmission
   EXPECT_DOUBLE_EQ(m.initial_battery, 500.0);
+  EXPECT_FALSE(m.unlimited());
+}
+
+TEST(EnergyModelTest, UnlimitedIsDetected) {
+  EXPECT_TRUE(EnergyModel::Unlimited().unlimited());
 }
 
 TEST(BatteryTest, ZeroCostConsumeKeepsAlive) {
   Battery b(1.0);
-  EXPECT_TRUE(b.Consume(0.0));
+  double applied = -1.0;
+  EXPECT_EQ(b.Consume(0.0, &applied), DrainOutcome::kOk);
+  EXPECT_DOUBLE_EQ(applied, 0.0);
   EXPECT_TRUE(b.alive());
 }
 

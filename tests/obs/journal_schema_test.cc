@@ -93,6 +93,7 @@ const std::map<std::string, Schema>& GoldenSchemas() {
         {"violation_rate", "num"},
         {"reelection_rate", "num"},
         {"staleness", "num"}}},
+      {"node_death", {{"node", "int"}, {"cause", "str"}}},
       {"accuracy_audit",
        {{"node", "int"},  // query sink, or -1 for a sweep round
         {"source", "str"},
@@ -278,6 +279,22 @@ TEST(JournalSchemaTest, ViolationAndReelectionEventsMatchGoldenSchemas) {
   const std::set<std::string> seen = CheckLines(sink->lines());
   EXPECT_TRUE(seen.count("model.violation"));
   EXPECT_TRUE(seen.count("maintenance.reelect"));
+}
+
+TEST(JournalSchemaTest, NodeDeathEventMatchesGoldenSchema) {
+  SimConfig config;
+  config.energy.initial_battery = 1.5;  // dies on the second transmission
+  Simulator sim({{0.0, 0.0}, {1.0, 0.0}}, {2.0, 2.0}, config);
+  auto* sink = static_cast<obs::MemoryJournalSink*>(
+      sim.journal().SetSink(std::make_unique<obs::MemoryJournalSink>()));
+  Message msg;
+  msg.type = MessageType::kData;
+  msg.from = 0;
+  sim.Send(msg);
+  sim.Send(msg);
+  sim.RunAll();
+  const std::set<std::string> seen = CheckLines(sink->lines());
+  EXPECT_TRUE(seen.count("node_death"));
 }
 
 TEST(JournalSchemaTest, CacheEvictionEventMatchesGoldenSchema) {

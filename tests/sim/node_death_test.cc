@@ -1,0 +1,152 @@
+// Battery tri-state transitions (ok / died-now / already-dead) at every
+// simulator charge site. The paper's §6.2 rules pinned here: a node may
+// die on its final transmission, which still goes out; dead nodes neither
+// send nor receive; and each death is reported exactly once — as a
+// net.node_deaths count, a ledger death tick, and one frozen-schema
+// node_death journal event naming the charge site that killed the node.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/energy_ledger.h"
+#include "obs/journal.h"
+#include "sim/simulator.h"
+
+namespace snapq {
+namespace {
+
+Message DataMsg(NodeId from, NodeId to = kBroadcastId) {
+  Message m;
+  m.type = MessageType::kData;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+/// Two nodes in range; `battery` is the initial charge, `rx` the receive
+/// cost (the paper's default is 0 — receiving is free).
+Simulator MakePair(double battery, double rx = 0.0) {
+  SimConfig config;
+  config.energy.initial_battery = battery;
+  config.energy.rx_cost = rx;
+  return Simulator({{0.0, 0.0}, {1.0, 0.0}}, {2.0, 2.0}, config);
+}
+
+/// The `cause` field of every node_death event captured by `sink`.
+std::vector<std::string> DeathCauses(const obs::MemoryJournalSink& sink) {
+  std::vector<std::string> causes;
+  for (const std::string& line : sink.lines()) {
+    const auto event = obs::JournalEvent::Parse(line);
+    if (event.has_value() && event->name() == "node_death") {
+      causes.push_back(event->GetStr("cause").value_or("?"));
+    }
+  }
+  return causes;
+}
+
+TEST(NodeDeathTest, FinalTransmissionGoesOutAndKillsTheSender) {
+  Simulator sim = MakePair(/*battery=*/1.0);
+  int received = 0;
+  sim.SetHandler(1, [&](const Message&, bool) { ++received; });
+
+  EXPECT_TRUE(sim.Send(DataMsg(0)));  // exact overdraft: dies transmitting
+  sim.RunAll();
+  EXPECT_EQ(received, 1);  // the dying transmission was delivered
+  EXPECT_FALSE(sim.alive(0));
+  EXPECT_EQ(sim.battery(0).remaining(), 0.0);
+  EXPECT_EQ(sim.metrics().node_deaths(), 1u);
+
+  EXPECT_FALSE(sim.Send(DataMsg(0)));  // dead nodes cannot send
+  sim.RunAll();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(sim.metrics().node_deaths(), 1u);  // reported exactly once
+}
+
+TEST(NodeDeathTest, ReceiveChargeCanKillAndDeadNodesStopReceiving) {
+  // rx costs 1.5x a transmission so the receiver dies first: node 1 is
+  // spent after three receptions (3 x 1.5 = 4.5), while four sends only
+  // cost node 0 4.0 of its 4.5.
+  Simulator sim = MakePair(/*battery=*/4.5, /*rx=*/1.5);
+  int received = 0;
+  sim.SetHandler(1, [&](const Message&, bool) { ++received; });
+
+  sim.Send(DataMsg(0, /*to=*/1));
+  sim.Send(DataMsg(0, /*to=*/1));
+  sim.RunAll();
+  EXPECT_EQ(received, 2);
+  EXPECT_TRUE(sim.alive(1));
+
+  sim.Send(DataMsg(0, /*to=*/1));  // third rx spends the battery: dies
+  sim.RunAll();
+  EXPECT_EQ(received, 3);  // the killing delivery is still handled
+  EXPECT_FALSE(sim.alive(1));
+  EXPECT_EQ(sim.metrics().node_deaths(), 1u);
+
+  sim.Send(DataMsg(0, /*to=*/1));  // dead nodes cannot receive
+  sim.RunAll();
+  EXPECT_EQ(received, 3);
+  EXPECT_TRUE(sim.alive(0));  // the sender outlives all four sends
+  EXPECT_EQ(sim.metrics().node_deaths(), 1u);
+}
+
+TEST(NodeDeathTest, CacheOpChargeCanKill) {
+  Simulator sim = MakePair(/*battery=*/0.15);
+  sim.ChargeCacheOp(0);  // 0.1 of 0.15
+  EXPECT_TRUE(sim.alive(0));
+  sim.ChargeCacheOp(0);  // overdraft
+  EXPECT_FALSE(sim.alive(0));
+  sim.ChargeCacheOp(0);  // already dead: no-op
+  EXPECT_EQ(sim.battery(0).remaining(), 0.0);
+  EXPECT_EQ(sim.metrics().node_deaths(), 1u);
+  EXPECT_EQ(sim.registry().GetCounter("net.node_deaths")->value(), 1u);
+}
+
+TEST(NodeDeathTest, DirectDrainAndKillReportOnce) {
+  Simulator sim = MakePair(/*battery=*/2.0);
+  obs::EnergyLedger ledger(sim.config().energy, sim.num_nodes(),
+                           &sim.registry());
+  sim.SetEnergyLedger(&ledger);
+
+  sim.Drain(0, 5.0);  // overdraft kill via the direct site
+  EXPECT_FALSE(sim.alive(0));
+  EXPECT_EQ(ledger.death_tick(0), sim.now());
+  // Only the 2.0 that existed was applied — conservation, not the ask.
+  EXPECT_EQ(ledger.drained(0), 2.0);
+
+  sim.Kill(1);  // forced kill discards the full remaining charge
+  EXPECT_FALSE(sim.alive(1));
+  EXPECT_EQ(ledger.cell(1, obs::EnergyLedger::KilledCell()), 2.0);
+  sim.Kill(1);  // idempotent
+  EXPECT_EQ(sim.metrics().node_deaths(), 2u);
+  EXPECT_EQ(ledger.deaths(), 2u);
+}
+
+TEST(NodeDeathTest, JournalNamesTheChargeSiteThatKilled) {
+  Simulator sim = MakePair(/*battery=*/1.0, /*rx=*/1.0);
+  auto* sink = static_cast<obs::MemoryJournalSink*>(
+      sim.journal().SetSink(std::make_unique<obs::MemoryJournalSink>()));
+
+  sim.Send(DataMsg(0, /*to=*/1));  // node 0 dies tx, node 1 dies rx
+  sim.RunAll();
+  ASSERT_EQ(DeathCauses(*sink).size(), 2u);
+  EXPECT_EQ(DeathCauses(*sink)[0], "tx");
+  EXPECT_EQ(DeathCauses(*sink)[1], "rx");
+  EXPECT_EQ(sim.metrics().node_deaths(), 2u);
+}
+
+TEST(NodeDeathTest, UnlimitedBatteryNeverDies) {
+  SimConfig config;  // default energy is Unlimited()
+  Simulator sim({{0.0, 0.0}, {1.0, 0.0}}, {2.0, 2.0}, config);
+  for (int i = 0; i < 1000; ++i) {
+    sim.Send(DataMsg(0));
+    sim.ChargeCacheOp(0);
+  }
+  sim.RunAll();
+  EXPECT_TRUE(sim.alive(0));
+  EXPECT_EQ(sim.metrics().node_deaths(), 0u);
+}
+
+}  // namespace
+}  // namespace snapq
