@@ -18,6 +18,7 @@
 #include "obs/energy_ledger.h"
 #include "obs/metric_registry.h"
 #include "obs/perfetto_export.h"
+#include "obs/topo.h"
 #include "obs/tracer.h"
 
 namespace snapq::bench {
@@ -141,6 +142,27 @@ inline void WriteEnergyMapSidecar(const char* argv0,
               snap.num_nodes, static_cast<unsigned long long>(snap.runs));
 }
 
+/// Writes a topology snapshot as the schema-versioned
+/// `<basename(argv0)>.topo.json` sidecar (structural summary, per-node
+/// positions/components, bridge and articulation lists, observed link
+/// quality). Consumed by tools/topo_report.py — including the CI
+/// tools-check gate.
+inline void WriteTopoSidecar(const char* argv0,
+                             const obs::TopologySnapshot& snap,
+                             const std::vector<Point>& positions,
+                             const std::vector<obs::LinkStats>& links,
+                             const obs::TopoMapMeta& meta) {
+  const std::string path = SidecarPath(argv0, ".topo.json");
+  if (!WriteFileAtomic(path, obs::TopoMapToJson(snap, positions, links,
+                                                meta))) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::printf("topo sidecar: %s (%zu nodes, %zu partition%s, %zu links)\n",
+              path.c_str(), snap.num_nodes, snap.partitions,
+              snap.partitions == 1 ? "" : "s", links.size());
+}
+
 /// RAII frame around one driver body: prints the standard header on entry
 /// and writes the metrics sidecar on exit (when the context asks for
 /// sidecars), replacing the PrintHeader/WriteMetricsSidecar pairs every
@@ -183,6 +205,24 @@ class Driver {
     meta.t = t;
     meta.extras = std::move(extras);
     WriteEnergyMapSidecar(SidecarBase().c_str(), snap, positions, meta);
+  }
+
+  /// Writes the `.topo.json` sidecar, stamping the benchmark name, git sha
+  /// and quick flag from the run context. `t` is the sim tick the snapshot
+  /// was analyzed at; `extras` carries driver-specific scalars (per-range
+  /// partition counts, horizons) for the report tooling.
+  void WriteTopoMap(const obs::TopologySnapshot& snap,
+                    const std::vector<Point>& positions,
+                    const std::vector<obs::LinkStats>& links, Time t,
+                    std::vector<std::pair<std::string, double>> extras) const {
+    if (!ctx_.write_sidecars) return;
+    obs::TopoMapMeta meta;
+    meta.benchmark = ctx_.name;
+    meta.git_sha = GitSha();
+    meta.quick = ctx_.quick;
+    meta.t = t;
+    meta.extras = std::move(extras);
+    WriteTopoSidecar(SidecarBase().c_str(), snap, positions, links, meta);
   }
 
  private:

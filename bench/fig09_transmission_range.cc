@@ -9,6 +9,8 @@
 #include "api/experiment.h"
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "net/topology.h"
+#include "obs/topo.h"
 
 SNAPQ_BENCHMARK(fig09_transmission_range,
                 "Figure 9: representatives vs transmission range") {
@@ -22,7 +24,9 @@ SNAPQ_BENCHMARK(fig09_transmission_range,
   for (size_t k : ks) header.push_back("K=" + std::to_string(k));
   TablePrinter table(std::move(header));
 
-  for (double range : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 1.0, 1.2, 1.4}) {
+  const std::vector<double> ranges = {0.2, 0.3, 0.4, 0.5, 0.6,
+                                      0.7, 0.8, 1.0, 1.2, 1.4};
+  for (double range : ranges) {
     std::vector<std::string> row = {TablePrinter::Num(range, 1)};
     for (size_t k : ks) {
       const RunningStats reps = MeanOverSeeds(
@@ -41,4 +45,36 @@ SNAPQ_BENCHMARK(fig09_transmission_range,
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
+
+  // Structural companion to the sweep: connectivity of the canonical
+  // seed-1 deployment at each range (the figure's caveat that ranges
+  // below 0.2 often disconnect a 100-node network, made measurable).
+  // Computed serially outside the ParallelMap above, so the `.topo.json`
+  // sidecar is bit-identical across --jobs settings.
+  Rng placement = Rng(bench::kBaseSeed).SplitNamed("placement");
+  const std::vector<Point> positions =
+      PlaceUniform(100, Rect::UnitSquare(), placement);
+  constexpr double kSidecarRange = 0.7;  // the paper's flattening point
+  obs::TopologySnapshot sidecar_snap;
+  std::vector<std::pair<std::string, double>> extras;
+  std::printf("\ncanonical deployment (seed %llu) connectivity:\n",
+              static_cast<unsigned long long>(bench::kBaseSeed));
+  TablePrinter conn({"range", "partitions", "bridges", "articulation",
+                     "isolated", "avg_degree"});
+  for (double range : ranges) {
+    const LinkModel links(positions, std::vector<double>(100, range), 0.0);
+    const obs::TopologySnapshot snap =
+        obs::AnalyzeTopology(links, obs::ClusterView{}, 0);
+    conn.AddRow({TablePrinter::Num(range, 1), std::to_string(snap.partitions),
+                 std::to_string(snap.bridges.size()),
+                 std::to_string(snap.articulation.size()),
+                 std::to_string(snap.isolated),
+                 TablePrinter::Num(snap.avg_degree, 1)});
+    extras.emplace_back("partitions_r" + TablePrinter::Num(range, 1),
+                        static_cast<double>(snap.partitions));
+    if (range == kSidecarRange) sidecar_snap = snap;
+  }
+  conn.Print(std::cout);
+  extras.emplace_back("sidecar_range", kSidecarRange);
+  driver.WriteTopoMap(sidecar_snap, positions, {}, 0, std::move(extras));
 }

@@ -93,6 +93,11 @@ SNAPQ_BENCHMARK(longrun_soak,
       bench::SidecarPath(base.c_str(), ".blackbox.json");
   telemetry_config.blackbox_label = ctx.name;
   net.EnableTelemetry(telemetry_config);
+  // Topology & churn observatory: per-link delivery stats ride the message
+  // path (fixed-table, allocation-free), and every telemetry sample also
+  // analyzes the live radio graph, so partitions / weak links / churn
+  // trend in the timeline alongside health and RSS.
+  net.EnableTopologyMonitor();
   // Ground-truth accuracy auditing rides the telemetry sampling: every
   // sample sweeps the live representation state against actual readings,
   // so the soak also proves the auditor itself stays memory-flat (the
@@ -105,6 +110,13 @@ SNAPQ_BENCHMARK(longrun_soak,
   SNAPQ_CHECK(net.AddSloRule("health.coverage value >= 0.5 for 400"));
   SNAPQ_CHECK(net.AddSloRule("health.spurious_reps ewma <= 25"));
   SNAPQ_CHECK(net.AddSloRule("proc.rss_kb slope <= 8"));
+  // Topology SLOs: at range 0.7 the radio graph must stay one component
+  // with no isolated survivors — five random deaths cannot partition it —
+  // and representative churn must settle between maintenance rounds
+  // rather than storm.
+  SNAPQ_CHECK(net.AddSloRule("topo.partitions value <= 1 for 400"));
+  SNAPQ_CHECK(net.AddSloRule("topo.isolated_nodes value <= 0 for 400"));
+  SNAPQ_CHECK(net.AddSloRule("churn.flap_rate ewma <= 30"));
 
   // Fault injection: a loss burst at one third of the horizon (restored
   // three maintenance rounds later) and five node deaths at two thirds.
@@ -147,6 +159,29 @@ SNAPQ_BENCHMARK(longrun_soak,
     } else {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     }
+  }
+
+  if (ctx.write_sidecars) {
+    std::vector<Point> positions;
+    positions.reserve(net.num_nodes());
+    for (NodeId i = 0; i < net.num_nodes(); ++i) {
+      positions.push_back(net.position(i));
+    }
+    const obs::TopologyMonitor& topo = *net.topology_monitor();
+    obs::TopoMapMeta topo_meta;
+    topo_meta.benchmark = ctx.name;
+    topo_meta.git_sha = bench::GitSha();
+    topo_meta.quick = ctx.quick;
+    topo_meta.t = net.now();
+    topo_meta.extras = {
+        {"horizon", static_cast<double>(horizon)},
+        {"samples", static_cast<double>(topo.num_samples())},
+        {"flaps_total", static_cast<double>(topo.churn().flaps_total())},
+        {"elections_total",
+         static_cast<double>(topo.churn().elections_total())},
+    };
+    bench::WriteTopoSidecar(base.c_str(), topo.last(), positions,
+                            topo.link_observer().SortedLinks(), topo_meta);
   }
 
   if (!watchdog.healthy()) {

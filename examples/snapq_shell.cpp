@@ -85,6 +85,9 @@ void PrintHelp() {
       "  \\energy               energy ledger: per-cause joule attribution,\n"
       "                        remaining charge, deaths and lifetime\n"
       "                        forecasts, plus the burn-rate sparkline\n"
+      "  \\topo                 topology & churn: partitions, bridges,\n"
+      "                        articulation nodes, per-cluster radius/depth,\n"
+      "                        weakest observed links and churn rates\n"
       "  \\timeline [substr]    sparkline every telemetry series (health,\n"
       "                        message rates, RSS), optionally filtered\n"
       "  \\trace [id]           list recorded causal traces, or show one\n"
@@ -186,6 +189,9 @@ int main(int argc, char** argv) {
   // Per-joule drain attribution from tick 0 (\energy, and EXPLAIN ANALYZE
   // gains its per-query joule breakdown).
   net.EnableEnergyLedger();
+  // Per-link delivery stats plus structural/churn analysis per telemetry
+  // sample (\topo reads the result).
+  net.EnableTopologyMonitor();
   // Profile from the start too, so \profile covers the initial election
   // and every interactive query.
   obs::Profiler::Enable();
@@ -288,6 +294,13 @@ int main(int argc, char** argv) {
       if (const obs::TimeSeries* s =
               net.telemetry()->series("energy.burn_rate")) {
         PrintSeriesLine("energy.burn_rate", *s);
+      }
+    } else if (line == "\\topo") {
+      net.SampleTelemetry();  // fresh topology analysis + churn sweep
+      std::printf("%s", net.topology_monitor()->ToString().c_str());
+      if (const obs::TimeSeries* s =
+              net.telemetry()->series("topo.partitions")) {
+        PrintSeriesLine("topo.partitions", *s);
       }
     } else if (line.rfind("\\timeline", 0) == 0) {
       net.SampleTelemetry();

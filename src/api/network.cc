@@ -153,6 +153,7 @@ obs::TelemetryRecorder& SensorNetwork::EnableTelemetry(
 
   if (auditor_ != nullptr) TrackAccuracySeries();
   if (energy_ledger_ != nullptr) TrackEnergySeries();
+  if (topo_monitor_ != nullptr) TrackTopoSeries();
 
   watchdog_ = std::make_unique<obs::SloWatchdog>(telemetry_.get(),
                                                  &sim_->journal());
@@ -209,6 +210,42 @@ void SensorNetwork::TrackAccuracySeries() {
   telemetry_->TrackCounterRate("accuracy.violations");
 }
 
+obs::TopologyMonitor& SensorNetwork::EnableTopologyMonitor(
+    const obs::TopologyConfig& config) {
+  topo_monitor_ = std::make_unique<obs::TopologyMonitor>(
+      config, agents_.size(), &sim_->registry(), &sim_->journal());
+  sim_->SetLinkObserver(&topo_monitor_->link_observer());
+  if (telemetry_ != nullptr) TrackTopoSeries();
+  return *topo_monitor_;
+}
+
+void SensorNetwork::TrackTopoSeries() {
+  telemetry_->TrackGauge("topo.partitions");
+  telemetry_->TrackGauge("topo.bridges");
+  telemetry_->TrackGauge("topo.articulation_nodes");
+  telemetry_->TrackGauge("topo.avg_degree");
+  telemetry_->TrackGauge("topo.isolated_nodes");
+  telemetry_->TrackGauge("topo.weak_links");
+  telemetry_->TrackGauge("churn.flap_rate");
+  telemetry_->TrackGauge("churn.election_rate");
+  telemetry_->TrackGauge("churn.rep_tenure_p50");
+}
+
+const obs::TopologySnapshot& SensorNetwork::SampleTopologyNow() {
+  SNAPQ_CHECK(topo_monitor_ != nullptr);
+  // Refresh the plain-data cluster view from the protocol agents (the
+  // health_probe pattern — obs never sees the snapshot layer).
+  obs::ClusterView& view = topo_monitor_->mutable_view();
+  for (NodeId i = 0; i < agents_.size(); ++i) {
+    const bool alive = sim_->alive(i);
+    view.alive[i] = alive ? 1 : 0;
+    view.is_rep[i] =
+        alive && agents_[i]->mode() == NodeMode::kActive ? 1 : 0;
+    view.representative[i] = agents_[i]->representative();
+  }
+  return topo_monitor_->Sample(sim_->links(), sim_->now());
+}
+
 void SensorNetwork::AuditSnapshotNow() {
   if (auditor_ == nullptr) return;
   // Sweep audit: judge every representation a live representative would
@@ -239,6 +276,7 @@ void SensorNetwork::SampleTelemetry() {
   SNAPQ_CHECK(telemetry_ != nullptr);
   SampleHealth();
   AuditSnapshotNow();  // no-op unless EnableAccuracyAudit ran
+  if (topo_monitor_ != nullptr) SampleTopologyNow();
   if (energy_ledger_ != nullptr) energy_ledger_->UpdateGauges(sim_->now());
   telemetry_->SampleNow(sim_->now());
   watchdog_->Evaluate(sim_->now());

@@ -28,6 +28,7 @@
 #include "obs/health_monitor.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
+#include "obs/topo.h"
 #include "obs/tracer.h"
 #include "query/catalog.h"
 #include "query/continuous.h"
@@ -172,6 +173,27 @@ class SensorNetwork {
   /// No-op when auditing is not enabled.
   void AuditSnapshotNow();
 
+  /// Enables the topology & churn observatory: creates the monitor (owned;
+  /// `topo.*` / `churn.*` gauges in sim().registry(), one `topo.sample`
+  /// journal event per sample) and attaches its link observer to the
+  /// simulator, so every subsequent addressed delivery/loss and snoop
+  /// feeds the per-directed-link stats. SampleTelemetry additionally
+  /// analyzes the topology each sampled tick (SampleTopologyNow). When
+  /// telemetry is enabled — before or after this call — the topo/churn
+  /// gauges are tracked as time series and the SLO grammar sees them
+  /// (`topo.partitions value <= 1 for 20`). A second call replaces the
+  /// monitor (link stats and churn state reset).
+  obs::TopologyMonitor& EnableTopologyMonitor(
+      const obs::TopologyConfig& config = {});
+  /// The monitor, or nullptr when it was never enabled.
+  obs::TopologyMonitor* topology_monitor() { return topo_monitor_.get(); }
+
+  /// Analyzes the network structure right now: refreshes the monitor's
+  /// cluster view from the agents, runs the connectivity/churn analysis
+  /// and publishes the gauges. Returns the snapshot (valid until the next
+  /// sample). Requires EnableTopologyMonitor.
+  const obs::TopologySnapshot& SampleTopologyNow();
+
   /// Parses and installs an SLO rule (`<metric> <stat> <op> <threshold>
   /// [for <ticks>]`). Returns false on malformed text or when telemetry is
   /// not enabled.
@@ -238,6 +260,10 @@ class SensorNetwork {
   /// Remaining-charge and forecast series are skipped for unlimited
   /// batteries (satellite: no infinite gauges in timeline/blackbox JSON).
   void TrackEnergySeries();
+  /// Tracks the topology/churn gauges as telemetry series (idempotent);
+  /// called from whichever of EnableTelemetry / EnableTopologyMonitor
+  /// runs second.
+  void TrackTopoSeries();
   /// Copies `options` with the auditor injected (when enabled and the
   /// caller has not set a hook of their own).
   ExecutionOptions WithAudit(const ExecutionOptions& options) const;
@@ -248,6 +274,7 @@ class SensorNetwork {
   std::unique_ptr<obs::SloWatchdog> watchdog_;
   std::unique_ptr<obs::AccuracyAuditor> auditor_;
   std::unique_ptr<obs::EnergyLedger> energy_ledger_;
+  std::unique_ptr<obs::TopologyMonitor> topo_monitor_;
   obs::FlightRecorder* flight_recorder_ = nullptr;  // owned by the journal
 };
 

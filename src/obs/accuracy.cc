@@ -25,10 +25,9 @@ AccuracyAuditor::AccuracyAuditor(const AccuracyAuditConfig& config,
     : config_(config),
       num_nodes_(num_nodes),
       journal_(journal),
-      violation_rate_gauge_(registry->GetGauge("accuracy.violation_rate")),
-      budget_burn_gauge_(registry->GetGauge("accuracy.budget_burn")),
-      max_abs_gauge_(registry->GetGauge("accuracy.max_abs_error")),
-      mean_abs_gauge_(registry->GetGauge("accuracy.mean_abs_error")),
+      gauges_(registry,
+              {"accuracy.violation_rate", "accuracy.budget_burn",
+               "accuracy.max_abs_error", "accuracy.mean_abs_error"}),
       audited_counter_(registry->GetCounter("accuracy.audited")),
       violations_counter_(registry->GetCounter("accuracy.violations")),
       rounds_counter_(registry->GetCounter("accuracy.rounds")),
@@ -126,10 +125,10 @@ double AccuracyAuditor::budget_burn() const {
 }
 
 void AccuracyAuditor::UpdateGauges() {
-  violation_rate_gauge_->Set(violation_rate());
-  budget_burn_gauge_->Set(budget_burn());
-  max_abs_gauge_->Set(error_hist_.max_seen());
-  mean_abs_gauge_->Set(error_hist_.mean());
+  gauges_.Set(kViolationRate, violation_rate());
+  gauges_.Set(kBudgetBurn, budget_burn());
+  gauges_.Set(kMaxAbsError, error_hist_.max_seen());
+  gauges_.Set(kMeanAbsError, error_hist_.mean());
 }
 
 AuditNodeStats AccuracyAuditor::NodeStats(NodeId node) const {

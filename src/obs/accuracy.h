@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "net/node_id.h"
+#include "obs/gauge_pack.h"
 #include "obs/journal.h"
 #include "obs/metric_registry.h"
 #include "obs/profiler.h"
@@ -138,6 +139,14 @@ class AccuracyAuditor {
   std::string ToTable() const;
 
  private:
+  /// Slots of gauges_ (published by UpdateGauges).
+  enum Slot : size_t {
+    kViolationRate = 0,
+    kBudgetBurn,
+    kMaxAbsError,
+    kMeanAbsError,
+  };
+
   void UpdateGauges();
 
   const AccuracyAuditConfig config_;
@@ -146,10 +155,7 @@ class AccuracyAuditor {
 
   // Cached instrument handles (registered at construction; see
   // MetricRegistry's hot-path contract).
-  Gauge* violation_rate_gauge_;
-  Gauge* budget_burn_gauge_;
-  Gauge* max_abs_gauge_;
-  Gauge* mean_abs_gauge_;
+  GaugePack gauges_;
   Counter* audited_counter_;
   Counter* violations_counter_;
   Counter* rounds_counter_;

@@ -278,22 +278,34 @@ std::string EnergyMapToJson(const EnergyLedgerSnapshot& snap,
 // ---------------------------------------------------------------------------
 // EnergyLedger
 
+namespace {
+
+// GaugePack slots: the unconditional gauges published by UpdateGauges.
+constexpr size_t kDrainedSlot = 0;
+constexpr size_t kBurnRateSlot = 1;
+constexpr size_t kFirstCauseSlot = 2;  // + static_cast<size_t>(cause)
+
+std::vector<std::string> LedgerGaugeNames() {
+  std::vector<std::string> names = {"energy.drained", "energy.burn_rate"};
+  for (size_t c = 0; c < kNumEnergyCauses; ++c) {
+    names.push_back(std::string("energy.cause.") +
+                    EnergyCauseName(static_cast<EnergyCause>(c)));
+  }
+  return names;
+}
+
+}  // namespace
+
 EnergyLedger::EnergyLedger(const EnergyModel& model, size_t num_nodes,
                            MetricRegistry* registry)
     : model_(model),
       num_nodes_(num_nodes),
-      drained_gauge_(registry->GetGauge("energy.drained")),
-      burn_rate_gauge_(registry->GetGauge("energy.burn_rate")),
+      gauges_(registry, LedgerGaugeNames()),
       cells_(num_nodes * kEnergyCellsPerNode, 0.0),
       drained_(num_nodes, 0.0),
       remaining_(num_nodes, model.initial_battery),
       death_tick_(num_nodes, -1),
       median_scratch_(num_nodes, 0.0) {
-  for (size_t c = 0; c < kNumEnergyCauses; ++c) {
-    cause_gauges_[c] = registry->GetGauge(
-        std::string("energy.cause.") +
-        EnergyCauseName(static_cast<EnergyCause>(c)));
-  }
   // An unlimited model would publish infinite remaining-charge gauges,
   // which serialize as JSON null and pollute timeline/blackbox sidecars —
   // skip them entirely (ISSUE 8 satellite 2).
@@ -370,17 +382,17 @@ double ProjectZeroCrossing(const TimeSeries& series, Time now, double value) {
 }  // namespace
 
 void EnergyLedger::UpdateGauges(Time now) {
-  drained_gauge_->Set(total_drained_);
+  gauges_.Set(kDrainedSlot, total_drained_);
   if (last_update_time_ >= 0 && now > last_update_time_) {
-    burn_rate_gauge_->Set((total_drained_ - last_update_drained_) /
-                          static_cast<double>(now - last_update_time_));
+    gauges_.Set(kBurnRateSlot, (total_drained_ - last_update_drained_) /
+                                   static_cast<double>(now - last_update_time_));
   } else {
-    burn_rate_gauge_->Set(0.0);
+    gauges_.Set(kBurnRateSlot, 0.0);
   }
   last_update_time_ = now;
   last_update_drained_ = total_drained_;
   for (size_t c = 0; c < kNumEnergyCauses; ++c) {
-    cause_gauges_[c]->Set(cause_totals_[c]);
+    gauges_.Set(kFirstCauseSlot + c, cause_totals_[c]);
   }
   if (remaining_total_gauge_ == nullptr || num_nodes_ == 0) return;
 

@@ -63,6 +63,7 @@
 #include "net/energy.h"
 #include "net/message.h"
 #include "net/node_id.h"
+#include "obs/gauge_pack.h"
 #include "obs/metric_registry.h"
 #include "obs/timeseries.h"
 
@@ -260,10 +261,11 @@ class EnergyLedger {
   const EnergyModel model_;
   const size_t num_nodes_;
 
-  // Cached instrument handles (null when skipped for unlimited models).
-  Gauge* drained_gauge_;
-  Gauge* burn_rate_gauge_;
-  Gauge* cause_gauges_[kNumEnergyCauses];
+  // Cached instrument handles. The pack holds the unconditional gauges
+  // (drained, burn_rate, one per cause — slot constants in the .cc); the
+  // remaining/forecast handles stay null when skipped for unlimited
+  // models.
+  GaugePack gauges_;
   Gauge* remaining_total_gauge_ = nullptr;
   Gauge* remaining_min_gauge_ = nullptr;
   Gauge* first_death_gauge_ = nullptr;

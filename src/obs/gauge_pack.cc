@@ -1,0 +1,15 @@
+#include "obs/gauge_pack.h"
+
+#include <utility>
+
+namespace snapq::obs {
+
+GaugePack::GaugePack(MetricRegistry* registry, std::vector<std::string> names)
+    : names_(std::move(names)) {
+  gauges_.reserve(names_.size());
+  for (const std::string& name : names_) {
+    gauges_.push_back(registry->GetGauge(name));
+  }
+}
+
+}  // namespace snapq::obs

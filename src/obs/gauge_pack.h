@@ -1,0 +1,46 @@
+// GaugePack: the shared gauge-publishing idiom every observer repeats —
+// register a fixed set of named gauges at construction, cache the stable
+// Gauge* handles, and publish by index on the (hot or sampled) path. The
+// health monitor, accuracy auditor, energy ledger and topology monitor
+// all follow the registry's hot-path contract this way; the pack extracts
+// the boilerplate so each observer declares an enum of slots instead of a
+// row of Gauge* members.
+//
+// Cost model: construction registers (and may allocate) once; Set() is a
+// bounds-unchecked indexed pointer write — no lookup, no allocation —
+// matching the cached-handle discipline MetricRegistry documents.
+#ifndef SNAPQ_OBS_GAUGE_PACK_H_
+#define SNAPQ_OBS_GAUGE_PACK_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/metric_registry.h"
+
+namespace snapq::obs {
+
+class GaugePack {
+ public:
+  /// Registers one gauge per name on `registry` (in order) and caches the
+  /// handles. Slot i publishes to names[i]; callers index with an enum.
+  GaugePack(MetricRegistry* registry, std::vector<std::string> names);
+
+  /// Publishes `value` to slot `i`. One indexed pointer write.
+  void Set(size_t i, double value) { gauges_[i]->Set(value); }
+  /// Current value of slot `i`.
+  double value(size_t i) const { return gauges_[i]->value(); }
+  /// The underlying handle (for SetMax/Add-style updates).
+  Gauge* gauge(size_t i) { return gauges_[i]; }
+
+  size_t size() const { return gauges_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Gauge*> gauges_;
+};
+
+}  // namespace snapq::obs
+
+#endif  // SNAPQ_OBS_GAUGE_PACK_H_

@@ -6,13 +6,11 @@ namespace snapq::obs {
 
 SnapshotHealthMonitor::SnapshotHealthMonitor(MetricRegistry* registry,
                                              EventJournal* journal)
-    : registry_(registry),
-      journal_(journal),
-      coverage_gauge_(registry->GetGauge("health.coverage")),
-      violation_rate_gauge_(registry->GetGauge("health.violation_rate")),
-      reelection_rate_gauge_(registry->GetGauge("health.reelection_rate")),
-      spurious_gauge_(registry->GetGauge("health.spurious_reps")),
-      staleness_gauge_(registry->GetGauge("health.model_staleness")),
+    : journal_(journal),
+      gauges_(registry,
+              {"health.coverage", "health.violation_rate",
+               "health.reelection_rate", "health.spurious_reps",
+               "health.model_staleness"}),
       samples_counter_(registry->GetCounter("health.samples")) {}
 
 void SnapshotHealthMonitor::Observe(const HealthSample& sample, Time t) {
@@ -37,11 +35,11 @@ void SnapshotHealthMonitor::Observe(const HealthSample& sample, Time t) {
   last_time_ = t;
   ++num_samples_;
 
-  coverage_gauge_->Set(coverage());
-  violation_rate_gauge_->Set(violation_rate_);
-  reelection_rate_gauge_->Set(reelection_rate_);
-  spurious_gauge_->Set(static_cast<double>(sample.num_spurious));
-  staleness_gauge_->Set(sample.mean_model_staleness);
+  gauges_.Set(kCoverage, coverage());
+  gauges_.Set(kViolationRate, violation_rate_);
+  gauges_.Set(kReelectionRate, reelection_rate_);
+  gauges_.Set(kSpurious, static_cast<double>(sample.num_spurious));
+  gauges_.Set(kStaleness, sample.mean_model_staleness);
   samples_counter_->Inc();
 
   if (journal_ != nullptr) {

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "net/node_id.h"
+#include "obs/gauge_pack.h"
 #include "obs/journal.h"
 #include "obs/metric_registry.h"
 
@@ -66,13 +67,17 @@ class SnapshotHealthMonitor {
   std::string ToString() const;
 
  private:
-  MetricRegistry* registry_;
+  /// Slots of gauges_ (published in Observe).
+  enum Slot : size_t {
+    kCoverage = 0,
+    kViolationRate,
+    kReelectionRate,
+    kSpurious,
+    kStaleness,
+  };
+
   EventJournal* journal_;
-  Gauge* coverage_gauge_;
-  Gauge* violation_rate_gauge_;
-  Gauge* reelection_rate_gauge_;
-  Gauge* spurious_gauge_;
-  Gauge* staleness_gauge_;
+  GaugePack gauges_;
   Counter* samples_counter_;
   HealthSample last_;
   Time last_time_ = 0;

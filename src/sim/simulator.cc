@@ -123,7 +123,14 @@ bool Simulator::Send(const Message& msg) {
     const double type_loss = type_loss_[static_cast<size_t>(msg.type)];
     if (links_.SampleLoss(from, receiver, rng_) ||
         (type_loss > 0.0 && rng_.Bernoulli(type_loss))) {
-      if (addressed) metrics_.CountLost(msg.type);
+      if (addressed) {
+        metrics_.CountLost(msg.type);
+        // Lost snoop copies are invisible to the link's delivery ratio:
+        // they were never owed to the receiver.
+        if (link_observer_ != nullptr) {
+          link_observer_->RecordLoss(from, receiver, queue_.now());
+        }
+      }
       if (span_ctx.sampled()) {
         tracer_->RecordDelivery(span_ctx, receiver, queue_.now(),
                                 RadioEventKind::kLoss);
@@ -181,9 +188,15 @@ void Simulator::Deliver(NodeId to, const Message& msg, bool snooped) {
   if (snooped) {
     obs::ProfCount(obs::HotOp::kMessagesSnooped);
     metrics_.CountSnooped(msg.type);
+    if (link_observer_ != nullptr) {
+      link_observer_->RecordSnoop(msg.from, to, queue_.now());
+    }
   } else {
     obs::ProfCount(obs::HotOp::kMessagesDelivered);
     metrics_.CountDelivered(msg.type);
+    if (link_observer_ != nullptr) {
+      link_observer_->RecordDelivery(msg.from, to, queue_.now());
+    }
   }
   if (msg.trace.sampled() && tracer_ != nullptr) {
     tracer_->RecordDelivery(

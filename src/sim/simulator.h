@@ -27,6 +27,7 @@
 #include "obs/energy_ledger.h"
 #include "obs/journal.h"
 #include "obs/metric_registry.h"
+#include "obs/topo.h"
 #include "obs/tracer.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
@@ -154,6 +155,15 @@ class Simulator {
   void SetEnergyLedger(obs::EnergyLedger* ledger) { energy_ledger_ = ledger; }
   obs::EnergyLedger* energy_ledger() { return energy_ledger_; }
 
+  /// Attaches a per-link observer (nullptr detaches). Not owned. With one
+  /// attached, every addressed delivery/loss and every snoop records the
+  /// directed link's outcome (a fixed-table probe, never allocating);
+  /// without one each site pays a single null-pointer branch.
+  void SetLinkObserver(obs::LinkObserver* observer) {
+    link_observer_ = observer;
+  }
+  obs::LinkObserver* link_observer() { return link_observer_; }
+
   /// True when a tracer is attached and its sampling is non-zero.
   bool tracing_enabled() const {
     return tracer_ != nullptr && tracer_->enabled();
@@ -236,6 +246,7 @@ class Simulator {
   TraceRecorder* trace_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   obs::EnergyLedger* energy_ledger_ = nullptr;
+  obs::LinkObserver* link_observer_ = nullptr;
   TraceContext current_trace_{};
 };
 

@@ -117,6 +117,45 @@ TEST(LinkModelTest, SqrtTwoRangeCoversUnitSquare) {
   }
 }
 
+TEST(LinkModelTest, SetPositionRecomputesReachabilityBothDirections) {
+  // Asymmetric ranges: after the whisperer moves next to the shouter,
+  // both directions must reflect the new distance, and moving it far
+  // away must sever both.
+  LinkModel lm({{0, 0}, {5, 0}}, {10.0, 1.0}, 0.0);
+  ASSERT_TRUE(lm.CanReach(0, 1));
+  ASSERT_FALSE(lm.CanReach(1, 0));
+
+  lm.SetPosition(1, {0.5, 0});
+  EXPECT_TRUE(lm.CanReach(0, 1));
+  EXPECT_TRUE(lm.CanReach(1, 0));  // now within the whisperer's range
+  EXPECT_EQ(lm.Reachable(1).size(), 1u);
+
+  lm.SetPosition(1, {20, 0});
+  EXPECT_FALSE(lm.CanReach(0, 1));
+  EXPECT_FALSE(lm.CanReach(1, 0));
+  EXPECT_TRUE(lm.Reachable(1).empty());
+  EXPECT_FALSE(lm.IsConnected());
+}
+
+TEST(LinkModelTest, SetPositionOfAThirdNodeLeavesOtherLinksAlone) {
+  LinkModel lm = Line3(1.0);
+  lm.SetPosition(2, {1, 1});  // 2 moves closer to 1, still out of 0's range
+  EXPECT_TRUE(lm.CanReach(0, 1));
+  EXPECT_TRUE(lm.CanReach(1, 2));
+  EXPECT_FALSE(lm.CanReach(0, 2));
+  EXPECT_EQ(lm.position(2).x, 1.0);
+  EXPECT_EQ(lm.position(2).y, 1.0);
+}
+
+TEST(LinkModelTest, PerLinkLossOverridesSurviveMoves) {
+  LinkModel lm = Line3(2.0, 0.0);
+  lm.SetLinkLoss(0, 1, 1.0);
+  lm.SetPosition(1, {0.5, 0});  // the obstacle moves with the link
+  Rng rng(6);
+  EXPECT_TRUE(lm.SampleLoss(0, 1, rng));
+  EXPECT_FALSE(lm.SampleLoss(1, 0, rng));
+}
+
 TEST(LinkModelTest, SingleNodeNetwork) {
   const LinkModel lm({{0.5, 0.5}}, {1.0}, 0.0);
   EXPECT_TRUE(lm.Reachable(0).empty());

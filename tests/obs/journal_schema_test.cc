@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -104,6 +107,24 @@ const std::map<std::string, Schema>& GoldenSchemas() {
         {"mean_abs_error", "num"},
         {"violation_rate", "num"},
         {"budget_burn", "num"}}},
+      {"slo.breach",
+       {{"rule", "str"},
+        {"metric", "str"},
+        {"stat", "str"},
+        {"observed", "num"},
+        {"threshold", "num"},
+        {"since", "int"}}},
+      {"topo.sample",
+       {{"partitions", "int"},
+        {"bridges", "int"},
+        {"articulation", "int"},
+        {"isolated", "int"},
+        {"live", "int"},
+        {"weak_links", "int"},
+        {"avg_degree", "num"},
+        {"flap_rate", "num"},
+        {"election_rate", "num"},
+        {"tenure_p50", "num"}}},
   };
   return golden;
 }
@@ -295,6 +316,49 @@ TEST(JournalSchemaTest, NodeDeathEventMatchesGoldenSchema) {
   sim.RunAll();
   const std::set<std::string> seen = CheckLines(sink->lines());
   EXPECT_TRUE(seen.count("node_death"));
+}
+
+/// Every event name at an `Emit("...")` / `Emit(\n    "...")` site in a
+/// src/ translation unit. A tiny lexical scan, not a parse: find "Emit(",
+/// skip whitespace, and take a string literal when one follows (the
+/// declaration `void Emit(const char*...)` has no literal and is skipped).
+std::set<std::string> ScanEmittedEventNames() {
+  namespace fs = std::filesystem;
+  std::set<std::string> emitted;
+  const fs::path src = fs::path(SNAPQ_SOURCE_DIR) / "src";
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cc" && ext != ".h") continue;
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    size_t pos = 0;
+    while ((pos = text.find("Emit(", pos)) != std::string::npos) {
+      pos += 5;
+      const size_t quote = text.find_first_not_of(" \t\r\n", pos);
+      if (quote == std::string::npos || text[quote] != '"') continue;
+      const size_t end = text.find('"', quote + 1);
+      if (end == std::string::npos) continue;
+      emitted.insert(text.substr(quote + 1, end - quote - 1));
+      pos = end + 1;
+    }
+  }
+  return emitted;
+}
+
+TEST(JournalSchemaTest, EverySourceEmitSiteHasAGoldenSchema) {
+  const std::set<std::string> emitted = ScanEmittedEventNames();
+  // The scan must find the library's real emit sites — an empty or tiny
+  // result means the source tree moved, not that the contract holds.
+  ASSERT_GE(emitted.size(), 10u);
+  for (const std::string& name : emitted) {
+    EXPECT_TRUE(GoldenSchemas().count(name) != 0)
+        << "src/ emits journal event '" << name
+        << "' with no golden schema — freeze its field list here (and "
+           "document it in DESIGN.md)";
+  }
 }
 
 TEST(JournalSchemaTest, CacheEvictionEventMatchesGoldenSchema) {

@@ -1,0 +1,374 @@
+// Unit tests for the topology & churn observatory (src/obs/topo.h):
+// LinkObserver bookkeeping and overflow, AnalyzeTopology on hand-built
+// placements (partitions, bridges, articulation, cluster radius/depth),
+// ChurnTracker sweep differencing, and TopologyMonitor gauge publishing.
+#include "obs/topo.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "net/link_model.h"
+#include "obs/journal.h"
+#include "obs/metric_registry.h"
+
+namespace snapq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LinkObserver
+
+TEST(LinkObserverTest, RecordsOutcomesAndEwma) {
+  obs::LinkObserver observer(4);
+  EXPECT_EQ(observer.capacity(), 12u);  // 4*3 ordered pairs
+  observer.RecordDelivery(0, 1, 10);
+  const obs::LinkStats* link = observer.Find(0, 1);
+  ASSERT_NE(link, nullptr);
+  EXPECT_EQ(link->deliveries, 1u);
+  EXPECT_EQ(link->attempts(), 1u);
+  EXPECT_DOUBLE_EQ(link->ewma_delivery, 1.0);  // first outcome seeds
+  EXPECT_EQ(link->last_activity, 10);
+
+  observer.RecordLoss(0, 1, 11);
+  EXPECT_EQ(link->losses, 1u);
+  EXPECT_EQ(link->attempts(), 2u);
+  EXPECT_DOUBLE_EQ(link->ewma_delivery, 1.0 - obs::kLinkEwmaAlpha);
+  EXPECT_EQ(link->last_activity, 11);
+
+  // Snoops count separately and do not move the delivery EWMA.
+  observer.RecordSnoop(0, 1, 12);
+  EXPECT_EQ(link->snoops, 1u);
+  EXPECT_EQ(link->attempts(), 2u);
+  EXPECT_DOUBLE_EQ(link->ewma_delivery, 1.0 - obs::kLinkEwmaAlpha);
+
+  // A link whose first outcome is a loss seeds the EWMA at 0.
+  observer.RecordLoss(1, 0, 13);
+  ASSERT_NE(observer.Find(1, 0), nullptr);
+  EXPECT_DOUBLE_EQ(observer.Find(1, 0)->ewma_delivery, 0.0);
+
+  EXPECT_EQ(observer.num_links(), 2u);
+  EXPECT_EQ(observer.Find(2, 3), nullptr);
+  EXPECT_EQ(observer.dropped_records(), 0u);
+}
+
+TEST(LinkObserverTest, SortedLinksOrderedByFromThenTo) {
+  obs::LinkObserver observer(5);
+  observer.RecordDelivery(3, 1, 1);
+  observer.RecordDelivery(0, 4, 2);
+  observer.RecordDelivery(0, 2, 3);
+  observer.RecordDelivery(3, 0, 4);
+  const std::vector<obs::LinkStats> links = observer.SortedLinks();
+  ASSERT_EQ(links.size(), 4u);
+  EXPECT_EQ(links[0].from, 0u);
+  EXPECT_EQ(links[0].to, 2u);
+  EXPECT_EQ(links[1].from, 0u);
+  EXPECT_EQ(links[1].to, 4u);
+  EXPECT_EQ(links[2].from, 3u);
+  EXPECT_EQ(links[2].to, 0u);
+  EXPECT_EQ(links[3].from, 3u);
+  EXPECT_EQ(links[3].to, 1u);
+}
+
+TEST(LinkObserverTest, CapacityOverflowCountsDroppedRecords) {
+  obs::LinkObserver observer(100, /*max_links=*/2);
+  observer.RecordDelivery(0, 1, 1);
+  observer.RecordDelivery(0, 2, 1);
+  observer.RecordDelivery(0, 3, 1);  // table full: dropped
+  observer.RecordLoss(0, 4, 2);      // dropped too
+  observer.RecordDelivery(0, 1, 3);  // existing link still updates
+  EXPECT_EQ(observer.num_links(), 2u);
+  EXPECT_EQ(observer.dropped_records(), 2u);
+  EXPECT_EQ(observer.Find(0, 3), nullptr);
+  EXPECT_EQ(observer.Find(0, 1)->deliveries, 2u);
+}
+
+TEST(LinkObserverTest, CountWeakLinksHonorsThresholdAndMinAttempts) {
+  obs::LinkObserver observer(4);
+  // Link (0,1): 10 losses -> ewma 0, attempts 10: weak.
+  for (int i = 0; i < 10; ++i) observer.RecordLoss(0, 1, i);
+  // Link (0,2): 10 deliveries -> ewma 1: strong.
+  for (int i = 0; i < 10; ++i) observer.RecordDelivery(0, 2, i);
+  // Link (0,3): 2 losses -> too few attempts to call.
+  observer.RecordLoss(0, 3, 0);
+  observer.RecordLoss(0, 3, 1);
+  EXPECT_EQ(observer.CountWeakLinks(0.5, 8), 1u);
+  EXPECT_EQ(observer.CountWeakLinks(0.5, 2), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// AnalyzeTopology
+
+/// A LinkModel with uniform `range` over `positions` and no loss.
+LinkModel MakeLinks(std::vector<Point> positions, double range) {
+  const size_t n = positions.size();
+  return LinkModel(std::move(positions), std::vector<double>(n, range), 0.0);
+}
+
+/// A fully-live, unclustered view sized for `n` nodes.
+obs::ClusterView LiveView(size_t n) {
+  obs::ClusterView view;
+  view.Resize(n);
+  return view;
+}
+
+TEST(AnalyzeTopologyTest, DetectsPartitionsAndComponentIds) {
+  // Two pairs far apart: {0,1} and {2,3}.
+  const LinkModel links =
+      MakeLinks({{0.0, 0.0}, {0.1, 0.0}, {5.0, 0.0}, {5.1, 0.0}}, 0.2);
+  const obs::TopologySnapshot snap =
+      obs::AnalyzeTopology(links, LiveView(4), 7);
+  EXPECT_EQ(snap.t, 7);
+  EXPECT_EQ(snap.num_live, 4u);
+  EXPECT_EQ(snap.partitions, 2u);
+  // Component ids ascend with their lowest member id.
+  EXPECT_EQ(snap.component[0], 0);
+  EXPECT_EQ(snap.component[1], 0);
+  EXPECT_EQ(snap.component[2], 1);
+  EXPECT_EQ(snap.component[3], 1);
+  EXPECT_EQ(snap.isolated, 0u);
+  EXPECT_DOUBLE_EQ(snap.avg_degree, 1.0);
+}
+
+TEST(AnalyzeTopologyTest, FindsBridgesAndArticulationOnAPath) {
+  // Path 0 - 1 - 2: both edges are bridges, node 1 is the articulation.
+  const LinkModel links =
+      MakeLinks({{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}}, 1.1);
+  const obs::TopologySnapshot snap =
+      obs::AnalyzeTopology(links, LiveView(3), 0);
+  EXPECT_EQ(snap.partitions, 1u);
+  ASSERT_EQ(snap.bridges.size(), 2u);
+  EXPECT_EQ(snap.bridges[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(snap.bridges[1], (std::pair<NodeId, NodeId>{1, 2}));
+  ASSERT_EQ(snap.articulation.size(), 1u);
+  EXPECT_EQ(snap.articulation[0], 1u);
+  EXPECT_EQ(snap.degree[1], 2u);
+  EXPECT_EQ(snap.max_degree, 2u);
+}
+
+TEST(AnalyzeTopologyTest, TriangleHasNoCutStructure) {
+  const LinkModel links =
+      MakeLinks({{0.0, 0.0}, {1.0, 0.0}, {0.5, 0.8}}, 1.1);
+  const obs::TopologySnapshot snap =
+      obs::AnalyzeTopology(links, LiveView(3), 0);
+  EXPECT_EQ(snap.partitions, 1u);
+  EXPECT_TRUE(snap.bridges.empty());
+  EXPECT_TRUE(snap.articulation.empty());
+}
+
+TEST(AnalyzeTopologyTest, AsymmetricRangeStillConnectsEitherDirection) {
+  // Node 0 can reach node 1 but not vice versa; the undirected closure
+  // (LinkModel::IsConnected's relation) still links them.
+  LinkModel links({{0.0, 0.0}, {1.0, 0.0}}, {1.5, 0.1}, 0.0);
+  const obs::TopologySnapshot snap =
+      obs::AnalyzeTopology(links, LiveView(2), 0);
+  EXPECT_EQ(snap.partitions, 1u);
+  EXPECT_EQ(snap.degree[0], 1u);
+  EXPECT_EQ(snap.degree[1], 1u);
+}
+
+TEST(AnalyzeTopologyTest, DeadNodeSplitsThePathAndIsExcluded) {
+  obs::ClusterView view = LiveView(3);
+  view.alive[1] = 0;  // the articulation node dies
+  const LinkModel links =
+      MakeLinks({{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}}, 1.1);
+  const obs::TopologySnapshot snap = obs::AnalyzeTopology(links, view, 0);
+  EXPECT_EQ(snap.num_live, 2u);
+  EXPECT_EQ(snap.partitions, 2u);
+  EXPECT_EQ(snap.component[1], -1);
+  EXPECT_EQ(snap.degree[1], 0u);
+  EXPECT_EQ(snap.isolated, 2u);  // 0 and 2 lost their only neighbor
+}
+
+TEST(AnalyzeTopologyTest, ClusterRadiusAndDepth) {
+  // Chain 0 - 1 - 2 - 3, rep 0 represents everyone.
+  obs::ClusterView view = LiveView(4);
+  view.is_rep[0] = 1;
+  for (NodeId i = 0; i < 4; ++i) view.representative[i] = 0;
+  const LinkModel links = MakeLinks(
+      {{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}}, 1.1);
+  const obs::TopologySnapshot snap = obs::AnalyzeTopology(links, view, 0);
+  ASSERT_EQ(snap.clusters.size(), 1u);
+  EXPECT_EQ(snap.clusters[0].rep, 0u);
+  EXPECT_EQ(snap.clusters[0].size, 4u);
+  EXPECT_DOUBLE_EQ(snap.clusters[0].radius, 3.0);
+  EXPECT_EQ(snap.clusters[0].depth, 3);
+}
+
+TEST(AnalyzeTopologyTest, UnreachableMemberMarksClusterBroken) {
+  // Rep 0 claims node 2, but node 2 sits in another component.
+  obs::ClusterView view = LiveView(3);
+  view.is_rep[0] = 1;
+  view.representative[1] = 0;
+  view.representative[2] = 0;
+  const LinkModel links =
+      MakeLinks({{0.0, 0.0}, {0.5, 0.0}, {9.0, 0.0}}, 1.0);
+  const obs::TopologySnapshot snap = obs::AnalyzeTopology(links, view, 0);
+  ASSERT_EQ(snap.clusters.size(), 1u);
+  EXPECT_EQ(snap.clusters[0].size, 3u);
+  EXPECT_EQ(snap.clusters[0].depth, -1);
+  EXPECT_DOUBLE_EQ(snap.clusters[0].radius, 9.0);
+}
+
+TEST(AnalyzeTopologyTest, EmptyViewDefaultsToAllAliveUnclustered) {
+  const LinkModel links = MakeLinks({{0.0, 0.0}, {0.5, 0.0}}, 1.0);
+  const obs::TopologySnapshot snap =
+      obs::AnalyzeTopology(links, obs::ClusterView{}, 3);
+  EXPECT_EQ(snap.num_live, 2u);
+  EXPECT_EQ(snap.partitions, 1u);
+  EXPECT_TRUE(snap.clusters.empty());
+  EXPECT_EQ(snap.representative[1], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ChurnTracker
+
+TEST(ChurnTrackerTest, FirstSweepCountsElectionsButNotFlaps) {
+  obs::MetricRegistry registry;
+  obs::ChurnTracker churn(3, /*grid=*/1, &registry);
+  const LinkModel links =
+      MakeLinks({{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}}, 5.0);
+  obs::ClusterView view = LiveView(3);
+  view.is_rep[0] = 1;
+  view.representative[1] = 0;
+  view.representative[2] = 0;
+  churn.Observe(view, links, 10);
+  EXPECT_EQ(churn.elections_total(), 1u);
+  EXPECT_EQ(churn.flaps_total(), 0u);  // no previous sweep to differ from
+  EXPECT_DOUBLE_EQ(churn.election_rate(), 1.0);
+  EXPECT_EQ(registry.GetCounter("churn.elections")->value(), 1u);
+
+  // Steady state: same view again, nothing moves.
+  churn.Observe(view, links, 20);
+  EXPECT_EQ(churn.elections_total(), 1u);
+  EXPECT_EQ(churn.flaps_total(), 0u);
+  EXPECT_DOUBLE_EQ(churn.election_rate(), 0.0);
+}
+
+TEST(ChurnTrackerTest, FlapAndTenureOnRepresentativeChange) {
+  obs::MetricRegistry registry;
+  obs::ChurnTracker churn(3, 1, &registry);
+  const LinkModel links =
+      MakeLinks({{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}}, 5.0);
+  obs::ClusterView view = LiveView(3);
+  view.is_rep[0] = 1;
+  view.representative[1] = 0;
+  view.representative[2] = 0;
+  churn.Observe(view, links, 0);
+  // Ongoing tenure stands in for the p50 while nothing completed.
+  churn.Observe(view, links, 40);
+  EXPECT_DOUBLE_EQ(churn.tenure_p50(), 40.0);
+
+  // Node 2 takes over: node 0 resigns, members repoint.
+  view.is_rep[0] = 0;
+  view.is_rep[2] = 1;
+  view.representative[0] = 2;
+  view.representative[1] = 2;
+  view.representative[2] = 2;
+  churn.Observe(view, links, 100);
+  // All three nodes changed representative (0 -> 2).
+  EXPECT_EQ(churn.flaps_total(), 3u);
+  EXPECT_DOUBLE_EQ(churn.flap_rate(), 3.0);
+  EXPECT_EQ(churn.elections_total(), 2u);
+  EXPECT_EQ(churn.completed_tenures(), 1u);
+  // Node 0 held the role for the full 100 ticks; the p50 now comes from
+  // the completed-tenure histogram (log-bucketed, so approximate).
+  EXPECT_GT(churn.tenure_p50(), 50.0);
+  EXPECT_EQ(registry.GetCounter("churn.tenures_completed")->value(), 1u);
+}
+
+TEST(ChurnTrackerTest, DeadNodesNeitherFlapNorComplete) {
+  obs::MetricRegistry registry;
+  obs::ChurnTracker churn(2, 1, &registry);
+  const LinkModel links = MakeLinks({{0.0, 0.0}, {1.0, 0.0}}, 5.0);
+  obs::ClusterView view = LiveView(2);
+  view.is_rep[0] = 1;
+  view.representative[1] = 0;
+  churn.Observe(view, links, 0);
+  view.alive[1] = 0;
+  view.representative[1] = 1;  // stale self-pointer on a dead node
+  churn.Observe(view, links, 10);
+  EXPECT_EQ(churn.flaps_total(), 0u);
+
+  // The rep dying completes its tenure.
+  view.alive[0] = 0;
+  view.is_rep[0] = 0;
+  churn.Observe(view, links, 20);
+  EXPECT_EQ(churn.completed_tenures(), 1u);
+}
+
+TEST(ChurnTrackerTest, RegionElectionsBucketByPosition) {
+  obs::MetricRegistry registry;
+  obs::ChurnTracker churn(4, /*grid=*/2, &registry);
+  // One node per quadrant of the unit square.
+  const LinkModel links = MakeLinks(
+      {{0.1, 0.1}, {0.9, 0.1}, {0.1, 0.9}, {0.9, 0.9}}, 5.0);
+  obs::ClusterView view = LiveView(4);
+  view.is_rep[0] = 1;  // bottom-left cell 0
+  view.is_rep[3] = 1;  // top-right cell 3
+  churn.Observe(view, links, 0);
+  EXPECT_EQ(churn.RegionElections(0), 1u);
+  EXPECT_EQ(churn.RegionElections(1), 0u);
+  EXPECT_EQ(churn.RegionElections(2), 0u);
+  EXPECT_EQ(churn.RegionElections(3), 1u);
+  EXPECT_EQ(
+      registry.GetCounter("churn.region_elections", /*node=*/0)->value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TopologyMonitor
+
+TEST(TopologyMonitorTest, SamplePublishesGaugesAndJournalEvent) {
+  obs::MetricRegistry registry;
+  obs::EventJournal journal;
+  auto* sink = static_cast<obs::MemoryJournalSink*>(
+      journal.SetSink(std::make_unique<obs::MemoryJournalSink>()));
+  obs::TopologyMonitor monitor(obs::TopologyConfig{}, 3, &registry,
+                               &journal);
+  const LinkModel links =
+      MakeLinks({{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}}, 1.1);
+  obs::ClusterView& view = monitor.mutable_view();
+  view.is_rep[1] = 1;
+  view.representative[0] = 1;
+  view.representative[2] = 1;
+
+  // Feed the observer one weak link (>= 8 addressed outcomes, all lost).
+  for (int i = 0; i < 10; ++i) {
+    monitor.link_observer().RecordLoss(0, 1, i);
+  }
+  const obs::TopologySnapshot& snap = monitor.Sample(links, 50);
+  EXPECT_EQ(snap.partitions, 1u);
+  EXPECT_EQ(snap.weak_links, 1u);
+  EXPECT_EQ(monitor.num_samples(), 1u);
+
+  EXPECT_DOUBLE_EQ(registry.GetGauge("topo.partitions")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("topo.bridges")->value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("topo.articulation_nodes")->value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("topo.isolated_nodes")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("topo.weak_links")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("topo.live_nodes")->value(), 3.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("topo.links_observed")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("churn.election_rate")->value(), 1.0);
+  EXPECT_EQ(registry.GetCounter("topo.samples")->value(), 1u);
+
+  ASSERT_EQ(sink->lines().size(), 1u);
+  EXPECT_NE(sink->lines()[0].find("\"event\":\"topo.sample\""),
+            std::string::npos);
+  EXPECT_NE(sink->lines()[0].find("\"partitions\":1"), std::string::npos);
+
+  const std::string text = monitor.ToString();
+  EXPECT_NE(text.find("partitions    1"), std::string::npos);
+  EXPECT_NE(text.find("weakest links"), std::string::npos);
+}
+
+TEST(TopologyMonitorTest, ToStringBeforeFirstSample) {
+  obs::MetricRegistry registry;
+  obs::TopologyMonitor monitor(obs::TopologyConfig{}, 2, &registry);
+  EXPECT_NE(monitor.ToString().find("no samples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapq
