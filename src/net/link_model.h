@@ -5,16 +5,30 @@
 // general, not symmetric"). Message loss is i.i.d. Bernoulli per (message,
 // receiver) with probability P_loss, optionally overridden per directed
 // link to model obstacles.
+//
+// Scale: adjacency is found through a uniform-grid spatial index (cell
+// edge = the maximum transmission range), so construction is O(n * k) in
+// the average neighborhood size k instead of the all-pairs O(n^2), and a
+// SetPosition move re-tests only the O(k) nodes near the old and new
+// positions. The adjacency itself is a compact CSR structure — one flat
+// NodeId array plus per-node offset/length spans — with a small
+// patch-overlay absorbing mobility edits (compacted back into the flat
+// array when it grows past a fraction of the rows). Every row is kept in
+// ascending id order, so neighbor iteration order is identical to the
+// historical brute-force build.
 #ifndef SNAPQ_NET_LINK_MODEL_H_
 #define SNAPQ_NET_LINK_MODEL_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/geometry.h"
 #include "common/rng.h"
 #include "net/node_id.h"
+#include "net/spatial_index.h"
 
 namespace snapq {
 
@@ -31,10 +45,15 @@ class LinkModel {
   double range(NodeId id) const { return ranges_[id]; }
   double loss_probability() const { return loss_probability_; }
 
-  /// Nodes within transmission range of `from` (excluding `from` itself):
-  /// the nodes that physically hear a broadcast by `from`, before loss.
-  const std::vector<NodeId>& Reachable(NodeId from) const {
-    return reachable_[from];
+  /// Nodes within transmission range of `from` (excluding `from` itself),
+  /// in ascending id order: the nodes that physically hear a broadcast by
+  /// `from`, before loss. The span is invalidated by SetPosition.
+  std::span<const NodeId> Reachable(NodeId from) const {
+    const int32_t overlay = overlay_index_[from];
+    if (overlay >= 0) {
+      return overlay_rows_[static_cast<size_t>(overlay)];
+    }
+    return {adjacency_.data() + row_offset_[from], row_length_[from]};
   }
 
   /// True iff `to` is within `from`'s transmission range.
@@ -49,18 +68,48 @@ class LinkModel {
 
   /// Moves node `id` to `position` and recomputes the affected
   /// reachability (mobility is one of the network dynamics §3 calls out).
+  /// O(k) in the local node count near the old and new positions.
   void SetPosition(NodeId id, const Point& position);
 
   /// True if the undirected connectivity graph is connected (used by
   /// experiments to reject degenerate placements, §6.1 notes ranges below
-  /// 0.2 often disconnect a 100-node network).
+  /// 0.2 often disconnect a 100-node network). Walks the stored adjacency
+  /// (plus its transpose, for asymmetric ranges): O(n + edges).
   bool IsConnected() const;
 
+  /// The spatial index the adjacency was built from (exposed for tests
+  /// and diagnostics).
+  const SpatialIndex& spatial_index() const { return index_; }
+  /// Rows currently living in the mobility overlay instead of the flat
+  /// CSR array (exposed for tests; bounded by the compaction threshold).
+  size_t overlay_rows() const { return overlay_rows_.size(); }
+
  private:
+  /// Returns `id`'s row as a mutable overlay vector, copying the CSR row
+  /// on first touch (copy-on-write for mobility patches).
+  std::vector<NodeId>& MutableRow(NodeId id);
+  /// Rebuilds `id`'s row from the grid (O(k)), in ascending id order.
+  void BuildRow(NodeId id, std::vector<NodeId>* out) const;
+  /// Folds the overlay back into a fresh flat CSR array.
+  void Compact();
+
   std::vector<Point> positions_;
   std::vector<double> ranges_;
   double loss_probability_;
-  std::vector<std::vector<NodeId>> reachable_;
+  double max_range_ = 0.0;
+  SpatialIndex index_;  // must follow positions_/ranges_ (init order)
+
+  /// CSR adjacency: row i is adjacency_[row_offset_[i] ..
+  /// row_offset_[i] + row_length_[i]), ascending ids. 64-bit offsets:
+  /// total edge count can exceed 2^32 long before node ids do.
+  std::vector<NodeId> adjacency_;
+  std::vector<uint64_t> row_offset_;
+  std::vector<uint32_t> row_length_;
+  /// Mobility overlay: overlay_index_[i] >= 0 means row i was rewritten
+  /// since the last compaction and lives in overlay_rows_ instead.
+  std::vector<int32_t> overlay_index_;
+  std::vector<std::vector<NodeId>> overlay_rows_;
+
   /// Directed link overrides, keyed by from * num_nodes + to.
   std::unordered_map<uint64_t, double> link_loss_;
 };

@@ -1,0 +1,126 @@
+#include "net/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace snapq {
+namespace {
+
+/// Fibonacci/splitmix-style scramble of the packed cell key. Cell keys are
+/// highly structured (adjacent coordinates differ in one bit position), so
+/// the multiply-xor spread matters for linear probing.
+uint64_t HashKey(uint64_t key) {
+  uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+size_t NextPow2(size_t v) {
+  size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Keep the +/-1 neighbor arithmetic of queries overflow-free.
+constexpr int32_t kCoordClamp = 1 << 30;
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(std::span<const Point> positions,
+                           double cell_edge) {
+  SNAPQ_CHECK_GT(cell_edge, 0.0);
+  cell_edge_ = cell_edge;
+  inv_cell_edge_ = 1.0 / cell_edge;
+  num_nodes_ = positions.size();
+  const size_t capacity = NextPow2(positions.size() + positions.size() / 2);
+  slot_key_.assign(capacity, 0);
+  slot_bucket_.assign(capacity, -1);
+  // Node ids are inserted in ascending order, so every bucket is born
+  // sorted; Move preserves the order with positional insert/erase.
+  for (size_t i = 0; i < positions.size(); ++i) {
+    Insert(static_cast<NodeId>(i), positions[i]);
+  }
+}
+
+int32_t SpatialIndex::CellCoord(double v) const {
+  const double c = std::floor(v * inv_cell_edge_);
+  if (c <= static_cast<double>(-kCoordClamp)) return -kCoordClamp;
+  if (c >= static_cast<double>(kCoordClamp)) return kCoordClamp;
+  return static_cast<int32_t>(c);
+}
+
+const std::vector<NodeId>* SpatialIndex::FindBucket(uint64_t key) const {
+  const size_t mask = slot_key_.size() - 1;
+  size_t s = static_cast<size_t>(HashKey(key)) & mask;
+  while (true) {
+    const int32_t b = slot_bucket_[s];
+    if (b < 0) return nullptr;
+    if (slot_key_[s] == key) return &buckets_[static_cast<size_t>(b)];
+    s = (s + 1) & mask;
+  }
+}
+
+std::vector<NodeId>& SpatialIndex::EnsureBucket(uint64_t key) {
+  if ((occupied_ + 1) * 10 > slot_key_.size() * 7) GrowTable();
+  const size_t mask = slot_key_.size() - 1;
+  size_t s = static_cast<size_t>(HashKey(key)) & mask;
+  while (true) {
+    const int32_t b = slot_bucket_[s];
+    if (b < 0) {
+      slot_key_[s] = key;
+      slot_bucket_[s] = static_cast<int32_t>(buckets_.size());
+      ++occupied_;
+      buckets_.emplace_back();
+      return buckets_.back();
+    }
+    if (slot_key_[s] == key) return buckets_[static_cast<size_t>(b)];
+    s = (s + 1) & mask;
+  }
+}
+
+void SpatialIndex::GrowTable() {
+  std::vector<uint64_t> old_key = std::move(slot_key_);
+  std::vector<int32_t> old_bucket = std::move(slot_bucket_);
+  const size_t capacity = old_key.size() * 2;
+  slot_key_.assign(capacity, 0);
+  slot_bucket_.assign(capacity, -1);
+  const size_t mask = capacity - 1;
+  for (size_t i = 0; i < old_key.size(); ++i) {
+    if (old_bucket[i] < 0) continue;
+    size_t s = static_cast<size_t>(HashKey(old_key[i])) & mask;
+    while (slot_bucket_[s] >= 0) s = (s + 1) & mask;
+    slot_key_[s] = old_key[i];
+    slot_bucket_[s] = old_bucket[i];
+  }
+}
+
+void SpatialIndex::Insert(NodeId id, const Point& p) {
+  std::vector<NodeId>& bucket = EnsureBucket(KeyOf(p));
+  bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), id), id);
+}
+
+void SpatialIndex::Move(NodeId id, const Point& from, const Point& to) {
+  const uint64_t old_key = KeyOf(from);
+  const uint64_t new_key = KeyOf(to);
+  if (old_key == new_key) return;
+  std::vector<NodeId>& old_bucket = EnsureBucket(old_key);
+  const auto it =
+      std::lower_bound(old_bucket.begin(), old_bucket.end(), id);
+  SNAPQ_CHECK(it != old_bucket.end() && *it == id);
+  old_bucket.erase(it);
+  std::vector<NodeId>& new_bucket = EnsureBucket(new_key);
+  new_bucket.insert(
+      std::lower_bound(new_bucket.begin(), new_bucket.end(), id), id);
+}
+
+std::span<const NodeId> SpatialIndex::CellOf(const Point& p) const {
+  const std::vector<NodeId>* bucket = FindBucket(KeyOf(p));
+  if (bucket == nullptr) return {};
+  return *bucket;
+}
+
+}  // namespace snapq

@@ -125,6 +125,8 @@ const char* ProfPhaseName(ProfPhase phase) {
       return "maintenance_round";
     case ProfPhase::kQueryExecution:
       return "query_execution";
+    case ProfPhase::kNetworkBuild:
+      return "network_build";
     case ProfPhase::kCount:
       break;
   }

@@ -130,6 +130,7 @@ enum class ProfPhase : uint8_t {
   kElection = 0,
   kMaintenanceRound,
   kQueryExecution,
+  kNetworkBuild,  ///< deployment wiring incl. the link-model/index build
   kCount
 };
 constexpr size_t kNumProfPhases = static_cast<size_t>(ProfPhase::kCount);

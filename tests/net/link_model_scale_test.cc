@@ -1,0 +1,134 @@
+// Regression coverage for >65536-node networks: id/index arithmetic must
+// not narrow (the historical risk points are the packed link_loss_ key
+// from * num_nodes + to, which crosses 2^32 near n = 66k, and any uint16
+// intermediate), and construction/connectivity must stay sub-quadratic —
+// these tests would time out long before failing if a brute-force O(n^2)
+// path sneaks back in.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/link_model.h"
+#include "net/topology.h"
+
+namespace snapq {
+namespace {
+
+TEST(LinkModelScaleTest, SeventyThousandNodesBuildExactRows) {
+  // 70,000 nodes on a jitter-free 265x265 grid in the unit square; range
+  // 1.1 cell widths reaches exactly the four orthogonal neighbors
+  // (diagonal is sqrt(2) ~ 1.414 cells away).
+  const size_t n = 70000;
+  const size_t cols = 265;
+  Rng rng(1);
+  const std::vector<Point> positions =
+      PlaceGrid(n, Rect{0.0, 0.0, 1.0, 1.0}, 0.0, rng);
+  const double cell_w = 1.0 / static_cast<double>(cols);
+  LinkModel lm(positions, std::vector<double>(n, 1.1 * cell_w), 0.0);
+  ASSERT_EQ(lm.num_nodes(), n);
+
+  // Interior node 66000 sits at row 249, column 15 — past the 2^16 id
+  // boundary where narrowed arithmetic would wrap.
+  const NodeId interior = 66000;
+  const std::span<const NodeId> row = lm.Reachable(interior);
+  const std::vector<NodeId> expected = {interior - 265, interior - 1,
+                                        interior + 1, interior + 265};
+  ASSERT_EQ(row.size(), expected.size());
+  for (size_t k = 0; k < expected.size(); ++k) EXPECT_EQ(row[k], expected[k]);
+
+  // Corner node 0 has exactly {1, 265}.
+  const std::span<const NodeId> corner = lm.Reachable(0);
+  ASSERT_EQ(corner.size(), 2u);
+  EXPECT_EQ(corner[0], 1u);
+  EXPECT_EQ(corner[1], 265u);
+
+  EXPECT_TRUE(lm.CanReach(interior, interior + 1));
+  EXPECT_FALSE(lm.CanReach(interior, interior + 266));  // diagonal
+}
+
+TEST(LinkModelScaleTest, LinkLossKeysDoNotCollideAbove65536) {
+  // from * n + to for (69999, 0) is ~4.9e9 — past 2^32. Under uint32
+  // arithmetic 69999*70000 wraps to 604962704, which is (8642, 22704)'s
+  // key: a narrowed key type would make that pair inherit the override.
+  const size_t n = 70000;
+  const size_t cols = 265;
+  Rng rng(2);
+  const std::vector<Point> positions =
+      PlaceGrid(n, Rect{0.0, 0.0, 1.0, 1.0}, 0.0, rng);
+  const double cell_w = 1.0 / static_cast<double>(cols);
+  LinkModel lm(positions, std::vector<double>(n, 1.1 * cell_w), 0.0);
+
+  lm.SetLinkLoss(69999, 0, 1.0);
+  Rng sample_rng(3);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(lm.SampleLoss(69999, 0, sample_rng));
+  }
+  // The uint32-wrap alias pair must still see the base probability (0.0).
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(lm.SampleLoss(8642, 22704, sample_rng));
+    EXPECT_FALSE(lm.SampleLoss(0, 69999, sample_rng));  // reverse direction
+  }
+}
+
+TEST(LinkModelScaleTest, TwoComponentPlacementDisconnectsFast) {
+  // Two 10,000-node grids 100 units apart with a range that connects each
+  // grid internally but cannot bridge the gap. Before adjacency-walking
+  // IsConnected, this placement was the slow path: every frontier node
+  // paid an O(n) CanReach sweep. Now it is O(n + edges) and finishes in
+  // well under a second even in debug builds.
+  const size_t half = 10000;
+  Rng rng(5);
+  std::vector<Point> positions =
+      PlaceGrid(half, Rect{0.0, 0.0, 1.0, 1.0}, 0.0, rng);
+  const std::vector<Point> far_cluster =
+      PlaceGrid(half, Rect{100.0, 100.0, 101.0, 101.0}, 0.0, rng);
+  positions.insert(positions.end(), far_cluster.begin(), far_cluster.end());
+
+  const double cell_w = 1.0 / 100.0;  // cols = ceil(sqrt(10000)) = 100
+  LinkModel lm(positions, std::vector<double>(2 * half, 1.5 * cell_w), 0.0);
+  EXPECT_FALSE(lm.IsConnected());
+
+  // Sanity: a single grid with the same range is connected.
+  LinkModel one(PlaceGrid(half, Rect{0.0, 0.0, 1.0, 1.0}, 0.0, rng),
+                std::vector<double>(half, 1.5 * cell_w), 0.0);
+  EXPECT_TRUE(one.IsConnected());
+}
+
+TEST(LinkModelScaleTest, SetPositionStaysLocalAtScale) {
+  // Moving one node in a 70k network must not rebuild the world: a burst
+  // of moves completes instantly when the patch set is O(k), and the
+  // patched rows match a from-scratch model at the final placement.
+  const size_t n = 70000;
+  const size_t cols = 265;
+  Rng rng(7);
+  std::vector<Point> positions =
+      PlaceGrid(n, Rect{0.0, 0.0, 1.0, 1.0}, 0.0, rng);
+  const double cell_w = 1.0 / static_cast<double>(cols);
+  const std::vector<double> ranges(n, 1.1 * cell_w);
+  LinkModel lm(positions, ranges, 0.0);
+
+  for (int m = 0; m < 200; ++m) {
+    const NodeId id = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    const Point target{rng.NextDouble(), rng.NextDouble()};
+    lm.SetPosition(id, target);
+    positions[id] = target;
+  }
+
+  const LinkModel fresh(positions, ranges, 0.0);
+  for (int probe = 0; probe < 500; ++probe) {
+    const NodeId id = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    const std::span<const NodeId> a = lm.Reachable(id);
+    const std::span<const NodeId> b = fresh.Reachable(id);
+    ASSERT_EQ(a.size(), b.size()) << "row " << id;
+    for (size_t k = 0; k < a.size(); ++k) {
+      ASSERT_EQ(a[k], b[k]) << "row " << id << " elem " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snapq

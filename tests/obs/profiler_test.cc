@@ -193,6 +193,7 @@ TEST(ProfilerTest, HotOpAndPhaseNamesAreStable) {
   EXPECT_STREQ(ProfPhaseName(ProfPhase::kMaintenanceRound),
                "maintenance_round");
   EXPECT_STREQ(ProfPhaseName(ProfPhase::kQueryExecution), "query_execution");
+  EXPECT_STREQ(ProfPhaseName(ProfPhase::kNetworkBuild), "network_build");
 }
 
 TEST(ProfilerTest, ExportToWritesCountersAndPercentileGauges) {
